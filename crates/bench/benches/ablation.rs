@@ -1,0 +1,40 @@
+//! Ablation benches for the design choices the paper argues for (§3):
+//! chain sampling (vs greedy min-weight) and weight re-sampling (vs
+//! keeping Phase-1 weights), on the correlated Fig. 5 combination.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rox_core::{run_rox_with_env, RoxEnv, RoxOptions};
+use rox_datagen::{dblp_query, venue_index};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_ablations(c: &mut Criterion) {
+    let setup = rox_bench::dblp_catalog(1, 0.1, 23);
+    let combo = [
+        venue_index("VLDB"),
+        venue_index("ICDE"),
+        venue_index("ICIP"),
+        venue_index("ADBIS"),
+    ];
+    let graph = rox_joingraph::compile_query(&dblp_query(&combo)).unwrap();
+    let env = RoxEnv::new(Arc::clone(&setup.catalog), &graph).unwrap();
+    let mut group = c.benchmark_group("ablation");
+    let variants: [(&str, RoxOptions); 3] = [
+        ("full_rox", RoxOptions::default()),
+        ("no_chain_sampling", RoxOptions { chain_sampling: false, ..Default::default() }),
+        ("no_resampling", RoxOptions { resample: false, ..Default::default() }),
+    ];
+    for (name, opts) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_rox_with_env(&env, &graph, opts).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table 2 benchmark: full ROX runs (chain sampling included) of Q1 and
+//! Qm1 on the correlated XMark-like document.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rox_bench::table2::{run, Table2Config};
+use rox_bench::xmark_catalog;
+use rox_core::{run_rox, RoxOptions};
+use rox_datagen::{xmark_query, XmarkConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_table2(c: &mut Criterion) {
+    let cfg = Table2Config {
+        xmark: XmarkConfig { persons: 300, items: 250, auctions: 250, ..XmarkConfig::default() },
+        ..Table2Config::default()
+    };
+    c.bench_function("table2/q1_and_qm1", |b| b.iter(|| black_box(run(&cfg))));
+}
+
+fn bench_rox_variants(c: &mut Criterion) {
+    let catalog = xmark_catalog(&XmarkConfig {
+        persons: 300,
+        items: 250,
+        auctions: 250,
+        ..XmarkConfig::default()
+    });
+    let mut group = c.benchmark_group("chain_sampling");
+    for (name, op) in [("q1_lt", "<"), ("qm1_gt", ">")] {
+        let graph = rox_joingraph::compile_query(&xmark_query(op, 145.0)).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    run_rox(Arc::clone(&catalog), &graph, RoxOptions::default()).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2, bench_rox_variants
+}
+criterion_main!(benches);

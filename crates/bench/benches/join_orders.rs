@@ -1,0 +1,54 @@
+//! Figure 5 benchmark: best vs worst join orders and the full 18-order
+//! sweep on VLDB/ICDE/ICIP/ADBIS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rox_bench::fig5::{run, Fig5Config};
+use rox_core::{analyze_star, enumerate_join_orders, plan_edges, run_plan_with_env, Placement, RoxEnv};
+use rox_datagen::{dblp_query, venue_index};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_sweep(c: &mut Criterion) {
+    let cfg = Fig5Config { scale: 1, size_factor: 0.05, seed: 9 };
+    c.bench_function("fig5/full_sweep", |b| b.iter(|| black_box(run(&cfg))));
+}
+
+fn bench_best_vs_worst(c: &mut Criterion) {
+    let setup = rox_bench::dblp_catalog(1, 0.1, 9);
+    let combo = [
+        venue_index("VLDB"),
+        venue_index("ICDE"),
+        venue_index("ICIP"),
+        venue_index("ADBIS"),
+    ];
+    let graph = rox_joingraph::compile_query(&dblp_query(&combo)).unwrap();
+    let star = analyze_star(&graph).unwrap();
+    let env = RoxEnv::new(Arc::clone(&setup.catalog), &graph).unwrap();
+    // Identify best/worst once.
+    let mut measured: Vec<(u64, Vec<rox_joingraph::EdgeId>)> = enumerate_join_orders(4)
+        .iter()
+        .map(|o| {
+            let edges = plan_edges(&graph, &star, o, Placement::SJ);
+            let r = run_plan_with_env(&env, &graph, &edges).unwrap();
+            (r.cumulative_join_rows, edges)
+        })
+        .collect();
+    measured.sort_by_key(|(rows, _)| *rows);
+    let best = measured.first().unwrap().1.clone();
+    let worst = measured.last().unwrap().1.clone();
+    let mut group = c.benchmark_group("fig5");
+    group.bench_function("best_order", |b| {
+        b.iter(|| black_box(run_plan_with_env(&env, &graph, &best).unwrap()))
+    });
+    group.bench_function("worst_order", |b| {
+        b.iter(|| black_box(run_plan_with_env(&env, &graph, &worst).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_best_vs_worst, bench_sweep
+}
+criterion_main!(benches);

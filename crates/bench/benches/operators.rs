@@ -1,0 +1,108 @@
+//! Table 1 microbenchmarks: the physical operators ROX samples and
+//! executes — staircase joins per axis, value joins, and cut-off sampled
+//! execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rox_bench::xmark_catalog;
+use rox_datagen::XmarkConfig;
+use rox_index::{DocIndexes, ElementIndex};
+use rox_ops::{hash_value_join, index_value_join, step_join, Axis, Cost};
+use rox_xmldb::{NodeKind, Pre};
+use std::hint::black_box;
+
+fn bench_staircase(c: &mut Criterion) {
+    let cat = xmark_catalog(&XmarkConfig {
+        persons: 2000,
+        items: 1500,
+        auctions: 1500,
+        ..XmarkConfig::default()
+    });
+    let doc = cat.doc_by_uri("xmark.xml").unwrap();
+    let idx = ElementIndex::build(&doc);
+    let auctions: Vec<Pre> = idx
+        .lookup(doc.interner().get("open_auction").unwrap())
+        .to_vec();
+    let bidders: Vec<Pre> = idx.lookup(doc.interner().get("bidder").unwrap()).to_vec();
+    let ctx: Vec<(u32, Pre)> = auctions.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+    let bidder_ctx: Vec<(u32, Pre)> =
+        bidders.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+
+    let mut group = c.benchmark_group("staircase");
+    for (name, axis, context, cands) in [
+        ("descendant", Axis::Descendant, &ctx, &bidders),
+        ("child", Axis::Child, &ctx, &bidders),
+        ("ancestor", Axis::Ancestor, &bidder_ctx, &auctions),
+        ("parent", Axis::Parent, &bidder_ctx, &auctions),
+        ("following", Axis::Following, &ctx, &bidders),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                black_box(step_join(&doc, axis, context, cands, None, &mut cost))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cutoff_sampling(c: &mut Criterion) {
+    let cat = xmark_catalog(&XmarkConfig {
+        persons: 2000,
+        items: 1500,
+        auctions: 1500,
+        ..XmarkConfig::default()
+    });
+    let doc = cat.doc_by_uri("xmark.xml").unwrap();
+    let idx = ElementIndex::build(&doc);
+    let auctions: Vec<Pre> = idx
+        .lookup(doc.interner().get("open_auction").unwrap())
+        .to_vec();
+    let bidders: Vec<Pre> = idx.lookup(doc.interner().get("bidder").unwrap()).to_vec();
+    let ctx: Vec<(u32, Pre)> = auctions.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+    let mut group = c.benchmark_group("cutoff");
+    for limit in [25usize, 100, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, &limit| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                black_box(step_join(&doc, Axis::Descendant, &ctx, &bidders, Some(limit), &mut cost))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_value_joins(c: &mut Criterion) {
+    let setup = rox_bench::dblp_catalog(1, 0.3, 7);
+    let vldb = setup.catalog.doc(setup.corpus.docs[rox_datagen::venue_index("VLDB")]);
+    let icde = setup.catalog.doc(setup.corpus.docs[rox_datagen::venue_index("ICDE")]);
+    let texts = |d: &rox_xmldb::Document| -> Vec<Pre> {
+        (0..d.node_count() as Pre).filter(|&p| d.kind(p) == NodeKind::Text).collect()
+    };
+    let lt = texts(&vldb);
+    let rt = texts(&icde);
+    let r_idx = DocIndexes::build(&icde);
+    let ctx: Vec<(u32, Pre)> = lt.iter().take(100).enumerate().map(|(i, &p)| (i as u32, p)).collect();
+    let mut group = c.benchmark_group("value_join");
+    group.bench_function("hash_full", |b| {
+        b.iter(|| {
+            let mut cost = Cost::new();
+            black_box(hash_value_join(&vldb, &lt, &icde, &rt, &mut cost))
+        })
+    });
+    group.bench_function("index_nl_sampled_100", |b| {
+        b.iter(|| {
+            let mut cost = Cost::new();
+            black_box(index_value_join(
+                &vldb, &ctx, &icde, &r_idx.value, NodeKind::Text, None, Some(100), &mut cost,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_staircase, bench_cutoff_sampling, bench_value_joins
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 6 benchmark: one correlated (3:1) combination measured across
+//! plan classes, plus the ROX full run vs its pure-plan replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rox_bench::fig6::measure_combo;
+use rox_core::{run_plan_with_env, run_rox_with_env, RoxEnv, RoxOptions};
+use rox_datagen::{dblp_query, venue_index};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_measure_combo(c: &mut Criterion) {
+    let setup = rox_bench::dblp_catalog(1, 0.04, 13);
+    let combo = [
+        venue_index("VLDB"),
+        venue_index("ICDE"),
+        venue_index("ICIP"),
+        venue_index("ADBIS"),
+    ];
+    c.bench_function("fig6/measure_combo_54_plans", |b| {
+        b.iter(|| black_box(measure_combo(&setup, combo, 100, 13)))
+    });
+}
+
+fn bench_rox_full_vs_pure(c: &mut Criterion) {
+    let setup = rox_bench::dblp_catalog(1, 0.1, 13);
+    let combo = [
+        venue_index("VLDB"),
+        venue_index("ICDE"),
+        venue_index("ICIP"),
+        venue_index("ADBIS"),
+    ];
+    let graph = rox_joingraph::compile_query(&dblp_query(&combo)).unwrap();
+    let env = RoxEnv::new(Arc::clone(&setup.catalog), &graph).unwrap();
+    let report = run_rox_with_env(&env, &graph, RoxOptions::default()).unwrap();
+    let order = report.executed_order.clone();
+    let mut group = c.benchmark_group("fig6");
+    group.bench_function("rox_full_run", |b| {
+        b.iter(|| black_box(run_rox_with_env(&env, &graph, RoxOptions::default()).unwrap()))
+    });
+    group.bench_function("rox_pure_plan", |b| {
+        b.iter(|| black_box(run_plan_with_env(&env, &graph, &order).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rox_full_vs_pure, bench_measure_combo
+}
+criterion_main!(benches);

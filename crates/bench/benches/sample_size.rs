@@ -1,0 +1,39 @@
+//! Figure 8 benchmark: ROX runs with τ ∈ {25, 100, 400} — the sampling
+//! cost knob.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rox_core::{run_rox_with_env, RoxEnv, RoxOptions};
+use rox_datagen::{dblp_query, venue_index};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_sample_sizes(c: &mut Criterion) {
+    let setup = rox_bench::dblp_catalog(1, 0.1, 21);
+    let combo = [
+        venue_index("SIGMOD"),
+        venue_index("ICDE"),
+        venue_index("VLDB"),
+        venue_index("EDBT"),
+    ];
+    let graph = rox_joingraph::compile_query(&dblp_query(&combo)).unwrap();
+    let env = RoxEnv::new(Arc::clone(&setup.catalog), &graph).unwrap();
+    let mut group = c.benchmark_group("fig8_tau");
+    for tau in [25usize, 100, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, &tau| {
+            b.iter(|| {
+                black_box(
+                    run_rox_with_env(&env, &graph, RoxOptions { tau, seed: 21, ..Default::default() })
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sample_sizes
+}
+criterion_main!(benches);

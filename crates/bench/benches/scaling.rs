@@ -1,0 +1,35 @@
+//! Figure 7 benchmark: the same ROX query at growing document scales —
+//! wall time should grow roughly linearly while the plan stays optimal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rox_core::{run_rox_with_env, RoxEnv, RoxOptions};
+use rox_datagen::{dblp_query, venue_index};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_scaling(c: &mut Criterion) {
+    let combo = [
+        venue_index("VLDB"),
+        venue_index("ICDE"),
+        venue_index("ICIP"),
+        venue_index("ADBIS"),
+    ];
+    let graph = rox_joingraph::compile_query(&dblp_query(&combo)).unwrap();
+    let mut group = c.benchmark_group("fig7_scaling");
+    for scale in [1usize, 4, 10] {
+        let setup = rox_bench::dblp_catalog(scale, 0.05, 17);
+        let env = RoxEnv::new(Arc::clone(&setup.catalog), &graph).unwrap();
+        group.throughput(Throughput::Elements(scale as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, _| {
+            b.iter(|| black_box(run_rox_with_env(&env, &graph, RoxOptions::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Reproduces **Figure 5**: cumulative intermediate join result sizes for
+//! all 18 join orders of the VLDB/ICDE/ICIP/ADBIS query, with the orders
+//! chosen by the classical optimizer and by ROX marked.
+//!
+//! ```text
+//! cargo run --release -p rox-bench --bin fig5_join_orders -- \
+//!     [--scale 1] [--size-factor 0.2] [--seed 9]
+//! ```
+
+use rox_bench::args::Args;
+use rox_bench::fig5::{self, Fig5Config};
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = Fig5Config {
+        scale: args.get("scale", 1),
+        size_factor: args.get("size-factor", 0.2),
+        seed: args.get("seed", 9),
+    };
+    println!(
+        "Figure 5 reproduction — docs: 1=VLDB 2=ICDE 3=ICIP 4=ADBIS (scale ×{}, size factor {})\n",
+        cfg.scale, cfg.size_factor
+    );
+    let out = fig5::run(&cfg);
+    let best = out
+        .orders
+        .iter()
+        .map(|o| o.cumulative_join_rows)
+        .min()
+        .unwrap()
+        .max(1);
+    let mut sorted = out.orders.clone();
+    sorted.sort_by_key(|o| o.cumulative_join_rows);
+    println!("{:<16} {:>16} {:>8}  marks", "join order", "cum. join rows", "×best");
+    for o in &sorted {
+        let mut marks = String::new();
+        if o.is_classical {
+            marks.push_str(" <= c");
+        }
+        if o.is_rox {
+            marks.push_str(" <= R");
+        }
+        println!(
+            "{:<16} {:>16} {:>8.1} {}",
+            o.name,
+            o.cumulative_join_rows,
+            o.cumulative_join_rows as f64 / best as f64,
+            marks
+        );
+    }
+    println!("\nclassical chose: {}", out.classical);
+    println!("ROX chose:       {} (its own run accumulated {} join rows)", out.rox, out.rox_cumulative);
+    println!(
+        "\nExpected shape (paper): orders that join ICIP (doc 3) early stay small;\n\
+         orders that leave it last blow up by orders of magnitude. ROX lands near\n\
+         the bottom; the classical optimizer cannot see the DB-area correlation."
+    );
+}

@@ -1,0 +1,77 @@
+//! Reproduces **Figure 6**: normalized evaluation cost of ROX versus four
+//! plan classes across document combinations, clustered by area group
+//! (2:2 / 3:1 / 4:0) and sorted by correlation C.
+//!
+//! ```text
+//! cargo run --release -p rox-bench --bin fig6_plan_classes -- \
+//!     [--scale 1] [--size-factor 0.05] [--per-group 8] [--tau 100] [--seed 13] [--wall]
+//! ```
+//!
+//! `--per-group 0` measures every combination (the paper's 831-point
+//! scatter; expect a long runtime at larger size factors).
+
+use rox_bench::args::Args;
+use rox_bench::fig6::{self, group_averages, Fig6Config};
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = Fig6Config {
+        scale: args.get("scale", 1),
+        size_factor: args.get("size-factor", 0.05),
+        per_group: args.get("per-group", 8),
+        tau: args.get("tau", 100),
+        seed: args.get("seed", 13),
+    };
+    let use_wall = args.has("wall");
+    println!(
+        "Figure 6 reproduction — scale ×{}, size factor {}, {} combos/group, τ={} ({} metric)\n",
+        cfg.scale,
+        cfg.size_factor,
+        if cfg.per_group == 0 { "all".to_string() } else { cfg.per_group.to_string() },
+        cfg.tau,
+        if use_wall { "wall-clock" } else { "work-counter" },
+    );
+    let out = fig6::run(&cfg);
+    println!(
+        "{:<6} {:>10} {:>9} {:>10} {:>10} {:>10} {:>9} {:>9}  combo",
+        "group", "corr C", "largest", "classical", "rox-order", "smallest", "rox-full", "rox-pure"
+    );
+    for r in &out.rows {
+        let (lg, cl, ro, sm, rf, rp) = if use_wall {
+            (r.wall.largest, r.wall.classical, r.wall.rox_order, r.wall.smallest, r.wall.rox_full, r.wall.rox_pure)
+        } else {
+            (r.largest, r.classical, r.rox_order, r.smallest, r.rox_full, r.rox_pure)
+        };
+        println!(
+            "{:<6} {:>10.3} {:>9.2} {:>10.2} {:>10.2} {:>10.2} {:>9.2} {:>9.2}  {:?}",
+            r.group, r.correlation, lg, cl, ro, sm, rf, rp, r.combo
+        );
+    }
+    println!("\n--- group averages (work metric, normalized to fastest plan) ---");
+    println!(
+        "{:<6} {:>7} {:>9} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "group", "combos", "largest", "classical", "rox-order", "smallest", "rox-full", "rox-pure"
+    );
+    for g in group_averages(&out.rows) {
+        println!(
+            "{:<6} {:>7} {:>9.2} {:>10.2} {:>10.2} {:>10.2} {:>9.2} {:>9.2}",
+            g.group, g.combos, g.largest, g.classical, g.rox_order, g.smallest, g.rox_full, g.rox_pure
+        );
+    }
+    println!("\n--- group averages (cumulative join rows vs best order, Fig. 5 metric) ---");
+    println!(
+        "{:<6} {:>7} {:>12} {:>12} {:>12}",
+        "group", "combos", "classical", "rox", "largest"
+    );
+    for g in group_averages(&out.rows) {
+        println!(
+            "{:<6} {:>7} {:>12.1} {:>12.1} {:>12.1}",
+            g.group, g.combos, g.classical_join_rows, g.rox_join_rows, g.largest_join_rows
+        );
+    }
+    println!(
+        "\nExpected shape (paper): rox-pure tracks smallest (≈1); classical degrades\n\
+         with correlation, up to orders of magnitude; rox-full adds bounded sampling\n\
+         overhead (paper: ~30% average, < 2× almost always)."
+    );
+}

@@ -1,0 +1,47 @@
+//! Reproduces **Figure 7**: plan-class quality and sampling overhead when
+//! scaling the documents ×1 / ×10 / ×100.
+//!
+//! ```text
+//! cargo run --release -p rox-bench --bin fig7_scaling -- \
+//!     [--scales 1,10,100] [--size-factor 0.03] [--per-group 4] [--tau 100] [--seed 17]
+//! ```
+
+use rox_bench::args::Args;
+use rox_bench::fig7::{self, Fig7Config};
+
+fn main() {
+    let args = Args::from_env();
+    let scales: Vec<usize> = args
+        .get("scales", "1,10".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let cfg = Fig7Config {
+        scales,
+        size_factor: args.get("size-factor", 0.03),
+        per_group: args.get("per-group", 4),
+        tau: args.get("tau", 100),
+        seed: args.get("seed", 17),
+    };
+    println!(
+        "Figure 7 reproduction — scales {:?}, size factor {}, {} combos/group\n",
+        cfg.scales, cfg.size_factor, cfg.per_group
+    );
+    let out = fig7::run(&cfg);
+    println!(
+        "{:<8} {:<6} {:>7} {:>9} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "scale", "group", "combos", "largest", "classical", "rox-order", "smallest", "rox-full", "rox-pure"
+    );
+    for s in &out.scales {
+        for g in &s.averages {
+            println!(
+                "x{:<7} {:<6} {:>7} {:>9.2} {:>10.2} {:>10.2} {:>10.2} {:>9.2} {:>9.2}",
+                s.scale, g.group, g.combos, g.largest, g.classical, g.rox_order, g.smallest, g.rox_full, g.rox_pure
+            );
+        }
+    }
+    println!(
+        "\nExpected shape (paper): rox-pure stays ≈ optimal at every scale; the\n\
+         rox-full premium shrinks as documents grow (fixed-τ sampling amortizes)."
+    );
+}

@@ -1,0 +1,53 @@
+//! Reproduces **Table 3**: the generated DBLP venue inventory.
+//!
+//! ```text
+//! cargo run --release -p rox-bench --bin table3_docs -- \
+//!     [--scale 1] [--size-factor 1.0] [--seed 1975]
+//! ```
+
+use rox_bench::args::Args;
+use rox_bench::table3;
+
+fn human_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get("scale", 1usize);
+    let size_factor = args.get("size-factor", 1.0f64);
+    let seed = args.get("seed", 1975u64);
+    let out = table3::run(scale, size_factor, seed);
+    println!(
+        "Table 3 reproduction — scale ×{}, size factor {}\n",
+        out.scale, out.size_factor
+    );
+    println!(
+        "{:<20} {:<6} {:>12} {:>12} {:>10} {:>10}",
+        "venue", "areas", "target ×1", "generated", "nodes", "size"
+    );
+    for r in &out.rows {
+        println!(
+            "{:<20} {:<6} {:>12} {:>12} {:>10} {:>10}",
+            r.name,
+            r.areas,
+            r.target_tags,
+            r.generated_tags,
+            r.nodes,
+            human_bytes(r.bytes)
+        );
+    }
+    let total_tags: usize = out.rows.iter().map(|r| r.generated_tags).sum();
+    let total_bytes: usize = out.rows.iter().map(|r| r.bytes).sum();
+    println!(
+        "\ntotal: {} author tags, {} across 23 documents",
+        total_tags,
+        human_bytes(total_bytes)
+    );
+}

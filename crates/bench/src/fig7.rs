@@ -1,0 +1,107 @@
+//! Figure 7: scaling document sizes (×1, ×10, ×100) — plan quality stays
+//! stable while the relative sampling overhead shrinks with scale (fixed
+//! τ work is amortized over more data).
+
+use crate::fig6::{group_averages, measure_combo, ComboResult, GroupAverages};
+use crate::setup::dblp_catalog;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rox_datagen::grouped_combinations;
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct Fig7Config {
+    /// Replication scales to compare (paper: 1, 10, 100).
+    pub scales: Vec<usize>,
+    /// Size factor applied before replication.
+    pub size_factor: f64,
+    /// Combinations per group.
+    pub per_group: usize,
+    /// ROX sample size.
+    pub tau: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Fig7Config {
+    fn default() -> Self {
+        Fig7Config {
+            scales: vec![1, 10],
+            size_factor: 0.03,
+            per_group: 4,
+            tau: 100,
+            seed: 17,
+        }
+    }
+}
+
+/// Per-scale results.
+#[derive(Debug)]
+pub struct ScaleResult {
+    /// The replication scale.
+    pub scale: usize,
+    /// Per-combination measurements.
+    pub rows: Vec<ComboResult>,
+    /// Group averages ("2:2", "3:1", "4:0").
+    pub averages: Vec<GroupAverages>,
+}
+
+/// Output.
+#[derive(Debug)]
+pub struct Fig7Output {
+    /// One entry per scale.
+    pub scales: Vec<ScaleResult>,
+}
+
+/// Run the experiment: the same combinations measured at every scale.
+pub fn run(cfg: &Fig7Config) -> Fig7Output {
+    // Fix the combination sample once so scales are comparable.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut chosen: Vec<[usize; 4]> = Vec::new();
+    for group in ["2:2", "3:1", "4:0"] {
+        let mut combos: Vec<[usize; 4]> = grouped_combinations()
+            .into_iter()
+            .filter(|(_, g)| *g == group)
+            .map(|(c, _)| c)
+            .collect();
+        if cfg.per_group > 0 && combos.len() > cfg.per_group {
+            combos.shuffle(&mut rng);
+            combos.truncate(cfg.per_group);
+        }
+        chosen.extend(combos);
+    }
+    let mut scales = Vec::new();
+    for &scale in &cfg.scales {
+        let setup = dblp_catalog(scale, cfg.size_factor, cfg.seed);
+        let rows: Vec<ComboResult> = chosen
+            .iter()
+            .map(|&c| measure_combo(&setup, c, cfg.tau, cfg.seed))
+            .filter(|r| r.result_rows > 0)
+            .collect();
+        let averages = group_averages(&rows);
+        scales.push(ScaleResult { scale, rows, averages });
+    }
+    Fig7Output { scales }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_two_scales() {
+        let out = run(&Fig7Config {
+            scales: vec![1, 4],
+            per_group: 1,
+            size_factor: 0.03,
+            ..Default::default()
+        });
+        assert_eq!(out.scales.len(), 2);
+        for s in &out.scales {
+            for r in &s.rows {
+                assert!(r.smallest >= 1.0);
+                assert!(r.largest >= r.smallest);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Shared corpus setup for the experiment harnesses.
+
+use rox_datagen::{generate_dblp, generate_xmark, DblpConfig, DblpCorpus, XmarkConfig};
+use rox_xmldb::Catalog;
+use std::sync::Arc;
+
+/// A generated DBLP corpus with its catalog.
+pub struct DblpSetup {
+    /// Catalog holding all 23 venue documents.
+    pub catalog: Arc<Catalog>,
+    /// The corpus descriptors.
+    pub corpus: DblpCorpus,
+    /// The configuration used.
+    pub config: DblpConfig,
+}
+
+/// Generate the 23-venue DBLP corpus at the given replication scale and
+/// size factor.
+pub fn dblp_catalog(scale: usize, size_factor: f64, seed: u64) -> DblpSetup {
+    let config = DblpConfig { scale, size_factor, seed, ..DblpConfig::default() };
+    let catalog = Arc::new(Catalog::new());
+    let corpus = generate_dblp(&catalog, &config);
+    DblpSetup { catalog, corpus, config }
+}
+
+/// Generate an XMark catalog under "xmark.xml".
+pub fn xmark_catalog(cfg: &XmarkConfig) -> Arc<Catalog> {
+    let catalog = Arc::new(Catalog::new());
+    generate_xmark(&catalog, "xmark.xml", cfg);
+    catalog
+}
+
+/// ROX's effective join order, extracted from an executed edge sequence:
+/// the inter-component equi-join merges in execution order, in terms of
+/// star-member indices.
+pub fn extract_join_order(
+    graph: &rox_joingraph::JoinGraph,
+    star: &rox_core::StarQuery,
+    executed: &[rox_joingraph::EdgeId],
+) -> rox_core::JoinOrder {
+    use rox_joingraph::EdgeKind;
+    let member_of = |v: rox_joingraph::VertexId| {
+        star.members.iter().position(|m| m.value_vertex == v)
+    };
+    let mut parent: Vec<usize> = (0..star.members.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    let mut merges = Vec::new();
+    for &e in executed {
+        let edge = graph.edge(e);
+        if !matches!(edge.kind, EdgeKind::EquiJoin { .. }) {
+            continue;
+        }
+        let (Some(a), Some(b)) = (member_of(edge.v1), member_of(edge.v2)) else {
+            continue;
+        };
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            merges.push((a, b));
+            parent[ra] = rb;
+        }
+    }
+    let name = format!(
+        "rox:{}",
+        merges
+            .iter()
+            .map(|(a, b)| format!("({}-{})", a + 1, b + 1))
+            .collect::<Vec<_>>()
+            .join("-")
+    );
+    rox_core::JoinOrder { name, merges }
+}
+
+/// Semantic identity of a join order: the sequence of unordered
+/// {component, component} merges in terms of member sets. Two merge lists
+/// produce the same signature iff they join the same groups in the same
+/// sequence (regardless of which member represents a component).
+pub fn order_signature(merges: &[(usize, usize)]) -> Vec<(Vec<usize>, Vec<usize>)> {
+    use std::collections::BTreeSet;
+    let mut comps: Vec<BTreeSet<usize>> = Vec::new();
+    let find = |comps: &Vec<BTreeSet<usize>>, m: usize| {
+        comps.iter().position(|c| c.contains(&m))
+    };
+    let mut sig = Vec::new();
+    for &(a, b) in merges {
+        let ca = find(&comps, a);
+        let cb = find(&comps, b);
+        let set_a: BTreeSet<usize> = match ca {
+            Some(i) => comps[i].clone(),
+            None => [a].into_iter().collect(),
+        };
+        let set_b: BTreeSet<usize> = match cb {
+            Some(i) => comps[i].clone(),
+            None => [b].into_iter().collect(),
+        };
+        let (mut va, mut vb): (Vec<usize>, Vec<usize>) =
+            (set_a.iter().copied().collect(), set_b.iter().copied().collect());
+        if va > vb {
+            std::mem::swap(&mut va, &mut vb);
+        }
+        sig.push((va, vb));
+        // Merge.
+        let mut merged: BTreeSet<usize> = set_a;
+        merged.extend(set_b);
+        comps.retain(|c| !c.contains(&a) && !c.contains(&b));
+        comps.push(merged);
+    }
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rox_core::{analyze_star, run_rox, RoxOptions};
+    use rox_datagen::{dblp_query, venue_index};
+
+    #[test]
+    fn order_signature_identifies_equal_orders() {
+        // Linear (0-1)-2-3 written with different representatives.
+        let a = order_signature(&[(0, 1), (0, 2), (0, 3)]);
+        let b = order_signature(&[(1, 0), (2, 1), (3, 2)]);
+        assert_eq!(a, b);
+        // Bushy differs from linear.
+        let c = order_signature(&[(0, 1), (2, 3), (0, 2)]);
+        assert_ne!(a, c);
+        // Attachment order matters for linear plans.
+        let d = order_signature(&[(0, 1), (0, 3), (0, 2)]);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn dblp_setup_loads_all_venues() {
+        let s = dblp_catalog(1, 0.02, 7);
+        assert_eq!(s.catalog.len(), 23);
+    }
+
+    #[test]
+    fn extract_join_order_from_rox_run() {
+        let s = dblp_catalog(1, 0.05, 7);
+        let combo = [
+            venue_index("VLDB"),
+            venue_index("ICDE"),
+            venue_index("ICIP"),
+            venue_index("ADBIS"),
+        ];
+        let g = rox_joingraph::compile_query(&dblp_query(&combo)).unwrap();
+        let star = analyze_star(&g).unwrap();
+        let report = run_rox(Arc::clone(&s.catalog), &g, RoxOptions::default()).unwrap();
+        let order = extract_join_order(&g, &star, &report.executed_order);
+        assert_eq!(order.merges.len(), 3, "three merges for four documents");
+    }
+}

@@ -1,0 +1,524 @@
+//! Synthetic DBLP-like data (the quantitative workload of §4).
+//!
+//! The paper splits the real DBLP dump into ~4500 per-venue documents and
+//! selects 23 "representative" venues from 5 research areas (Table 3). We
+//! regenerate documents with exactly that venue/area/author-tag inventory,
+//! with the property the experiments rely on: **authors publish mostly
+//! within their research area(s)**, so the author-value join selectivity
+//! between two same-area venues is much higher (correlated) than between
+//! areas. Dual-area venues (CANS, BIOKDD, WSDM, CIKM) bridge their two
+//! pools, exactly like the real data.
+//!
+//! Scaling (`×10`, `×100`) replicates every article with a serial-number
+//! suffix on author names and titles, preserving the distribution and
+//! correlation while avoiding new cross-replica joins — the paper's
+//! scheme (§4.1).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rox_xmldb::{Catalog, DocId, NodeKind};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The five research areas of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Area {
+    /// Artificial intelligence.
+    AI,
+    /// Bioinformatics.
+    BI,
+    /// Data mining.
+    DM,
+    /// Information retrieval.
+    IR,
+    /// Databases.
+    DB,
+}
+
+impl Area {
+    /// All areas.
+    pub const ALL: [Area; 5] = [Area::AI, Area::BI, Area::DM, Area::IR, Area::DB];
+
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Area::AI => "AI",
+            Area::BI => "BI",
+            Area::DM => "DM",
+            Area::IR => "IR",
+            Area::DB => "DB",
+        }
+    }
+}
+
+/// One venue of Table 3.
+#[derive(Debug, Clone)]
+pub struct Venue {
+    /// Journal / conference name.
+    pub name: &'static str,
+    /// Primary area (the grouping key for the 2:2 / 3:1 / 4:0 clusters).
+    pub primary: Area,
+    /// Secondary area for dual-area venues.
+    pub secondary: Option<Area>,
+    /// Author tags at scale ×1 (Table 3's "# author tags ×1" column).
+    pub author_tags: usize,
+}
+
+/// The 23 venues of Table 3, in the paper's order.
+pub const VENUES: [Venue; 23] = [
+    Venue { name: "Fuzzy Logic in AI", primary: Area::AI, secondary: None, author_tags: 62 },
+    Venue { name: "AI in Medicine", primary: Area::AI, secondary: None, author_tags: 2264 },
+    Venue { name: "AAAI", primary: Area::AI, secondary: None, author_tags: 6832 },
+    Venue { name: "CANS", primary: Area::AI, secondary: Some(Area::BI), author_tags: 214 },
+    Venue { name: "BMC Bioinform.", primary: Area::BI, secondary: None, author_tags: 3547 },
+    Venue { name: "Bioinformatics", primary: Area::BI, secondary: None, author_tags: 15019 },
+    Venue { name: "BIOKDD", primary: Area::DM, secondary: Some(Area::BI), author_tags: 139 },
+    Venue { name: "MLDM", primary: Area::DM, secondary: None, author_tags: 575 },
+    Venue { name: "ICDM", primary: Area::DM, secondary: None, author_tags: 2205 },
+    Venue { name: "KDD", primary: Area::DM, secondary: None, author_tags: 3201 },
+    Venue { name: "WSDM", primary: Area::DM, secondary: Some(Area::IR), author_tags: 95 },
+    Venue { name: "INEX", primary: Area::IR, secondary: None, author_tags: 342 },
+    Venue { name: "SPIRE", primary: Area::IR, secondary: None, author_tags: 724 },
+    Venue { name: "TREC", primary: Area::IR, secondary: None, author_tags: 2541 },
+    Venue { name: "SIGIR", primary: Area::IR, secondary: None, author_tags: 4584 },
+    Venue { name: "ICME", primary: Area::IR, secondary: None, author_tags: 5757 },
+    Venue { name: "ICIP", primary: Area::IR, secondary: None, author_tags: 7935 },
+    Venue { name: "CIKM", primary: Area::DB, secondary: Some(Area::IR), author_tags: 3684 },
+    Venue { name: "ADBIS", primary: Area::DB, secondary: None, author_tags: 947 },
+    Venue { name: "EDBT", primary: Area::DB, secondary: None, author_tags: 1340 },
+    Venue { name: "SIGMOD", primary: Area::DB, secondary: None, author_tags: 5912 },
+    Venue { name: "ICDE", primary: Area::DB, secondary: None, author_tags: 6169 },
+    Venue { name: "VLDB", primary: Area::DB, secondary: None, author_tags: 6865 },
+];
+
+/// Index of a venue by name (panics on unknown names — test helper).
+pub fn venue_index(name: &str) -> usize {
+    VENUES
+        .iter()
+        .position(|v| v.name == name)
+        .unwrap_or_else(|| panic!("unknown venue {name}"))
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Replication factor n (×1, ×10, ×100 in the paper).
+    pub scale: usize,
+    /// Multiplier on Table 3's author-tag counts (< 1.0 shrinks every
+    /// document proportionally — used to keep CI-sized runs fast while
+    /// preserving relative sizes).
+    pub size_factor: f64,
+    /// Average authors per article.
+    pub authors_per_article: f64,
+    /// Average articles per author within an area pool (drives pool
+    /// sizes; higher ⇒ denser same-area overlap).
+    pub papers_per_author: f64,
+    /// Probability an author slot is filled from a random foreign area
+    /// (background cross-area noise).
+    pub cross_area_noise: f64,
+    /// Number of "global" authors shared by *all* area pools — the
+    /// prolific people who publish everywhere in real DBLP. They make
+    /// cross-area (2:2, 3:1) combinations produce small-but-non-empty
+    /// results, while within-area overlap stays dominant.
+    pub global_authors: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig {
+            scale: 1,
+            size_factor: 1.0,
+            authors_per_article: 2.5,
+            papers_per_author: 4.0,
+            cross_area_noise: 0.02,
+            global_authors: 12,
+            seed: 1975, // DBLP's founding era
+        }
+    }
+}
+
+impl DblpConfig {
+    /// A shrunk configuration for unit tests and quick benches.
+    pub fn tiny() -> Self {
+        DblpConfig { size_factor: 0.03, ..Default::default() }
+    }
+}
+
+/// The generated corpus: 23 documents plus their descriptors.
+pub struct DblpCorpus {
+    /// Document ids, parallel to [`VENUES`].
+    pub docs: Vec<DocId>,
+    /// Author tag counts actually generated (×scale), parallel to venues.
+    pub author_tags: Vec<usize>,
+}
+
+/// URI under which venue `i` is registered.
+pub fn venue_uri(i: usize) -> String {
+    format!("dblp/{}.xml", VENUES[i].name.replace([' ', '.'], "_"))
+}
+
+/// Generate all 23 venue documents into `catalog`.
+pub fn generate_dblp(catalog: &Arc<Catalog>, cfg: &DblpConfig) -> DblpCorpus {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Area pools: authors named "<area>_a<i>"; pool size derived from the
+    // area's total author tags.
+    let mut area_tags: HashMap<Area, f64> = HashMap::new();
+    for v in &VENUES {
+        let tags = v.author_tags as f64 * cfg.size_factor;
+        match v.secondary {
+            None => *area_tags.entry(v.primary).or_default() += tags,
+            Some(sec) => {
+                *area_tags.entry(v.primary).or_default() += tags / 2.0;
+                *area_tags.entry(sec).or_default() += tags / 2.0;
+            }
+        }
+    }
+    let pools: HashMap<Area, Vec<String>> = Area::ALL
+        .iter()
+        .map(|&a| {
+            let tags = area_tags.get(&a).copied().unwrap_or(0.0);
+            let size = ((tags / cfg.papers_per_author).ceil() as usize).max(4);
+            // Spread the shared global authors through the pool's skewed
+            // head region so they publish regularly but don't dominate.
+            let names: Vec<String> = (0..size)
+                .map(|i| {
+                    if cfg.global_authors > 0 && i % 7 == 3 && i / 7 < cfg.global_authors {
+                        format!("GLOBAL_a{}", i / 7)
+                    } else {
+                        format!("{}_a{}", a.label(), i)
+                    }
+                })
+                .collect();
+            (a, names)
+        })
+        .collect();
+
+    let mut docs = Vec::new();
+    let mut author_tags = Vec::new();
+    for (vi, venue) in VENUES.iter().enumerate() {
+        let target_tags = ((venue.author_tags as f64 * cfg.size_factor).round() as usize).max(2);
+        let articles = ((target_tags as f64 / cfg.authors_per_article).ceil() as usize).max(1);
+        // Build article author lists at scale ×1 first.
+        let mut article_authors: Vec<Vec<String>> = Vec::with_capacity(articles);
+        let mut generated = 0usize;
+        for _ in 0..articles {
+            let want = if generated >= target_tags {
+                1
+            } else {
+                // 1..=4 with mean ≈ authors_per_article.
+                let r: f64 = rng.random();
+                1 + (r * (2.0 * (cfg.authors_per_article - 1.0))).round() as usize
+            };
+            let mut names: Vec<String> = Vec::with_capacity(want);
+            while names.len() < want {
+                let area = if rng.random_bool(cfg.cross_area_noise) {
+                    *Area::ALL.choose(&mut rng).unwrap()
+                } else if let Some(sec) = venue.secondary {
+                    if rng.random_bool(0.5) { venue.primary } else { sec }
+                } else {
+                    venue.primary
+                };
+                let pool = &pools[&area];
+                // Quadratic skew: prolific authors (low index) publish more,
+                // giving the heavy-tailed same-area overlap of real DBLP.
+                let u: f64 = rng.random();
+                let idx = ((u * u) * pool.len() as f64) as usize;
+                let name = pool[idx.min(pool.len() - 1)].clone();
+                if !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+            generated += names.len();
+            article_authors.push(names);
+        }
+
+        // Emit the document, replicating each article `scale` times with
+        // per-replica suffixes.
+        let mut b = catalog.builder(&venue_uri(vi));
+        b.start_element("proceedings");
+        b.attribute("key", venue.name);
+        let mut tags = 0usize;
+        for (ai, authors) in article_authors.iter().enumerate() {
+            for rep in 0..cfg.scale {
+                b.start_element("article");
+                for a in authors {
+                    let name =
+                        if rep == 0 { a.clone() } else { format!("{a}#{rep}") };
+                    b.leaf("author", &name);
+                    tags += 1;
+                }
+                let title = if rep == 0 {
+                    format!("{} paper {}", venue.name, ai)
+                } else {
+                    format!("{} paper {}#{}", venue.name, ai, rep)
+                };
+                b.leaf("title", &title);
+                b.leaf("year", &format!("{}", 1990 + (ai % 20)));
+                b.end_element();
+            }
+        }
+        b.end_element();
+        let id = catalog.insert(&venue_uri(vi), Arc::new(b.finish(DocId(0))));
+        docs.push(id);
+        author_tags.push(tags);
+    }
+    DblpCorpus { docs, author_tags }
+}
+
+/// The 4-way author query template of §4.1 over venues `d` (by index).
+pub fn dblp_query(d: &[usize; 4]) -> String {
+    format!(
+        r#"
+        for $a1 in doc("{0}")//author,
+            $a2 in doc("{1}")//author,
+            $a3 in doc("{2}")//author,
+            $a4 in doc("{3}")//author
+        where $a1/text() = $a2/text() and
+              $a1/text() = $a3/text() and
+              $a1/text() = $a4/text()
+        return $a1
+    "#,
+        venue_uri(d[0]),
+        venue_uri(d[1]),
+        venue_uri(d[2]),
+        venue_uri(d[3])
+    )
+}
+
+/// Author-value multiset per document: value symbol → occurrence count.
+fn author_histogram(catalog: &Catalog, doc: DocId) -> (HashMap<rox_xmldb::Symbol, u64>, u64) {
+    let d = catalog.doc(doc);
+    let author = d.interner().get("author");
+    let mut hist: HashMap<rox_xmldb::Symbol, u64> = HashMap::new();
+    let mut total = 0u64;
+    if let Some(author) = author {
+        for pre in 0..d.node_count() as u32 {
+            if d.kind(pre) == NodeKind::Text && d.name(d.parent(pre)) == author {
+                *hist.entry(d.value(pre)).or_default() += 1;
+                total += 1;
+            }
+        }
+    }
+    (hist, total)
+}
+
+/// Exact author-join cardinality `|dᵢ ⋈ dⱼ|` (node pairs with equal
+/// author text).
+pub fn join_size(catalog: &Catalog, a: DocId, b: DocId) -> u64 {
+    let (ha, _) = author_histogram(catalog, a);
+    let (hb, _) = author_histogram(catalog, b);
+    let (small, large) = if ha.len() <= hb.len() { (&ha, &hb) } else { (&hb, &ha) };
+    small
+        .iter()
+        .filter_map(|(sym, ca)| large.get(sym).map(|cb| ca * cb))
+        .sum()
+}
+
+/// The correlation measure `C` of §4.3 for a 4-document combination: the
+/// variance of the pairwise join selectivities
+/// `js(dᵢ,dⱼ) = 100·|dᵢ⋈dⱼ| / max(|dᵢ|,|dⱼ|)`.
+pub fn correlation(catalog: &Catalog, docs: &[DocId]) -> f64 {
+    let hists: Vec<(HashMap<rox_xmldb::Symbol, u64>, u64)> =
+        docs.iter().map(|&d| author_histogram(catalog, d)).collect();
+    let mut js = Vec::new();
+    for i in 0..docs.len() {
+        for j in i + 1..docs.len() {
+            let (hi, ti) = &hists[i];
+            let (hj, tj) = &hists[j];
+            let (small, large) = if hi.len() <= hj.len() { (hi, hj) } else { (hj, hi) };
+            let joined: u64 = small
+                .iter()
+                .filter_map(|(sym, ca)| large.get(sym).map(|cb| ca * cb))
+                .sum();
+            let denom = (*ti.max(tj)).max(1);
+            js.push(joined as f64 * 100.0 / denom as f64);
+        }
+    }
+    let mean = js.iter().sum::<f64>() / js.len() as f64;
+    js.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / js.len() as f64
+}
+
+/// The area-distribution group ("2:2", "3:1" or "4:0") of a 4-venue
+/// combination, by primary area.
+pub fn group_of(combo: &[usize; 4]) -> &'static str {
+    let mut counts: HashMap<Area, usize> = HashMap::new();
+    for &i in combo {
+        *counts.entry(VENUES[i].primary).or_default() += 1;
+    }
+    let mut sizes: Vec<usize> = counts.values().copied().collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    match sizes.as_slice() {
+        [4] => "4:0",
+        [3, 1] => "3:1",
+        [2, 2] => "2:2",
+        _ => "other",
+    }
+}
+
+/// All 4-venue combinations falling into the paper's three groups.
+pub fn grouped_combinations() -> Vec<([usize; 4], &'static str)> {
+    let n = VENUES.len();
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            for c in b + 1..n {
+                for d in c + 1..n {
+                    let combo = [a, b, c, d];
+                    let g = group_of(&combo);
+                    if g != "other" {
+                        out.push((combo, g));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> (Arc<Catalog>, DblpCorpus) {
+        let cat = Arc::new(Catalog::new());
+        let corpus = generate_dblp(&cat, &DblpConfig::tiny());
+        (cat, corpus)
+    }
+
+    #[test]
+    fn generates_23_valid_documents() {
+        let (cat, corpus) = corpus();
+        assert_eq!(corpus.docs.len(), 23);
+        for &d in &corpus.docs {
+            cat.doc(d).check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn author_tag_counts_track_table3() {
+        let (_cat, corpus) = corpus();
+        let cfg = DblpConfig::tiny();
+        for (i, v) in VENUES.iter().enumerate() {
+            let target = (v.author_tags as f64 * cfg.size_factor).round().max(2.0);
+            let got = corpus.author_tags[i] as f64;
+            // Article granularity makes tiny venues overshoot; allow an
+            // absolute slack of one article's worth of authors.
+            assert!(
+                got >= target * 0.7 - 4.0 && got <= target * 1.6 + 4.0,
+                "{}: target {target}, got {got}",
+                v.name
+            );
+        }
+        // Relative order preserved: VLDB ≫ ADBIS.
+        assert!(corpus.author_tags[venue_index("VLDB")] > corpus.author_tags[venue_index("ADBIS")]);
+    }
+
+    #[test]
+    fn same_area_selectivity_exceeds_cross_area() {
+        let (cat, corpus) = corpus();
+        // DB venues: SIGMOD, ICDE, VLDB; IR venue: ICIP.
+        let sigmod = corpus.docs[venue_index("SIGMOD")];
+        let icde = corpus.docs[venue_index("ICDE")];
+        let icip = corpus.docs[venue_index("ICIP")];
+        let within = join_size(&cat, sigmod, icde);
+        let across = join_size(&cat, sigmod, icip);
+        assert!(
+            within > across * 3,
+            "within-area join ({within}) must dominate cross-area ({across})"
+        );
+    }
+
+    #[test]
+    fn scaling_multiplies_tags_not_selectivity() {
+        let cat1 = Arc::new(Catalog::new());
+        let c1 = generate_dblp(&cat1, &DblpConfig::tiny());
+        let cat10 = Arc::new(Catalog::new());
+        let c10 = generate_dblp(&cat10, &DblpConfig { scale: 10, ..DblpConfig::tiny() });
+        let vi = venue_index("ADBIS");
+        assert_eq!(c10.author_tags[vi], 10 * c1.author_tags[vi]);
+        // Replicas only join within their replica (suffixing), so join
+        // sizes scale linearly, not quadratically.
+        let e1 = venue_index("EDBT");
+        let j1 = join_size(&cat1, c1.docs[vi], c1.docs[e1]);
+        let j10 = join_size(&cat10, c10.docs[vi], c10.docs[e1]);
+        assert_eq!(j10, 10 * j1);
+    }
+
+    #[test]
+    fn groups_partition_combinations() {
+        let combos = grouped_combinations();
+        // Of the C(23,4) = 8855 raw combinations, only those with the
+        // 2:2, 3:1 or 4:0 primary-area distribution survive — spreads like
+        // 2:1:1 fall outside the paper's grouping and are dropped.
+        assert!(combos.len() < 8855);
+        let g22 = combos.iter().filter(|(_, g)| *g == "2:2").count();
+        let g31 = combos.iter().filter(|(_, g)| *g == "3:1").count();
+        let g40 = combos.iter().filter(|(_, g)| *g == "4:0").count();
+        assert!(g22 > 0 && g31 > 0 && g40 > 0);
+        assert_eq!(g22 + g31 + g40, combos.len());
+        // 4:0 needs 4 venues from one primary area. Primary counts:
+        // AI=4, BI=2, DM=5, IR=6, DB=6 → C(4,4)+C(5,4)+C(6,4)+C(6,4) = 36.
+        assert_eq!(g40, 36);
+    }
+
+    #[test]
+    fn group_of_examples() {
+        // VLDB, ICDE, ADBIS (DB) + ICIP (IR) = 3:1 — the Fig. 5 setup.
+        let combo = [
+            venue_index("VLDB"),
+            venue_index("ICDE"),
+            venue_index("ICIP"),
+            venue_index("ADBIS"),
+        ];
+        assert_eq!(group_of(&combo), "3:1");
+        let four_db = [
+            venue_index("VLDB"),
+            venue_index("ICDE"),
+            venue_index("SIGMOD"),
+            venue_index("EDBT"),
+        ];
+        assert_eq!(group_of(&four_db), "4:0");
+    }
+
+    #[test]
+    fn global_authors_make_cross_area_joins_nonempty() {
+        let (cat, corpus) = corpus();
+        // A 2:2 combination across DB and IR should still intersect.
+        let combo = [
+            venue_index("VLDB"),
+            venue_index("SIGMOD"),
+            venue_index("ICIP"),
+            venue_index("SIGIR"),
+        ];
+        assert_eq!(group_of(&combo), "2:2");
+        // Pairwise cross-area joins non-empty thanks to global authors.
+        let vldb = corpus.docs[combo[0]];
+        let icip = corpus.docs[combo[2]];
+        assert!(join_size(&cat, vldb, icip) > 0, "cross-area join must not be empty");
+    }
+
+    #[test]
+    fn correlation_is_higher_for_correlated_groups() {
+        let (cat, corpus) = corpus();
+        let db4: Vec<DocId> = ["VLDB", "ICDE", "SIGMOD", "EDBT"]
+            .iter()
+            .map(|n| corpus.docs[venue_index(n)])
+            .collect();
+        let mixed: Vec<DocId> = ["VLDB", "ICIP", "AAAI", "Bioinformatics"]
+            .iter()
+            .map(|n| corpus.docs[venue_index(n)])
+            .collect();
+        let c_db = correlation(&cat, &db4);
+        let c_mixed = correlation(&cat, &mixed);
+        assert!(c_db > c_mixed, "4:0 correlation {c_db} vs mixed {c_mixed}");
+    }
+
+    #[test]
+    fn query_template_compiles() {
+        let q = dblp_query(&[0, 1, 2, 3]);
+        let g = rox_joingraph::compile_query(&q).unwrap();
+        assert_eq!(g.vertex_count(), 12);
+    }
+}

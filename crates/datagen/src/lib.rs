@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # rox-datagen — synthetic workloads for the ROX experiments
+//!
+//! The paper evaluates on two datasets we cannot ship: the XMark auction
+//! benchmark document and the DBLP dump split per venue. This crate
+//! regenerates both *with the statistical properties the experiments
+//! depend on* (see DESIGN.md's substitution table):
+//!
+//! * [`xmark`] — an auction document whose bidder counts correlate with
+//!   the `current` price (§3.2's correlation);
+//! * [`dblp`] — the 23 venues of Table 3 with per-research-area author
+//!   pools (correlated within-area join selectivities), ×n replication,
+//!   the query template of §4.1, and the correlation measure `C` of §4.3.
+
+pub mod dblp;
+pub mod xmark;
+
+pub use dblp::{
+    correlation, dblp_query, generate_dblp, group_of, grouped_combinations, join_size,
+    venue_index, venue_uri, Area, DblpConfig, DblpCorpus, Venue, VENUES,
+};
+pub use xmark::{generate_xmark, xmark_query, XmarkConfig};

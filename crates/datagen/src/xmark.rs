@@ -1,0 +1,239 @@
+//! Synthetic XMark-like auction data (the workload of §3.2 / Fig. 3 /
+//! Table 2).
+//!
+//! The generator reproduces the schema fragment the example queries Q1/Qm1
+//! touch and — crucially — builds in the correlation the paper exploits:
+//! "the bigger the current price of an item, the higher the number of
+//! bidders participating in the bid". A compile-time optimizer can
+//! estimate `current < P` selectivities, but misses that the *number of
+//! bidder descendants per qualifying auction* depends on P.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rox_xmldb::{Catalog, DocId};
+use std::sync::Arc;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct XmarkConfig {
+    /// Number of `person` elements.
+    pub persons: usize,
+    /// Number of `item` elements.
+    pub items: usize,
+    /// Number of `open_auction` elements.
+    pub auctions: usize,
+    /// Fraction of persons with an `address/province` child.
+    pub province_fraction: f64,
+    /// Fraction of items with `quantity = 1` (others get 2..5).
+    pub quantity_one_fraction: f64,
+    /// Fraction of auctions with a `reserve` child.
+    pub reserve_fraction: f64,
+    /// Maximum `current` price (uniform in 0..max).
+    pub price_max: f64,
+    /// Price units per extra bidder — the correlation knob: an auction at
+    /// price p gets `1 + p / price_per_bidder` bidders (± noise).
+    pub price_per_bidder: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig {
+            persons: 500,
+            items: 400,
+            auctions: 400,
+            province_fraction: 0.4,
+            quantity_one_fraction: 0.4,
+            reserve_fraction: 0.5,
+            price_max: 300.0,
+            price_per_bidder: 30.0,
+            seed: 20090629, // SIGMOD'09 opening day
+        }
+    }
+}
+
+impl XmarkConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        XmarkConfig { persons: 40, items: 30, auctions: 30, ..Default::default() }
+    }
+}
+
+/// Generate an auction document and register it under `uri`.
+pub fn generate_xmark(catalog: &Arc<Catalog>, uri: &str, cfg: &XmarkConfig) -> DocId {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = catalog.builder(uri);
+    b.start_element("site");
+
+    // --- people ---
+    b.start_element("people");
+    for i in 0..cfg.persons {
+        b.start_element("person");
+        b.attribute("id", &format!("p{i}"));
+        b.leaf("name", &format!("Person {i}"));
+        if rng.random_bool(cfg.province_fraction) {
+            b.start_element("address");
+            b.leaf("province", &format!("Province {}", i % 12));
+            b.end_element();
+        }
+        b.end_element();
+    }
+    b.end_element();
+
+    // --- open_auctions ---
+    b.start_element("open_auctions");
+    for i in 0..cfg.auctions {
+        b.start_element("open_auction");
+        b.attribute("id", &format!("oa{i}"));
+        if rng.random_bool(cfg.reserve_fraction) {
+            b.leaf("reserve", &format!("{}", rng.random_range(1..100)));
+        }
+        let price = rng.random_range(0.0..cfg.price_max);
+        b.leaf("initial", &format!("{:.2}", price / 2.0));
+        b.leaf("current", &format!("{:.0}", price));
+        b.start_element("itemref");
+        b.attribute("item", &format!("item{}", rng.random_range(0..cfg.items)));
+        b.end_element();
+        // Correlated bidder count: more expensive auctions attract more
+        // bidders.
+        let base = 1 + (price / cfg.price_per_bidder) as usize;
+        let noise = rng.random_range(0..=1);
+        for _ in 0..base + noise {
+            b.start_element("bidder");
+            b.start_element("personref");
+            b.attribute("person", &format!("p{}", rng.random_range(0..cfg.persons)));
+            b.end_element();
+            b.leaf("increase", &format!("{}", rng.random_range(1..25)));
+            b.end_element();
+        }
+        b.end_element();
+    }
+    b.end_element();
+
+    // --- items ---
+    b.start_element("items");
+    for i in 0..cfg.items {
+        b.start_element("item");
+        b.attribute("id", &format!("item{i}"));
+        let q = if rng.random_bool(cfg.quantity_one_fraction) {
+            1
+        } else {
+            rng.random_range(2..=5)
+        };
+        b.leaf("quantity", &q.to_string());
+        b.leaf("name", &format!("Item {i}"));
+        b.end_element();
+    }
+    b.end_element();
+
+    b.end_element(); // site
+    catalog.insert(uri, Arc::new(b.finish(DocId(0))))
+}
+
+/// The paper's Q1 (current < threshold), Fig. 3 — parameterized so Qm1
+/// (current > threshold) is `xmark_query(CmpOp::Gt, 145.0)`.
+pub fn xmark_query(op: &str, threshold: f64) -> String {
+    format!(
+        r#"
+        let $d := doc("xmark.xml")
+        for $o in $d//open_auction[.//current/text() {op} {threshold}],
+            $p in $d//person[.//province],
+            $i in $d//item[./quantity = 1]
+        where $o//bidder//personref/@person = $p/@id and
+              $o//itemref/@item = $i/@id
+        return $o
+    "#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_document() {
+        let cat = Arc::new(Catalog::new());
+        let id = generate_xmark(&cat, "xmark.xml", &XmarkConfig::tiny());
+        let d = cat.doc(id);
+        d.check_invariants().unwrap();
+        assert!(d.node_count() > 100);
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cat = Arc::new(Catalog::new());
+        let cfg = XmarkConfig::tiny();
+        let id = generate_xmark(&cat, "xmark.xml", &cfg);
+        let d = cat.doc(id);
+        let idx = rox_index::ElementIndex::build(&d);
+        let count = |n: &str| d.interner().get(n).map_or(0, |s| idx.lookup(s).len());
+        assert_eq!(count("person"), cfg.persons);
+        assert_eq!(count("item"), cfg.items);
+        assert_eq!(count("open_auction"), cfg.auctions);
+        assert!(count("bidder") >= cfg.auctions); // at least one each
+    }
+
+    #[test]
+    fn bidder_count_correlates_with_price() {
+        let cat = Arc::new(Catalog::new());
+        let cfg = XmarkConfig { auctions: 300, ..XmarkConfig::default() };
+        let id = generate_xmark(&cat, "xmark.xml", &cfg);
+        let d = cat.doc(id);
+        let idx = rox_index::ElementIndex::build(&d);
+        let oa = d.interner().get("open_auction").unwrap();
+        let bidder = d.interner().get("bidder").unwrap();
+        let current = d.interner().get("current").unwrap();
+        let (mut cheap_bidders, mut cheap_n, mut exp_bidders, mut exp_n) = (0usize, 0usize, 0usize, 0usize);
+        for &a in idx.lookup(oa) {
+            let mut price = None;
+            let mut bidders = 0;
+            for p in a + 1..=d.post(a) {
+                if d.name(p) == current {
+                    price = d.string_value(p).trim().parse::<f64>().ok();
+                }
+                if d.name(p) == bidder && d.kind(p) == rox_xmldb::NodeKind::Element {
+                    bidders += 1;
+                }
+            }
+            let price = price.unwrap();
+            if price < 145.0 {
+                cheap_bidders += bidders;
+                cheap_n += 1;
+            } else {
+                exp_bidders += bidders;
+                exp_n += 1;
+            }
+        }
+        let cheap_avg = cheap_bidders as f64 / cheap_n as f64;
+        let exp_avg = exp_bidders as f64 / exp_n as f64;
+        assert!(
+            exp_avg > cheap_avg * 1.8,
+            "correlation too weak: cheap {cheap_avg:.2} vs expensive {exp_avg:.2}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let c1 = Arc::new(Catalog::new());
+        let c2 = Arc::new(Catalog::new());
+        let cfg = XmarkConfig::tiny();
+        let a = generate_xmark(&c1, "x.xml", &cfg);
+        let b = generate_xmark(&c2, "x.xml", &cfg);
+        assert_eq!(
+            rox_xmldb::serialize_document(&c1.doc(a)),
+            rox_xmldb::serialize_document(&c2.doc(b))
+        );
+    }
+
+    #[test]
+    fn query_parses_and_compiles() {
+        let q = xmark_query("<", 145.0);
+        let g = rox_joingraph_compile(&q);
+        assert!(g.vertex_count() >= 14);
+    }
+
+    fn rox_joingraph_compile(q: &str) -> rox_joingraph::JoinGraph {
+        rox_joingraph::compile_query(q).unwrap()
+    }
+}

@@ -1,0 +1,135 @@
+//! The element index: qualified name → sorted list of element pres.
+
+use rox_xmldb::{Document, NodeKind, Pre, Symbol};
+use std::collections::HashMap;
+
+/// Element index of one document.
+///
+/// Lists are built in a single preorder scan, so they are duplicate-free
+/// and sorted on `pre` — exactly the shape staircase joins expect, which is
+/// what lets ROX feed index lookups straight into structural joins.
+pub struct ElementIndex {
+    by_name: HashMap<Symbol, Vec<Pre>>,
+    attr_by_name: HashMap<Symbol, Vec<Pre>>,
+    /// All element pres in document order, regardless of name.
+    all_elements: Vec<Pre>,
+    /// All text node pres in document order.
+    all_text: Vec<Pre>,
+    /// All attribute node pres in document order.
+    all_attributes: Vec<Pre>,
+}
+
+impl ElementIndex {
+    /// Build the index by scanning the node table once.
+    pub fn build(doc: &Document) -> Self {
+        let mut by_name: HashMap<Symbol, Vec<Pre>> = HashMap::new();
+        let mut attr_by_name: HashMap<Symbol, Vec<Pre>> = HashMap::new();
+        let mut all_elements = Vec::new();
+        let mut all_text = Vec::new();
+        let mut all_attributes = Vec::new();
+        for pre in 0..doc.node_count() as Pre {
+            match doc.kind(pre) {
+                NodeKind::Element => {
+                    by_name.entry(doc.name(pre)).or_default().push(pre);
+                    all_elements.push(pre);
+                }
+                NodeKind::Text => all_text.push(pre),
+                NodeKind::Attribute => {
+                    attr_by_name.entry(doc.name(pre)).or_default().push(pre);
+                    all_attributes.push(pre);
+                }
+                _ => {}
+            }
+        }
+        ElementIndex {
+            by_name,
+            attr_by_name,
+            all_elements,
+            all_text,
+            all_attributes,
+        }
+    }
+
+    /// `D³ₑₗₜ(q)`: all elements named `q`, sorted on pre. The count is the
+    /// slice length — available without touching the nodes.
+    pub fn lookup(&self, qname: Symbol) -> &[Pre] {
+        self.by_name.get(&qname).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Count of elements named `q` (an O(1) index probe).
+    pub fn count(&self, qname: Symbol) -> usize {
+        self.lookup(qname).len()
+    }
+
+    /// All attributes named `q`, sorted on pre.
+    pub fn lookup_attr(&self, qname: Symbol) -> &[Pre] {
+        self.attr_by_name.get(&qname).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All elements in document order.
+    pub fn elements(&self) -> &[Pre] {
+        &self.all_elements
+    }
+
+    /// All text nodes in document order.
+    pub fn text_nodes(&self) -> &[Pre] {
+        &self.all_text
+    }
+
+    /// All attribute nodes in document order.
+    pub fn attributes(&self) -> &[Pre] {
+        &self.all_attributes
+    }
+
+    /// Distinct element names present in the document.
+    pub fn names(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.by_name.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rox_xmldb::parse_document;
+
+    #[test]
+    fn lookup_is_sorted_and_complete() {
+        let d = parse_document("t.xml", "<a><b/><c><b>x</b></c><b/></a>").unwrap();
+        let idx = ElementIndex::build(&d);
+        let b = d.interner().get("b").unwrap();
+        let pres = idx.lookup(b);
+        assert_eq!(pres.len(), 3);
+        assert!(pres.windows(2).all(|w| w[0] < w[1]));
+        for &p in pres {
+            assert_eq!(d.name_str(p), "b");
+        }
+        assert_eq!(idx.count(b), 3);
+    }
+
+    #[test]
+    fn missing_name_is_empty() {
+        let d = parse_document("t.xml", "<a/>").unwrap();
+        let idx = ElementIndex::build(&d);
+        let z = d.interner().intern("zebra");
+        assert!(idx.lookup(z).is_empty());
+        assert_eq!(idx.count(z), 0);
+    }
+
+    #[test]
+    fn kind_lists_partition_the_nodes() {
+        let d = parse_document("t.xml", r#"<a x="1"><b>t</b><!--c--></a>"#).unwrap();
+        let idx = ElementIndex::build(&d);
+        assert_eq!(idx.elements().len(), 2); // a, b
+        assert_eq!(idx.text_nodes().len(), 1);
+        assert_eq!(idx.attributes().len(), 1);
+    }
+
+    #[test]
+    fn names_enumerates_distinct_qnames() {
+        let d = parse_document("t.xml", "<a><b/><b/><c/></a>").unwrap();
+        let idx = ElementIndex::build(&d);
+        let mut names: Vec<String> = idx.names().map(|s| d.interner().resolve(s)).collect();
+        names.sort();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

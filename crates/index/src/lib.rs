@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # rox-index — element and value indices
+//!
+//! Reimplements the two XML indices the ROX paper relies on (§2.2):
+//!
+//! * the **element index** `D³ₑₗₜ(q)`: qualified name → all element pres,
+//!   duplicate-free and in document order, with the match *count* available
+//!   at zero extra cost (the property the paper exploits for cheap
+//!   cardinality seeds);
+//! * the **value index** over `(val, qelt, qattr, pre)` tuples answering
+//!   `D³ₜₑₓₜ(v)` (text nodes with value v) and `D³ₐₜₜᵣ(v, qelt, qattr)`
+//!   (owner elements of matching attributes), via hash lookup for string
+//!   equality — mirroring the released MonetDB version the authors used —
+//!   plus an ordered numeric projection for range predicates.
+//!
+//! [`sampling`] provides uniform index sampling (the paper cites
+//! partial-sum trees [26]; over our in-memory sorted pre lists a direct
+//! uniform draw of positions is exact and O(τ log τ)).
+
+pub mod element;
+pub mod sampling;
+pub mod store;
+pub mod value;
+
+pub use element::ElementIndex;
+pub use sampling::{sample_sorted, sample_values};
+pub use store::{DocIndexes, IndexedStore};
+pub use value::ValueIndex;

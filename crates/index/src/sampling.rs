@@ -1,0 +1,101 @@
+//! Uniform sampling from indices and materialized node lists.
+//!
+//! ROX draws its start samples "from indices … using techniques like
+//! partial sum trees" (§2.3). Our index leaves are in-memory sorted
+//! vectors, so an exact uniform draw of `τ` positions without replacement
+//! is both simpler and strictly cheaper; it has the same statistical
+//! properties the paper requires (every qualifying node equally likely).
+
+use rand::prelude::*;
+use rox_xmldb::Pre;
+
+/// Draw a uniform, without-replacement sample of `amount` items from a
+/// pre-sorted slice, returning the sample *sorted on pre* (operators expect
+/// pre-sorted inputs). When `amount >= items.len()` the whole slice is
+/// returned.
+pub fn sample_sorted<R: Rng + ?Sized>(rng: &mut R, items: &[Pre], amount: usize) -> Vec<Pre> {
+    if amount >= items.len() {
+        return items.to_vec();
+    }
+    let mut picked: Vec<Pre> = rand::seq::index::sample(rng, items.len(), amount)
+        .into_iter()
+        .map(|i| items[i])
+        .collect();
+    picked.sort_unstable();
+    picked
+}
+
+/// Uniform without-replacement sample of arbitrary clonable values,
+/// preserving the input's relative order (used to sample component tables
+/// whose rows are already in a canonical order).
+pub fn sample_values<R: Rng + ?Sized, T: Clone>(rng: &mut R, items: &[T], amount: usize) -> Vec<T> {
+    if amount >= items.len() {
+        return items.to_vec();
+    }
+    let mut idx: Vec<usize> = rand::seq::index::sample(rng, items.len(), amount).into_vec();
+    idx.sort_unstable();
+    idx.into_iter().map(|i| items[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn sample_is_subset_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let items: Vec<Pre> = (0..1000).map(|i| i * 2).collect();
+        let s = sample_sorted(&mut rng, &items, 50);
+        assert_eq!(s.len(), 50);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        for v in &s {
+            assert!(items.binary_search(v).is_ok());
+        }
+    }
+
+    #[test]
+    fn oversampling_returns_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let items: Vec<Pre> = vec![3, 5, 9];
+        assert_eq!(sample_sorted(&mut rng, &items, 10), items);
+        assert_eq!(sample_sorted(&mut rng, &items, 3), items);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let items: Vec<Pre> = (0..500).collect();
+        let a = sample_sorted(&mut StdRng::seed_from_u64(7), &items, 20);
+        let b = sample_sorted(&mut StdRng::seed_from_u64(7), &items, 20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coverage_is_roughly_uniform() {
+        // Draw many samples of 10 from 100 items; every item should appear.
+        let items: Vec<Pre> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = vec![0u32; 100];
+        for _ in 0..500 {
+            for v in sample_sorted(&mut rng, &items, 10) {
+                seen[v as usize] += 1;
+            }
+        }
+        // Expected hits per item = 50; allow a generous band.
+        assert!(seen.iter().all(|&c| c > 15 && c < 120), "{seen:?}");
+    }
+
+    #[test]
+    fn sample_values_preserves_order() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items: Vec<(u32, &str)> = (0..100).map(|i| (i, "x")).collect();
+        let s = sample_values(&mut rng, &items, 10);
+        assert!(s.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_sample() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(sample_sorted(&mut rng, &[], 5).is_empty());
+    }
+}

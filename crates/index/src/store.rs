@@ -1,0 +1,111 @@
+//! [`IndexedStore`]: a catalog whose documents carry their element and
+//! value indices — the complete "execution environment" of the paper
+//! (storage + structural/value indices) that ROX's run-time optimizer
+//! probes.
+
+use crate::element::ElementIndex;
+use crate::value::ValueIndex;
+use rox_xmldb::{Catalog, DocId, Document};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Both indices of one document.
+pub struct DocIndexes {
+    /// The element (qname) index.
+    pub element: ElementIndex,
+    /// The text/attribute value index.
+    pub value: ValueIndex,
+}
+
+impl DocIndexes {
+    /// Build both indices for `doc`.
+    pub fn build(doc: &Document) -> Self {
+        DocIndexes {
+            element: ElementIndex::build(doc),
+            value: ValueIndex::build(doc),
+        }
+    }
+}
+
+/// A document catalog plus lazily built per-document indices.
+pub struct IndexedStore {
+    catalog: Arc<Catalog>,
+    indexes: parking_lot_free::Mutex<HashMap<DocId, Arc<DocIndexes>>>,
+}
+
+/// Minimal std-based mutex alias so this crate does not need parking_lot.
+mod parking_lot_free {
+    pub use std::sync::Mutex;
+}
+
+impl IndexedStore {
+    /// Wrap an existing catalog.
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        IndexedStore {
+            catalog,
+            indexes: parking_lot_free::Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The document with id `id`.
+    pub fn doc(&self, id: DocId) -> Arc<Document> {
+        self.catalog.doc(id)
+    }
+
+    /// The indices of document `id`, building them on first access.
+    pub fn indexes(&self, id: DocId) -> Arc<DocIndexes> {
+        let mut map = self.indexes.lock().expect("index cache poisoned");
+        if let Some(idx) = map.get(&id) {
+            return Arc::clone(idx);
+        }
+        let idx = Arc::new(DocIndexes::build(&self.catalog.doc(id)));
+        map.insert(id, Arc::clone(&idx));
+        idx
+    }
+
+    /// Drop cached indices (used after re-loading a document in tests).
+    pub fn invalidate(&self, id: DocId) {
+        self.indexes.lock().expect("index cache poisoned").remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_are_cached() {
+        let cat = Arc::new(Catalog::new());
+        let id = cat.load_str("a.xml", "<a><b/><b/></a>").unwrap();
+        let store = IndexedStore::new(cat);
+        let i1 = store.indexes(id);
+        let i2 = store.indexes(id);
+        assert!(Arc::ptr_eq(&i1, &i2));
+    }
+
+    #[test]
+    fn element_counts_via_store() {
+        let cat = Arc::new(Catalog::new());
+        let id = cat.load_str("a.xml", "<a><b/><c/><b/></a>").unwrap();
+        let store = IndexedStore::new(Arc::clone(&cat));
+        let b = cat.interner().get("b").unwrap();
+        assert_eq!(store.indexes(id).element.count(b), 2);
+    }
+
+    #[test]
+    fn invalidate_rebuilds() {
+        let cat = Arc::new(Catalog::new());
+        let id = cat.load_str("a.xml", "<a><b/></a>").unwrap();
+        let store = IndexedStore::new(Arc::clone(&cat));
+        let b = cat.interner().get("b").unwrap();
+        assert_eq!(store.indexes(id).element.count(b), 1);
+        cat.load_str("a.xml", "<a><b/><b/></a>").unwrap();
+        store.invalidate(id);
+        assert_eq!(store.indexes(id).element.count(b), 2);
+    }
+}

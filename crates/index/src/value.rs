@@ -1,0 +1,246 @@
+//! The value index: equality and numeric-range access to text and
+//! attribute node values.
+
+use rox_xmldb::value::parse_number;
+use rox_xmldb::{CmpOp, Constant, Document, NodeKind, Pre, Symbol, ValuePredicate};
+use std::collections::HashMap;
+
+/// Value index of one document, conceptually an ordered store of
+/// `(val, qelt, qattr, pre)` tuples (§2.2 of the paper).
+///
+/// String equality is answered by hash lookup (the shared interner already
+/// hash-consed the values, so the key is a [`Symbol`]); numeric range
+/// predicates are answered over per-kind projections sorted by numeric
+/// value.
+pub struct ValueIndex {
+    /// text value symbol → text node pres (document order).
+    text_by_value: HashMap<Symbol, Vec<Pre>>,
+    /// attribute value symbol → attribute node pres (document order).
+    attr_by_value: HashMap<Symbol, Vec<Pre>>,
+    /// Text nodes whose value casts to a double, sorted by (value, pre).
+    numeric_text: Vec<(f64, Pre)>,
+    /// Attribute nodes whose value casts to a double, sorted by (value, pre).
+    numeric_attr: Vec<(f64, Pre)>,
+}
+
+impl ValueIndex {
+    /// Build the index with a single scan of the node table.
+    pub fn build(doc: &Document) -> Self {
+        let mut text_by_value: HashMap<Symbol, Vec<Pre>> = HashMap::new();
+        let mut attr_by_value: HashMap<Symbol, Vec<Pre>> = HashMap::new();
+        let mut numeric_text = Vec::new();
+        let mut numeric_attr = Vec::new();
+        for pre in 0..doc.node_count() as Pre {
+            match doc.kind(pre) {
+                NodeKind::Text => {
+                    let v = doc.value(pre);
+                    text_by_value.entry(v).or_default().push(pre);
+                    if let Some(n) = parse_number(&doc.value_str(pre)) {
+                        numeric_text.push((n, pre));
+                    }
+                }
+                NodeKind::Attribute => {
+                    let v = doc.value(pre);
+                    attr_by_value.entry(v).or_default().push(pre);
+                    if let Some(n) = parse_number(&doc.value_str(pre)) {
+                        numeric_attr.push((n, pre));
+                    }
+                }
+                _ => {}
+            }
+        }
+        numeric_text.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        numeric_attr.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        ValueIndex {
+            text_by_value,
+            attr_by_value,
+            numeric_text,
+            numeric_attr,
+        }
+    }
+
+    /// `D³ₜₑₓₜ(v)`: text nodes with exactly value `v` (interned symbol),
+    /// sorted on pre.
+    pub fn text_eq(&self, value: Symbol) -> &[Pre] {
+        self.text_by_value.get(&value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Attribute nodes with exactly value `v`, sorted on pre.
+    pub fn attr_eq(&self, value: Symbol) -> &[Pre] {
+        self.attr_by_value.get(&value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `D³ₐₜₜᵣ(v, qelt, qattr)`: the *owner elements* (paper semantics) of
+    /// attributes named `qattr` with value `v` whose element is named
+    /// `qelt`. Passing `None` skips the respective name restriction.
+    pub fn attr_owners(
+        &self,
+        doc: &Document,
+        value: Symbol,
+        qelt: Option<Symbol>,
+        qattr: Option<Symbol>,
+    ) -> Vec<Pre> {
+        let mut out: Vec<Pre> = self
+            .attr_eq(value)
+            .iter()
+            .copied()
+            .filter(|&a| qattr.is_none_or(|q| doc.name(a) == q))
+            .map(|a| doc.parent(a))
+            .filter(|&e| qelt.is_none_or(|q| doc.name(e) == q))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Evaluate a selection predicate over text nodes using the cheapest
+    /// index path: hash for string equality, sorted-range scan for numeric
+    /// comparisons, full scan fallback for the rest. Result sorted on pre.
+    pub fn select_text(&self, doc: &Document, pred: &ValuePredicate) -> Vec<Pre> {
+        self.select(doc, pred, NodeKind::Text)
+    }
+
+    /// As [`Self::select_text`] but over attribute nodes.
+    pub fn select_attr(&self, doc: &Document, pred: &ValuePredicate) -> Vec<Pre> {
+        self.select(doc, pred, NodeKind::Attribute)
+    }
+
+    fn select(&self, doc: &Document, pred: &ValuePredicate, kind: NodeKind) -> Vec<Pre> {
+        let (by_value, numeric) = match kind {
+            NodeKind::Text => (&self.text_by_value, &self.numeric_text),
+            NodeKind::Attribute => (&self.attr_by_value, &self.numeric_attr),
+            _ => unreachable!("value index only covers text and attribute nodes"),
+        };
+        match (&pred.op, &pred.rhs) {
+            (CmpOp::Eq, Constant::Str(s)) => {
+                // Hash path: resolve the literal to a symbol; if it was
+                // never interned the document cannot contain it.
+                match doc.interner().get(s) {
+                    Some(sym) => by_value.get(&sym).cloned().unwrap_or_default(),
+                    None => Vec::new(),
+                }
+            }
+            (op, Constant::Num(n)) => {
+                let mut out: Vec<Pre> = match op {
+                    CmpOp::Eq => range(numeric, *n, *n, true, true),
+                    CmpOp::Lt => range(numeric, f64::NEG_INFINITY, *n, true, false),
+                    CmpOp::Le => range(numeric, f64::NEG_INFINITY, *n, true, true),
+                    CmpOp::Gt => range(numeric, *n, f64::INFINITY, false, true),
+                    CmpOp::Ge => range(numeric, *n, f64::INFINITY, true, true),
+                    CmpOp::Ne => numeric
+                        .iter()
+                        .filter(|(v, _)| *v != *n)
+                        .map(|&(_, p)| p)
+                        .collect(),
+                };
+                out.sort_unstable();
+                out
+            }
+            (_, Constant::Str(_)) => {
+                // Non-equality string comparison: scan (not index-selectable;
+                // ROX never seeds from these, matching the paper).
+                let mut out: Vec<Pre> = by_value
+                    .iter()
+                    .filter(|(sym, _)| pred.matches(&doc.interner().resolve(**sym)))
+                    .flat_map(|(_, pres)| pres.iter().copied())
+                    .collect();
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    /// Number of distinct text values.
+    pub fn distinct_text_values(&self) -> usize {
+        self.text_by_value.len()
+    }
+}
+
+/// Collect pres whose numeric value lies in the given interval.
+fn range(sorted: &[(f64, Pre)], lo: f64, hi: f64, lo_incl: bool, hi_incl: bool) -> Vec<Pre> {
+    let start = sorted.partition_point(|(v, _)| if lo_incl { *v < lo } else { *v <= lo });
+    let end = sorted.partition_point(|(v, _)| if hi_incl { *v <= hi } else { *v < hi });
+    sorted[start..end].iter().map(|&(_, p)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rox_xmldb::parse_document;
+
+    fn doc() -> std::sync::Arc<Document> {
+        parse_document(
+            "v.xml",
+            r#"<r><p id="7">x</p><q id="9">x</q><n>12</n><n>145</n><n>150</n><n>abc</n></r>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn text_equality_uses_hash_path() {
+        let d = doc();
+        let idx = ValueIndex::build(&d);
+        let hits = idx.select_text(&d, &ValuePredicate::eq_str("x"));
+        assert_eq!(hits.len(), 2);
+        for &p in &hits {
+            assert_eq!(d.value_str(p), "x");
+        }
+        assert!(idx.select_text(&d, &ValuePredicate::eq_str("zzz")).is_empty());
+    }
+
+    #[test]
+    fn numeric_ranges_on_text() {
+        let d = doc();
+        let idx = ValueIndex::build(&d);
+        let lt = idx.select_text(&d, &ValuePredicate::num(CmpOp::Lt, 145.0));
+        assert_eq!(lt.len(), 1);
+        assert_eq!(d.value_str(lt[0]), "12");
+        let ge = idx.select_text(&d, &ValuePredicate::num(CmpOp::Ge, 145.0));
+        assert_eq!(ge.len(), 2);
+        let ne = idx.select_text(&d, &ValuePredicate::num(CmpOp::Ne, 145.0));
+        assert_eq!(ne.len(), 2); // 12 and 150; "abc"/"x" don't cast
+    }
+
+    #[test]
+    fn attr_lookup_and_owners() {
+        let d = doc();
+        let idx = ValueIndex::build(&d);
+        let seven = d.interner().get("7").unwrap();
+        assert_eq!(idx.attr_eq(seven).len(), 1);
+        let p_name = d.interner().get("p").unwrap();
+        let id_name = d.interner().get("id").unwrap();
+        let owners = idx.attr_owners(&d, seven, Some(p_name), Some(id_name));
+        assert_eq!(owners.len(), 1);
+        assert_eq!(d.name_str(owners[0]), "p");
+        // Wrong element name restriction filters it out.
+        let q_name = d.interner().get("q").unwrap();
+        assert!(idx.attr_owners(&d, seven, Some(q_name), Some(id_name)).is_empty());
+    }
+
+    #[test]
+    fn numeric_attr_select() {
+        let d = doc();
+        let idx = ValueIndex::build(&d);
+        let hits = idx.select_attr(&d, &ValuePredicate::num(CmpOp::Gt, 7.0));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(d.value_str(hits[0]), "9");
+    }
+
+    #[test]
+    fn results_are_sorted_on_pre() {
+        let d = doc();
+        let idx = ValueIndex::build(&d);
+        let all = idx.select_text(&d, &ValuePredicate::num(CmpOp::Ge, 0.0));
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn string_inequality_falls_back_to_scan() {
+        let d = doc();
+        let idx = ValueIndex::build(&d);
+        let p = ValuePredicate { op: CmpOp::Ne, rhs: Constant::Str("x".into()) };
+        let hits = idx.select_text(&d, &p);
+        // 12, 145, 150, abc
+        assert_eq!(hits.len(), 4);
+    }
+}

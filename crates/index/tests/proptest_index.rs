@@ -1,0 +1,90 @@
+//! Property tests for the indices: index-backed selection must agree with
+//! a full scan, and element lookups must partition the element set.
+
+use proptest::prelude::*;
+use rox_index::{ElementIndex, ValueIndex};
+use rox_xmldb::{parse_document, CmpOp, NodeKind, Pre, ValuePredicate};
+
+fn doc_strategy() -> impl Strategy<Value = String> {
+    let tag = prop::sample::select(vec!["a", "b", "c"]);
+    let val = prop::sample::select(vec!["1", "2", "10", "x", "2.5", ""]);
+    prop::collection::vec((tag, val, any::<bool>()), 0..40).prop_map(|items| {
+        let mut s = String::from("<root>");
+        for (t, v, attr) in items {
+            if attr {
+                s.push_str(&format!("<{t} k=\"{v}\"/>"));
+            } else if v.is_empty() {
+                s.push_str(&format!("<{t}/>"));
+            } else {
+                s.push_str(&format!("<{t}>{v}</{t}>"));
+            }
+        }
+        s.push_str("</root>");
+        s
+    })
+}
+
+fn pred_strategy() -> impl Strategy<Value = ValuePredicate> {
+    let op = prop::sample::select(vec![CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]);
+    prop_oneof![
+        (op.clone(), prop::sample::select(vec![1.0f64, 2.0, 2.5, 10.0]))
+            .prop_map(|(op, n)| ValuePredicate::num(op, n)),
+        prop::sample::select(vec!["1", "x", "zz"])
+            .prop_map(ValuePredicate::eq_str),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn select_text_matches_scan(xml in doc_strategy(), pred in pred_strategy()) {
+        let d = parse_document("p.xml", &xml).unwrap();
+        let idx = ValueIndex::build(&d);
+        let got = idx.select_text(&d, &pred);
+        let expected: Vec<Pre> = (0..d.node_count() as Pre)
+            .filter(|&p| d.kind(p) == NodeKind::Text && pred.matches(&d.value_str(p)))
+            .collect();
+        prop_assert_eq!(got, expected, "pred {}", pred);
+    }
+
+    #[test]
+    fn select_attr_matches_scan(xml in doc_strategy(), pred in pred_strategy()) {
+        let d = parse_document("p.xml", &xml).unwrap();
+        let idx = ValueIndex::build(&d);
+        let got = idx.select_attr(&d, &pred);
+        let expected: Vec<Pre> = (0..d.node_count() as Pre)
+            .filter(|&p| d.kind(p) == NodeKind::Attribute && pred.matches(&d.value_str(p)))
+            .collect();
+        prop_assert_eq!(got, expected, "pred {}", pred);
+    }
+
+    #[test]
+    fn element_lookups_partition_elements(xml in doc_strategy()) {
+        let d = parse_document("p.xml", &xml).unwrap();
+        let idx = ElementIndex::build(&d);
+        let mut union: Vec<Pre> = idx
+            .names()
+            .flat_map(|n| idx.lookup(n).to_vec())
+            .collect();
+        union.sort_unstable();
+        prop_assert_eq!(&union[..], idx.elements(), "lookups must cover all elements exactly once");
+    }
+
+    #[test]
+    fn attr_owner_lookup_is_sound(xml in doc_strategy()) {
+        let d = parse_document("p.xml", &xml).unwrap();
+        let idx = ValueIndex::build(&d);
+        if let Some(k) = d.interner().get("k") {
+            if let Some(one) = d.interner().get("1") {
+                for owner in idx.attr_owners(&d, one, None, Some(k)) {
+                    // Every reported owner really has a k="1" attribute.
+                    let has = d.attributes(owner).any(|a| {
+                        d.name(a) == k && d.value_str(a) == "1"
+                    });
+                    prop_assert!(has);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Abstract syntax for the supported XQuery subset: FLWOR expressions
+//! whose `for` clauses bind path expressions over documents, with
+//! existence/value predicates and conjunctive `where` conditions — the
+//! fragment every query in the ROX paper uses.
+
+use rox_xmldb::{CmpOp, Constant};
+use std::fmt;
+
+/// A complete query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `let $v := doc("uri")` bindings.
+    pub lets: Vec<LetBinding>,
+    /// `for $v in <source><path>` bindings, in clause order.
+    pub fors: Vec<ForBinding>,
+    /// Conjunctive `where` conditions.
+    pub conditions: Vec<Condition>,
+    /// The returned variable.
+    pub return_var: String,
+}
+
+/// `let $var := doc("uri")`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LetBinding {
+    /// Variable name without `$`.
+    pub var: String,
+    /// Document URI.
+    pub doc_uri: String,
+}
+
+/// `for $var in <source><steps>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForBinding {
+    /// Variable name without `$`.
+    pub var: String,
+    /// Where the path starts.
+    pub source: Source,
+    /// The steps of the path.
+    pub steps: Vec<Step>,
+}
+
+/// The start of a path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Source {
+    /// `doc("uri")`.
+    Doc(String),
+    /// A previously bound variable (`let` or `for`).
+    Var(String),
+}
+
+/// One XPath step with its predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// `/` (child) or `//` (descendant).
+    pub axis: StepAxis,
+    /// The node test.
+    pub test: StepTest,
+    /// Zero or more bracketed predicates.
+    pub predicates: Vec<Predicate>,
+}
+
+/// Surface-syntax axes (the abbreviated forms the workloads use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepAxis {
+    /// `/`
+    Child,
+    /// `//`
+    Descendant,
+}
+
+/// Surface-syntax node tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepTest {
+    /// `name`
+    Element(String),
+    /// `@name`
+    Attribute(String),
+    /// `text()`
+    Text,
+}
+
+/// A bracketed predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `[./path]` — existence of at least one match.
+    Exists(Vec<Step>),
+    /// `[./path <op> literal]` — a value comparison on the path result.
+    Compare(Vec<Step>, CmpOp, Constant),
+}
+
+/// A `where` condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `$a/p1 = $b/p2` — a value join between two paths.
+    Join(VarPath, CmpOp, VarPath),
+    /// `$a/p <op> literal` — a selection.
+    Select(VarPath, CmpOp, Constant),
+}
+
+/// A path rooted at a variable (`$a/@person`, `$a1/text()`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarPath {
+    /// The variable without `$`.
+    pub var: String,
+    /// Relative steps (may be empty).
+    pub steps: Vec<Step>,
+}
+
+impl fmt::Display for StepTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepTest::Element(n) => f.write_str(n),
+            StepTest::Attribute(n) => write!(f, "@{n}"),
+            StepTest::Text => f.write_str("text()"),
+        }
+    }
+}
+
+impl fmt::Display for StepAxis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepAxis::Child => f.write_str("/"),
+            StepAxis::Descendant => f.write_str("//"),
+        }
+    }
+}
+
+impl Query {
+    /// The documents the query touches, in first-reference order.
+    pub fn doc_uris(&self) -> Vec<&str> {
+        let mut uris: Vec<&str> = Vec::new();
+        for l in &self.lets {
+            if !uris.contains(&l.doc_uri.as_str()) {
+                uris.push(&l.doc_uri);
+            }
+        }
+        for f in &self.fors {
+            if let Source::Doc(u) = &f.source {
+                if !uris.contains(&u.as_str()) {
+                    uris.push(u);
+                }
+            }
+        }
+        uris
+    }
+}

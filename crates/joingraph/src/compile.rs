@@ -1,0 +1,457 @@
+//! Join Graph isolation: compiling the FLWOR AST into a [`JoinGraph`].
+//!
+//! This is our stand-in for the Pathfinder rewrite pipeline of [17, 18]:
+//! the paper's static compilation phase, which clusters all step/join/
+//! selection operators into a Join Graph and pushes numbering, distinct and
+//! sort operators into a tail. Our subset compiler produces the same graph
+//! shape directly from the AST (see Figs. 1, 3 and 4 of the paper for the
+//! target shapes, reproduced in the unit tests below).
+
+use crate::ast::*;
+use crate::graph::{EdgeKind, JoinGraph, VertexId, VertexLabel};
+use rox_ops::Axis;
+use rox_xmldb::{CmpOp, Constant, ValuePredicate};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A query → Join Graph compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError { message: message.into() })
+}
+
+/// Compile a parsed query into its Join Graph (with equi-join closure
+/// applied and the tail filled in).
+pub fn compile(query: &Query) -> Result<JoinGraph, CompileError> {
+    let mut c = Compiler {
+        graph: JoinGraph::new(),
+        roots: HashMap::new(),
+        let_docs: HashMap::new(),
+        var_doc: HashMap::new(),
+    };
+    c.run(query)?;
+    Ok(c.graph)
+}
+
+struct Compiler {
+    graph: JoinGraph,
+    /// doc URI → root vertex.
+    roots: HashMap<String, VertexId>,
+    /// let var → doc URI.
+    let_docs: HashMap<String, String>,
+    /// for var → doc URI (for resolving where-clause paths).
+    var_doc: HashMap<String, String>,
+}
+
+impl Compiler {
+    fn run(&mut self, query: &Query) -> Result<(), CompileError> {
+        for l in &query.lets {
+            self.let_docs.insert(l.var.clone(), l.doc_uri.clone());
+        }
+        for f in &query.fors {
+            let (start, uri) = match &f.source {
+                Source::Doc(uri) => (self.root_vertex(uri), uri.clone()),
+                Source::Var(v) => {
+                    if let Some(uri) = self.let_docs.get(v).cloned() {
+                        (self.root_vertex(&uri), uri)
+                    } else if let Some(&vx) = self.graph.var_vertices.get(v) {
+                        let uri = self.var_doc.get(v).cloned().ok_or(CompileError {
+                            message: format!("variable ${v} has no document"),
+                        })?;
+                        (vx, uri)
+                    } else {
+                        return err(format!("unbound variable ${v}"));
+                    }
+                }
+            };
+            // Separate `for` bindings are distinct node sequences even over
+            // identical paths; only where-clause path mentions share
+            // vertices (Fig. 4).
+            let end = self.compile_steps(start, &uri, &f.steps, false)?;
+            self.graph.var_vertices.insert(f.var.clone(), end);
+            self.var_doc.insert(f.var.clone(), uri);
+        }
+        for cond in &query.conditions {
+            match cond {
+                Condition::Join(a, op, b) => {
+                    if *op != CmpOp::Eq {
+                        return err("only equi-joins are supported between paths");
+                    }
+                    let va = self.resolve_var_path(a)?;
+                    let vb = self.resolve_var_path(b)?;
+                    self.check_value_vertex(va)?;
+                    self.check_value_vertex(vb)?;
+                    self.graph.add_edge(va, vb, EdgeKind::EquiJoin { inferred: false });
+                }
+                Condition::Select(a, op, rhs) => {
+                    let v = self.resolve_var_path(a)?;
+                    self.attach_predicate(v, *op, rhs.clone())?;
+                }
+            }
+        }
+        // Join-equivalence closure (the dotted edges of Fig. 4).
+        self.graph.close_equijoins();
+        // Tail: distinct + document-order sort over the for variables, then
+        // project the return variable (Fig. 1).
+        let mut for_vertices = Vec::new();
+        for f in &query.fors {
+            for_vertices.push(self.graph.var_vertices[&f.var]);
+        }
+        self.graph.tail = crate::graph::TailSpec {
+            dedup: for_vertices.clone(),
+            sort: for_vertices,
+            output: self.graph.var_vertices[&query.return_var],
+        };
+        Ok(())
+    }
+
+    fn root_vertex(&mut self, uri: &str) -> VertexId {
+        if let Some(&v) = self.roots.get(uri) {
+            return v;
+        }
+        let v = self.graph.add_vertex(uri, VertexLabel::Root);
+        self.roots.insert(uri.to_string(), v);
+        v
+    }
+
+    /// Compile a step chain from `from`, returning the final vertex.
+    fn compile_steps(
+        &mut self,
+        from: VertexId,
+        uri: &str,
+        steps: &[Step],
+        share: bool,
+    ) -> Result<VertexId, CompileError> {
+        let mut cur = from;
+        for step in steps {
+            cur = self.compile_step(cur, uri, step, share)?;
+        }
+        Ok(cur)
+    }
+
+    fn compile_step(
+        &mut self,
+        from: VertexId,
+        uri: &str,
+        step: &Step,
+        share: bool,
+    ) -> Result<VertexId, CompileError> {
+        let (label, axis) = Self::step_label(step)?;
+        // Pathfinder shares identical steps across *where-clause path
+        // mentions*: a second `$a/text()` resolves to the vertex the first
+        // mention created (Fig. 4 has one text() vertex per author). Only
+        // predicate-free steps are shared.
+        if share && step.predicates.is_empty() {
+            for &eid in self.graph.edges_of(from) {
+                let e = self.graph.edge(eid);
+                if e.v1 == from && e.kind == EdgeKind::Step(axis) {
+                    let target = self.graph.vertex(e.v2);
+                    if target.label == label && target.doc_uri == uri {
+                        return Ok(e.v2);
+                    }
+                }
+            }
+        }
+        let v = self.graph.add_vertex(uri, label);
+        self.graph.add_edge(from, v, EdgeKind::Step(axis));
+        for pred in &step.predicates {
+            match pred {
+                Predicate::Exists(steps) => {
+                    self.compile_steps(v, uri, steps, false)?;
+                }
+                Predicate::Compare(steps, op, rhs) => {
+                    let end = self.compile_steps(v, uri, steps, false)?;
+                    self.attach_predicate(end, *op, rhs.clone())?;
+                }
+            }
+        }
+        Ok(v)
+    }
+
+    fn step_label(step: &Step) -> Result<(VertexLabel, Axis), CompileError> {
+        let pair = match (&step.test, step.axis) {
+            (StepTest::Element(n), StepAxis::Child) => {
+                (VertexLabel::Element(n.clone()), Axis::Child)
+            }
+            (StepTest::Element(n), StepAxis::Descendant) => {
+                (VertexLabel::Element(n.clone()), Axis::Descendant)
+            }
+            (StepTest::Attribute(n), StepAxis::Child) => {
+                (VertexLabel::Attribute(n.clone(), None), Axis::Attribute)
+            }
+            (StepTest::Attribute(_), StepAxis::Descendant) => {
+                return err("descendant attribute steps (//@x) are not supported")
+            }
+            (StepTest::Text, StepAxis::Child) => (VertexLabel::Text(None), Axis::Child),
+            (StepTest::Text, StepAxis::Descendant) => {
+                (VertexLabel::Text(None), Axis::Descendant)
+            }
+        };
+        Ok(pair)
+    }
+
+    /// Attach `<op> rhs` to vertex `v`. For element vertices an implicit
+    /// `text()` child vertex carries the predicate (Fig. 3's
+    /// `quantity —/— text() = 1` pattern).
+    fn attach_predicate(
+        &mut self,
+        v: VertexId,
+        op: CmpOp,
+        rhs: Constant,
+    ) -> Result<(), CompileError> {
+        let pred = ValuePredicate { op, rhs };
+        let uri = self.graph.vertex(v).doc_uri.clone();
+        match self.graph.vertex(v).label.clone() {
+            VertexLabel::Text(existing) => {
+                if existing.is_some() {
+                    // Two predicates on one path: hang a sibling text vertex
+                    // off the same parent — both must hold.
+                    return err("multiple predicates on one text vertex are not supported");
+                }
+                self.set_label(v, VertexLabel::Text(Some(pred)));
+            }
+            VertexLabel::Attribute(name, existing) => {
+                if existing.is_some() {
+                    return err("multiple predicates on one attribute vertex are not supported");
+                }
+                self.set_label(v, VertexLabel::Attribute(name, Some(pred)));
+            }
+            VertexLabel::Element(_) => {
+                let t = self.graph.add_vertex(uri, VertexLabel::Text(Some(pred)));
+                self.graph.add_edge(v, t, EdgeKind::Step(Axis::Child));
+            }
+            VertexLabel::Root => return err("cannot apply a value predicate to a document root"),
+        }
+        Ok(())
+    }
+
+    fn set_label(&mut self, v: VertexId, label: VertexLabel) {
+        // JoinGraph exposes vertices immutably; rebuild through a small
+        // internal helper instead of exposing mutation broadly.
+        self.graph.set_vertex_label(v, label);
+    }
+
+    /// Resolve `$var/steps` to the vertex the path ends at, creating
+    /// vertices/edges for the relative steps.
+    fn resolve_var_path(&mut self, path: &VarPath) -> Result<VertexId, CompileError> {
+        let &start = self
+            .graph
+            .var_vertices
+            .get(&path.var)
+            .ok_or(CompileError { message: format!("unbound variable ${}", path.var) })?;
+        let uri = self
+            .var_doc
+            .get(&path.var)
+            .cloned()
+            .ok_or(CompileError { message: format!("variable ${} has no document", path.var) })?;
+        self.compile_steps(start, &uri, &path.steps, true)
+    }
+
+    /// Equi-join endpoints must carry values: text or attribute vertices.
+    fn check_value_vertex(&self, v: VertexId) -> Result<(), CompileError> {
+        match self.graph.vertex(v).label {
+            VertexLabel::Text(_) | VertexLabel::Attribute(..) => Ok(()),
+            _ => err("equi-join endpoints must be text() or attribute paths"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn graph_of(src: &str) -> JoinGraph {
+        compile(&parse_query(src).unwrap()).unwrap()
+    }
+
+    const Q_FIG1: &str = r#"
+        let $r := doc("auction.xml")
+        for $a in $r//open_auction[./reserve]/bidder//personref,
+            $b in $r//person[.//education]
+        where $a/@person = $b/@id
+        return $a
+    "#;
+
+    #[test]
+    fn fig1_graph_shape() {
+        let g = graph_of(Q_FIG1);
+        // Vertices: root, open_auction, reserve, bidder, personref,
+        // @person, person, education, @id = 9 (Fig. 1).
+        assert_eq!(g.vertex_count(), 9);
+        // Edges: root//open_auction, open_auction/reserve,
+        // open_auction/bidder, bidder//personref, personref/@person,
+        // root//person, person//education, person/@id, @person=@id = 9.
+        assert_eq!(g.edge_count(), 9);
+        // One shared root vertex for the single document.
+        let roots: Vec<_> = g
+            .vertices()
+            .iter()
+            .filter(|v| matches!(v.label, VertexLabel::Root))
+            .collect();
+        assert_eq!(roots.len(), 1);
+        // Exactly the two descendant-from-root edges are redundant.
+        assert_eq!(g.edges().iter().filter(|e| e.redundant).count(), 2);
+        // Tail: dedup/sort on (personref, person), output personref.
+        let a = g.var_vertices["a"];
+        let b = g.var_vertices["b"];
+        assert_eq!(g.tail.dedup, vec![a, b]);
+        assert_eq!(g.tail.output, a);
+        assert!(matches!(g.vertex(a).label, VertexLabel::Element(ref n) if n == "personref"));
+    }
+
+    #[test]
+    fn xmark_q1_graph_matches_fig3() {
+        let g = graph_of(
+            r#"
+            let $d := doc("xmark.xml")
+            for $o in $d//open_auction[.//current/text() < 145],
+                $p in $d//person[.//province],
+                $i in $d//item[./quantity = 1]
+            where $o//bidder//personref/@person = $p/@id and
+                  $o//itemref/@item = $i/@id
+            return $o
+        "#,
+        );
+        // Fig. 3.1: root, open_auction, current, text()<145, person,
+        // province, @id(person), item, quantity, text()=1, @id(item),
+        // bidder, personref, @person, itemref, @item = 16 vertices.
+        assert_eq!(g.vertex_count(), 16);
+        // The quantity = 1 predicate became a text() = 1 child vertex.
+        assert!(g.vertices().iter().any(|v| matches!(
+            &v.label,
+            VertexLabel::Text(Some(p)) if p.to_string() == "= 1"
+        )));
+        // The current < 145 predicate sits on a text vertex.
+        assert!(g.vertices().iter().any(|v| matches!(
+            &v.label,
+            VertexLabel::Text(Some(p)) if p.to_string() == "< 145"
+        )));
+        // Two explicit equi-joins, no closure possible (disjoint pairs).
+        let equis = g
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.kind, EdgeKind::EquiJoin { .. }))
+            .count();
+        assert_eq!(equis, 2);
+    }
+
+    #[test]
+    fn dblp_template_gets_closure_edges() {
+        let g = graph_of(
+            r#"
+            for $a1 in doc("DOC1.xml")//author,
+                $a2 in doc("DOC2.xml")//author,
+                $a3 in doc("DOC3.xml")//author,
+                $a4 in doc("DOC4.xml")//author
+            where $a1/text() = $a2/text() and
+                  $a1/text() = $a3/text() and
+                  $a1/text() = $a4/text()
+            return $a1
+        "#,
+        );
+        // Fig. 4: 4 roots + 4 author + 4 text = 12 vertices; edges: 4
+        // root//author + 4 author/text + 3 explicit = + 3 inferred = 14.
+        assert_eq!(g.vertex_count(), 12);
+        assert_eq!(g.edge_count(), 14);
+        let inferred = g
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.kind, EdgeKind::EquiJoin { inferred: true }))
+            .count();
+        assert_eq!(inferred, 3);
+    }
+
+    #[test]
+    fn repeated_var_paths_share_vertices() {
+        // `$a1/text()` mentioned twice resolves to one shared text vertex
+        // (Fig. 4 has exactly one text() vertex per author).
+        let g = graph_of(
+            r#"
+            for $a1 in doc("A.xml")//author,
+                $a2 in doc("B.xml")//author
+            where $a1/text() = $a2/text() and $a2/text() = $a1/text()
+            return $a1
+        "#,
+        );
+        let texts = g
+            .vertices()
+            .iter()
+            .filter(|v| matches!(v.label, VertexLabel::Text(_)))
+            .count();
+        assert_eq!(texts, 2);
+    }
+
+    #[test]
+    fn select_condition_attaches_predicate() {
+        let g = graph_of(
+            r#"for $a in doc("d.xml")//item where $a/price/text() < 10 return $a"#,
+        );
+        assert!(g.vertices().iter().any(|v| matches!(
+            &v.label,
+            VertexLabel::Text(Some(p)) if p.to_string() == "< 10"
+        )));
+    }
+
+    #[test]
+    fn equijoin_on_elements_rejected() {
+        let q = parse_query(
+            r#"for $a in doc("d.xml")//x, $b in doc("d.xml")//y
+               where $a/child = $b/child return $a"#,
+        )
+        .unwrap();
+        let e = compile(&q).unwrap_err();
+        assert!(e.message.contains("text() or attribute"), "{e}");
+    }
+
+    #[test]
+    fn non_eq_join_rejected() {
+        let q = parse_query(
+            r#"for $a in doc("d.xml")//x, $b in doc("d.xml")//y
+               where $a/text() < $b/text() return $a"#,
+        )
+        .unwrap();
+        let e = compile(&q).unwrap_err();
+        assert!(e.message.contains("equi-join"), "{e}");
+    }
+
+    #[test]
+    fn chained_for_variables_share_vertices() {
+        let g = graph_of(
+            r#"
+            for $a in doc("d.xml")//auction,
+                $b in $a/bidder
+            return $b
+        "#,
+        );
+        // root, auction, bidder.
+        assert_eq!(g.vertex_count(), 3);
+        let a = g.var_vertices["a"];
+        let b = g.var_vertices["b"];
+        assert!(g.has_edge_between(a, b));
+    }
+
+    #[test]
+    fn attribute_with_value_predicate() {
+        let g = graph_of(
+            r#"for $p in doc("d.xml")//person where $p/@id = "p7" return $p"#,
+        );
+        assert!(g.vertices().iter().any(|v| matches!(
+            &v.label,
+            VertexLabel::Attribute(n, Some(p)) if n == "id" && p.to_string() == "= \"p7\""
+        )));
+    }
+}

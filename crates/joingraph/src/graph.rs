@@ -1,0 +1,374 @@
+//! The Join Graph (Definition 1 of the paper): an order-independent,
+//! edge-labeled graph whose vertices are relations of XML nodes and whose
+//! edges are path steps or relational equi-joins.
+
+use rox_ops::Axis;
+use rox_xmldb::ValuePredicate;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Vertex identifier (doubles as the relation attribute id of the
+/// fully-joined intermediate).
+pub type VertexId = u32;
+
+/// Edge identifier.
+pub type EdgeId = u32;
+
+/// The annotation of a Join Graph vertex (Def. 1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum VertexLabel {
+    /// The document root node (there is exactly one per document).
+    Root,
+    /// Element nodes with a qualified name.
+    Element(String),
+    /// Text nodes, possibly restricted by a range-selection predicate.
+    Text(Option<ValuePredicate>),
+    /// Attribute nodes with a qualified name, possibly value-restricted.
+    Attribute(String, Option<ValuePredicate>),
+}
+
+impl fmt::Display for VertexLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VertexLabel::Root => f.write_str("root"),
+            VertexLabel::Element(n) => f.write_str(n),
+            VertexLabel::Text(None) => f.write_str("text()"),
+            VertexLabel::Text(Some(p)) => write!(f, "text() {p}"),
+            VertexLabel::Attribute(n, None) => write!(f, "@{n}"),
+            VertexLabel::Attribute(n, Some(p)) => write!(f, "@{n} {p}"),
+        }
+    }
+}
+
+/// A Join Graph vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vertex {
+    /// Dense id.
+    pub id: VertexId,
+    /// URI of the owning document (`fn:doc` argument).
+    pub doc_uri: String,
+    /// The node-set annotation.
+    pub label: VertexLabel,
+}
+
+/// The operator an edge stands for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeKind {
+    /// A path step: `v1 ◦axis— v2`, context on the `v1` side as written in
+    /// the query. The direction is representational only; the optimizer may
+    /// execute the inverse axis from `v2` (§2.1).
+    Step(Axis),
+    /// A relational (value) equi-join. `inferred` marks the dotted
+    /// join-equivalence edges ROX adds for extra ordering freedom (Fig. 4).
+    EquiJoin {
+        /// True for transitively inferred equivalences.
+        inferred: bool,
+    },
+}
+
+/// A Join Graph edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Dense id.
+    pub id: EdgeId,
+    /// First endpoint (step context side).
+    pub v1: VertexId,
+    /// Second endpoint (step target side).
+    pub v2: VertexId,
+    /// Operator.
+    pub kind: EdgeKind,
+    /// Descendant steps out of a document root are semantically redundant
+    /// (every node is a descendant of the root) and "are ignored since
+    /// these are not necessary to execute to produce the correct result"
+    /// (§3.2).
+    pub redundant: bool,
+}
+
+impl Edge {
+    /// The endpoint opposite to `v`.
+    pub fn other(&self, v: VertexId) -> VertexId {
+        if self.v1 == v {
+            self.v2
+        } else {
+            debug_assert_eq!(self.v2, v);
+            self.v1
+        }
+    }
+
+    /// Is this a step edge?
+    pub fn is_step(&self) -> bool {
+        matches!(self.kind, EdgeKind::Step(_))
+    }
+}
+
+/// The plan tail specification attached to the Join Graph (π, δ, τ, π of
+/// Fig. 1), in terms of vertex ids.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TailSpec {
+    /// Vertices whose (pairwise) bindings must be deduplicated — the `for`
+    /// variables in clause order.
+    pub dedup: Vec<VertexId>,
+    /// Sort order (document order per variable, major to minor).
+    pub sort: Vec<VertexId>,
+    /// Output vertex (the `return` variable).
+    pub output: VertexId,
+}
+
+/// The Join Graph with its tail and variable bindings.
+#[derive(Debug, Clone, Default)]
+pub struct JoinGraph {
+    vertices: Vec<Vertex>,
+    edges: Vec<Edge>,
+    adjacency: Vec<Vec<EdgeId>>,
+    /// `for`/`let` variable → vertex.
+    pub var_vertices: HashMap<String, VertexId>,
+    /// The plan tail.
+    pub tail: TailSpec,
+}
+
+impl JoinGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        JoinGraph::default()
+    }
+
+    /// Add a vertex, returning its id.
+    pub fn add_vertex(&mut self, doc_uri: impl Into<String>, label: VertexLabel) -> VertexId {
+        let id = self.vertices.len() as VertexId;
+        self.vertices.push(Vertex { id, doc_uri: doc_uri.into(), label });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Add an edge, returning its id.
+    pub fn add_edge(&mut self, v1: VertexId, v2: VertexId, kind: EdgeKind) -> EdgeId {
+        let redundant = matches!(kind, EdgeKind::Step(Axis::Descendant | Axis::DescendantOrSelf))
+            && matches!(self.vertex(v1).label, VertexLabel::Root);
+        let id = self.edges.len() as EdgeId;
+        self.edges.push(Edge { id, v1, v2, kind, redundant });
+        self.adjacency[v1 as usize].push(id);
+        self.adjacency[v2 as usize].push(id);
+        id
+    }
+
+    /// The vertex with id `v`.
+    pub fn vertex(&self, v: VertexId) -> &Vertex {
+        &self.vertices[v as usize]
+    }
+
+    /// Replace the label of vertex `v` (used by the compiler to attach
+    /// value predicates discovered after the vertex was created).
+    pub fn set_vertex_label(&mut self, v: VertexId, label: VertexLabel) {
+        self.vertices[v as usize].label = label;
+    }
+
+    /// The edge with id `e`.
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e as usize]
+    }
+
+    /// All vertices.
+    pub fn vertices(&self) -> &[Vertex] {
+        &self.vertices
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Ids of edges incident to `v`.
+    pub fn edges_of(&self, v: VertexId) -> &[EdgeId] {
+        &self.adjacency[v as usize]
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Is there an edge between `a` and `b` already?
+    pub fn has_edge_between(&self, a: VertexId, b: VertexId) -> bool {
+        self.adjacency[a as usize]
+            .iter()
+            .any(|&e| self.edges[e as usize].other(a) == b)
+    }
+
+    /// Add the transitive closure of the equi-join equivalence classes as
+    /// inferred edges (the dotted edges of Fig. 4). Returns how many edges
+    /// were added.
+    pub fn close_equijoins(&mut self) -> usize {
+        // Union-find over vertices connected by equi-join edges.
+        let n = self.vertices.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        let equi_pairs: Vec<(VertexId, VertexId)> = self
+            .edges
+            .iter()
+            .filter(|e| matches!(e.kind, EdgeKind::EquiJoin { .. }))
+            .map(|e| (e.v1, e.v2))
+            .collect();
+        for &(a, b) in &equi_pairs {
+            let (ra, rb) = (find(&mut parent, a as usize), find(&mut parent, b as usize));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        // Group classes and add missing pairs.
+        let mut classes: HashMap<usize, Vec<VertexId>> = HashMap::new();
+        for &(a, b) in &equi_pairs {
+            for v in [a, b] {
+                let root = find(&mut parent, v as usize);
+                let class = classes.entry(root).or_default();
+                if !class.contains(&v) {
+                    class.push(v);
+                }
+            }
+        }
+        let mut added = 0;
+        for class in classes.values() {
+            for i in 0..class.len() {
+                for j in i + 1..class.len() {
+                    if !self.has_edge_between(class[i], class[j]) {
+                        self.add_edge(class[i], class[j], EdgeKind::EquiJoin { inferred: true });
+                        added += 1;
+                    }
+                }
+            }
+        }
+        added
+    }
+
+    /// Graphviz DOT rendering of the Join Graph (step edges solid, explicit
+    /// equi-joins bold, inferred equivalence edges dotted — matching the
+    /// visual language of the paper's Fig. 4).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("graph joingraph {\n  node [shape=box, fontname=\"monospace\"];\n");
+        for v in &self.vertices {
+            out.push_str(&format!(
+                "  v{} [label=\"{}\\n[{}]\"];\n",
+                v.id,
+                v.label.to_string().replace('"', "\\\""),
+                v.doc_uri
+            ));
+        }
+        for e in &self.edges {
+            let (label, style) = match &e.kind {
+                EdgeKind::Step(ax) => (ax.label().to_string(), "solid"),
+                EdgeKind::EquiJoin { inferred: false } => ("=".to_string(), "bold"),
+                EdgeKind::EquiJoin { inferred: true } => ("=".to_string(), "dotted"),
+            };
+            let extra = if e.redundant { ", color=gray" } else { "" };
+            out.push_str(&format!(
+                "  v{} -- v{} [label=\"{}\", style={}{}];\n",
+                e.v1, e.v2, label, style, extra
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable dump (used by `--explain` harness output).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for v in &self.vertices {
+            out.push_str(&format!("v{}: {} [{}]\n", v.id, v.label, v.doc_uri));
+        }
+        for e in &self.edges {
+            let op = match &e.kind {
+                EdgeKind::Step(ax) => format!("◦{}", ax.label()),
+                EdgeKind::EquiJoin { inferred: false } => "=".to_string(),
+                EdgeKind::EquiJoin { inferred: true } => "=(inferred)".to_string(),
+            };
+            let flag = if e.redundant { " (redundant)" } else { "" };
+            out.push_str(&format!("e{}: v{} {} v{}{}\n", e.id, e.v1, op, e.v2, flag));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_vertices_and_edges() {
+        let mut g = JoinGraph::new();
+        let r = g.add_vertex("d.xml", VertexLabel::Root);
+        let a = g.add_vertex("d.xml", VertexLabel::Element("a".into()));
+        let e = g.add_edge(r, a, EdgeKind::Step(Axis::Descendant));
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.edge(e).redundant, "descendant from root is redundant");
+        assert_eq!(g.edges_of(a), &[e]);
+        assert_eq!(g.edge(e).other(a), r);
+    }
+
+    #[test]
+    fn child_from_root_is_not_redundant() {
+        let mut g = JoinGraph::new();
+        let r = g.add_vertex("d.xml", VertexLabel::Root);
+        let a = g.add_vertex("d.xml", VertexLabel::Element("a".into()));
+        let e = g.add_edge(r, a, EdgeKind::Step(Axis::Child));
+        assert!(!g.edge(e).redundant);
+    }
+
+    #[test]
+    fn equijoin_closure_adds_missing_pairs() {
+        let mut g = JoinGraph::new();
+        let t1 = g.add_vertex("1.xml", VertexLabel::Text(None));
+        let t2 = g.add_vertex("2.xml", VertexLabel::Text(None));
+        let t3 = g.add_vertex("3.xml", VertexLabel::Text(None));
+        let t4 = g.add_vertex("4.xml", VertexLabel::Text(None));
+        // Star: t1=t2, t1=t3, t1=t4 (the DBLP query shape).
+        g.add_edge(t1, t2, EdgeKind::EquiJoin { inferred: false });
+        g.add_edge(t1, t3, EdgeKind::EquiJoin { inferred: false });
+        g.add_edge(t1, t4, EdgeKind::EquiJoin { inferred: false });
+        let added = g.close_equijoins();
+        // Missing: (t2,t3), (t2,t4), (t3,t4) — exactly the dotted edges of Fig. 4.
+        assert_eq!(added, 3);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.has_edge_between(t2, t4));
+        // Re-closing adds nothing.
+        assert_eq!(g.close_equijoins(), 0);
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let mut g = JoinGraph::new();
+        let t1 = g.add_vertex("1.xml", VertexLabel::Text(None));
+        let t2 = g.add_vertex("2.xml", VertexLabel::Text(None));
+        let t3 = g.add_vertex("3.xml", VertexLabel::Text(None));
+        g.add_edge(t1, t2, EdgeKind::EquiJoin { inferred: false });
+        g.add_edge(t2, t3, EdgeKind::EquiJoin { inferred: false });
+        g.close_equijoins();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("graph joingraph {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("style=bold"));
+        assert!(dot.contains("style=dotted"), "closure edge must be dotted");
+        assert_eq!(dot.matches(" -- ").count(), 3);
+    }
+
+    #[test]
+    fn dump_mentions_all_parts() {
+        let mut g = JoinGraph::new();
+        let r = g.add_vertex("d.xml", VertexLabel::Root);
+        let a = g.add_vertex("d.xml", VertexLabel::Element("item".into()));
+        g.add_edge(r, a, EdgeKind::Step(Axis::Descendant));
+        let s = g.dump();
+        assert!(s.contains("item"));
+        assert!(s.contains("redundant"));
+    }
+}

@@ -1,0 +1,417 @@
+//! Tokenizer for the XQuery subset (FLWOR + XPath steps + value
+//! comparisons) that the paper's workloads use.
+
+use std::fmt;
+
+/// A token with its byte offset (for error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `let`
+    Let,
+    /// `for`
+    For,
+    /// `where`
+    Where,
+    /// `return`
+    Return,
+    /// `in`
+    In,
+    /// `and`
+    And,
+    /// `doc`
+    Doc,
+    /// `$name`
+    Var(String),
+    /// A qualified name (also used for `text` before `()`).
+    Name(String),
+    /// A string literal (quotes stripped).
+    Str(String),
+    /// A numeric literal.
+    Num(f64),
+    /// `:=`
+    Assign,
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `@`
+    At,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Var(v) => write!(f, "${v}"),
+            TokenKind::Name(n) => write!(f, "{n}"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::Num(n) => write!(f, "{n}"),
+            other => {
+                let s = match other {
+                    TokenKind::Let => "let",
+                    TokenKind::For => "for",
+                    TokenKind::Where => "where",
+                    TokenKind::Return => "return",
+                    TokenKind::In => "in",
+                    TokenKind::And => "and",
+                    TokenKind::Doc => "doc",
+                    TokenKind::Assign => ":=",
+                    TokenKind::Slash => "/",
+                    TokenKind::DoubleSlash => "//",
+                    TokenKind::LBracket => "[",
+                    TokenKind::RBracket => "]",
+                    TokenKind::LParen => "(",
+                    TokenKind::RParen => ")",
+                    TokenKind::Comma => ",",
+                    TokenKind::At => "@",
+                    TokenKind::Dot => ".",
+                    TokenKind::Eq => "=",
+                    TokenKind::Ne => "!=",
+                    TokenKind::Lt => "<",
+                    TokenKind::Le => "<=",
+                    TokenKind::Gt => ">",
+                    TokenKind::Ge => ">=",
+                    TokenKind::Eof => "<eof>",
+                    _ => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
+}
+
+/// Tokenize the whole input. The trailing token is always [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let offset = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+                continue;
+            }
+            '(' if i + 1 < bytes.len() && bytes[i + 1] == ':' => {
+                // XQuery comment (: ... :) — skip, allowing nesting.
+                let mut depth = 1;
+                i += 2;
+                while i + 1 < bytes.len() && depth > 0 {
+                    if bytes[i] == '(' && bytes[i + 1] == ':' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == ':' && bytes[i + 1] == ')' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if depth > 0 {
+                    return Err(LexError { message: "unterminated comment".into(), offset });
+                }
+                continue;
+            }
+            '$' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && is_name_char(bytes[i]) {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(LexError { message: "expected variable name after $".into(), offset });
+                }
+                let name: String = bytes[start..i].iter().collect();
+                out.push(Token { kind: TokenKind::Var(name), offset });
+            }
+            '"' | '\'' | '\u{201c}' | '\u{201d}' => {
+                // Accept curly quotes too — the paper's text uses them.
+                let close: &[char] = match c {
+                    '"' => &['"'],
+                    '\'' => &['\''],
+                    _ => &['\u{201c}', '\u{201d}'],
+                };
+                i += 1;
+                let start = i;
+                while i < bytes.len() && !close.contains(&bytes[i]) {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(LexError { message: "unterminated string".into(), offset });
+                }
+                let s: String = bytes[start..i].iter().collect();
+                i += 1;
+                out.push(Token { kind: TokenKind::Str(s), offset });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    i += 1;
+                }
+                let s: String = bytes[start..i].iter().collect();
+                let n = s
+                    .parse::<f64>()
+                    .map_err(|_| LexError { message: format!("bad number {s}"), offset })?;
+                out.push(Token { kind: TokenKind::Num(n), offset });
+            }
+            '/' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '/' {
+                    out.push(Token { kind: TokenKind::DoubleSlash, offset });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Slash, offset });
+                    i += 1;
+                }
+            }
+            ':' if i + 1 < bytes.len() && bytes[i + 1] == '=' => {
+                out.push(Token { kind: TokenKind::Assign, offset });
+                i += 2;
+            }
+            '[' => {
+                out.push(Token { kind: TokenKind::LBracket, offset });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token { kind: TokenKind::RBracket, offset });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, offset });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, offset });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, offset });
+                i += 1;
+            }
+            '@' => {
+                out.push(Token { kind: TokenKind::At, offset });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { kind: TokenKind::Dot, offset });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { kind: TokenKind::Eq, offset });
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == '=' => {
+                out.push(Token { kind: TokenKind::Ne, offset });
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    out.push(Token { kind: TokenKind::Le, offset });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, offset });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    out.push(Token { kind: TokenKind::Ge, offset });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, offset });
+                    i += 1;
+                }
+            }
+            c if is_name_start(c) => {
+                let start = i;
+                while i < bytes.len() && is_name_char(bytes[i]) {
+                    i += 1;
+                }
+                let name: String = bytes[start..i].iter().collect();
+                let kind = match name.as_str() {
+                    "let" => TokenKind::Let,
+                    "for" => TokenKind::For,
+                    "where" => TokenKind::Where,
+                    "return" => TokenKind::Return,
+                    "in" => TokenKind::In,
+                    "and" => TokenKind::And,
+                    "doc" => TokenKind::Doc,
+                    _ => TokenKind::Name(name),
+                };
+                out.push(Token { kind, offset });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character '{other}'"),
+                    offset,
+                })
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, offset: bytes.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        tokenize(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_flwor_keywords() {
+        let k = kinds("let for where return in and doc");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Let,
+                TokenKind::For,
+                TokenKind::Where,
+                TokenKind::Return,
+                TokenKind::In,
+                TokenKind::And,
+                TokenKind::Doc,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_and_paths() {
+        let k = kinds("$a//open_auction/bidder[./reserve]");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Var("a".into()),
+                TokenKind::DoubleSlash,
+                TokenKind::Name("open_auction".into()),
+                TokenKind::Slash,
+                TokenKind::Name("bidder".into()),
+                TokenKind::LBracket,
+                TokenKind::Dot,
+                TokenKind::Slash,
+                TokenKind::Name("reserve".into()),
+                TokenKind::RBracket,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparisons_and_numbers() {
+        let k = kinds("text() < 145.5 >= <= != =");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Name("text".into()),
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Lt,
+                TokenKind::Num(145.5),
+                TokenKind::Ge,
+                TokenKind::Le,
+                TokenKind::Ne,
+                TokenKind::Eq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_curly_quotes() {
+        let k = kinds("doc(\u{201c}auction.xml\u{201d}) 'x'");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Doc,
+                TokenKind::LParen,
+                TokenKind::Str("auction.xml".into()),
+                TokenKind::RParen,
+                TokenKind::Str("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("for (: a (: nested :) comment :) $x");
+        assert_eq!(k, vec![TokenKind::For, TokenKind::Var("x".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn attribute_tokens() {
+        let k = kinds("$a/@person = $b/@id");
+        // Var / At Name Eq Var / At Name Eof = 10 tokens.
+        assert_eq!(k.len(), 10);
+        assert_eq!(k[1], TokenKind::Slash);
+        assert_eq!(k[2], TokenKind::At);
+    }
+
+    #[test]
+    fn lex_error_reports_offset() {
+        let e = tokenize("for $a ^").unwrap_err();
+        assert_eq!(e.offset, 7);
+    }
+}

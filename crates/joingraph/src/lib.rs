@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # rox-joingraph — XQuery frontend and Join Graph isolation
+//!
+//! The ROX paper defers all join/step ordering decisions to run-time by
+//! having the static compiler (Pathfinder, [17,18]) isolate **Join Graphs**
+//! out of XQuery plans. This crate provides that front end for the query
+//! fragment the paper's workloads exercise:
+//!
+//! * [`lexer`]/[`parser`] — a FLWOR + XPath-steps + comparisons parser;
+//! * [`ast`] — the surface syntax tree;
+//! * [`graph`] — the order-independent [`JoinGraph`] (Definition 1):
+//!   vertices annotated with element names / text / attribute predicates,
+//!   edges that are staircase steps or value equi-joins, plus the plan
+//!   tail (π·δ·τ·π) and the inferred join-equivalence edges of Fig. 4;
+//! * [`compile`] — AST → Join Graph translation.
+//!
+//! ```
+//! let q = rox_joingraph::parse_query(
+//!     r#"for $a in doc("d.xml")//author return $a"#,
+//! ).unwrap();
+//! let g = rox_joingraph::compile(&q).unwrap();
+//! assert_eq!(g.vertex_count(), 2); // root + author
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod graph;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+
+pub use ast::Query;
+pub use compile::{compile, CompileError};
+pub use graph::{Edge, EdgeId, EdgeKind, JoinGraph, TailSpec, Vertex, VertexId, VertexLabel};
+pub use parser::{parse_query, SyntaxError};
+
+/// Parse and compile in one call.
+pub fn compile_query(src: &str) -> Result<JoinGraph, String> {
+    let q = parse_query(src).map_err(|e| e.to_string())?;
+    compile(&q).map_err(|e| e.to_string())
+}

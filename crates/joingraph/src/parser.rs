@@ -1,0 +1,419 @@
+//! Recursive-descent parser for the XQuery subset.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+use rox_xmldb::{CmpOp, Constant};
+use std::fmt;
+
+/// A syntax error with byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntaxError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the query text.
+    pub offset: usize,
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+impl From<LexError> for SyntaxError {
+    fn from(e: LexError) -> Self {
+        SyntaxError { message: e.message, offset: e.offset }
+    }
+}
+
+/// Parse a query text into its AST.
+pub fn parse_query(input: &str) -> Result<Query, SyntaxError> {
+    let tokens = tokenize(input)?;
+    Parser { tokens, pos: 0 }.query()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, SyntaxError> {
+        Err(SyntaxError { message: message.into(), offset: self.offset() })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), SyntaxError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek()))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, SyntaxError> {
+        let mut lets = Vec::new();
+        while *self.peek() == TokenKind::Let {
+            self.bump();
+            let var = self.var_name()?;
+            self.expect(&TokenKind::Assign)?;
+            let doc_uri = self.doc_call()?;
+            lets.push(LetBinding { var, doc_uri });
+        }
+        self.expect(&TokenKind::For)?;
+        let mut fors = vec![self.for_binding()?];
+        while *self.peek() == TokenKind::Comma {
+            self.bump();
+            fors.push(self.for_binding()?);
+        }
+        let mut conditions = Vec::new();
+        if *self.peek() == TokenKind::Where {
+            self.bump();
+            conditions.push(self.condition()?);
+            while *self.peek() == TokenKind::And {
+                self.bump();
+                conditions.push(self.condition()?);
+            }
+        }
+        self.expect(&TokenKind::Return)?;
+        let return_var = self.var_name()?;
+        if *self.peek() != TokenKind::Eof {
+            return self.err(format!("unexpected trailing {}", self.peek()));
+        }
+        // Semantic checks: variables resolve, return var is a for var.
+        let mut known: Vec<&str> = lets.iter().map(|l| l.var.as_str()).collect();
+        for f in &fors {
+            if let Source::Var(v) = &f.source {
+                if !known.contains(&v.as_str()) {
+                    return self.err(format!("unbound variable ${v}"));
+                }
+            }
+            known.push(f.var.as_str());
+        }
+        if !fors.iter().any(|f| f.var == return_var) {
+            return self.err(format!("return variable ${return_var} is not a for variable"));
+        }
+        for c in &conditions {
+            let vars: Vec<&str> = match c {
+                Condition::Join(a, _, b) => vec![&a.var, &b.var],
+                Condition::Select(a, _, _) => vec![&a.var],
+            };
+            for v in vars {
+                if !fors.iter().any(|f| f.var == *v) {
+                    return self.err(format!("where clause references non-for variable ${v}"));
+                }
+            }
+        }
+        Ok(Query { lets, fors, conditions, return_var })
+    }
+
+    fn var_name(&mut self) -> Result<String, SyntaxError> {
+        match self.bump() {
+            TokenKind::Var(v) => Ok(v),
+            other => self.err(format!("expected a $variable, found {other}")),
+        }
+    }
+
+    fn doc_call(&mut self) -> Result<String, SyntaxError> {
+        self.expect(&TokenKind::Doc)?;
+        self.expect(&TokenKind::LParen)?;
+        let uri = match self.bump() {
+            TokenKind::Str(s) => s,
+            other => return self.err(format!("expected a string URI, found {other}")),
+        };
+        self.expect(&TokenKind::RParen)?;
+        Ok(uri)
+    }
+
+    fn for_binding(&mut self) -> Result<ForBinding, SyntaxError> {
+        let var = self.var_name()?;
+        self.expect(&TokenKind::In)?;
+        let source = match self.peek() {
+            TokenKind::Doc => Source::Doc(self.doc_call()?),
+            TokenKind::Var(_) => Source::Var(self.var_name()?),
+            other => return self.err(format!("expected doc(...) or $var, found {other}")),
+        };
+        let steps = self.steps()?;
+        if steps.is_empty() {
+            return self.err("for binding needs at least one path step");
+        }
+        Ok(ForBinding { var, source, steps })
+    }
+
+    /// Zero or more `/step` / `//step` steps with predicates.
+    fn steps(&mut self) -> Result<Vec<Step>, SyntaxError> {
+        let mut steps = Vec::new();
+        loop {
+            let axis = match self.peek() {
+                TokenKind::Slash => StepAxis::Child,
+                TokenKind::DoubleSlash => StepAxis::Descendant,
+                _ => break,
+            };
+            self.bump();
+            let test = self.node_test()?;
+            let mut predicates = Vec::new();
+            while *self.peek() == TokenKind::LBracket {
+                self.bump();
+                predicates.push(self.predicate()?);
+                self.expect(&TokenKind::RBracket)?;
+            }
+            steps.push(Step { axis, test, predicates });
+        }
+        Ok(steps)
+    }
+
+    fn node_test(&mut self) -> Result<StepTest, SyntaxError> {
+        match self.bump() {
+            TokenKind::At => match self.bump() {
+                TokenKind::Name(n) => Ok(StepTest::Attribute(n)),
+                other => self.err(format!("expected attribute name, found {other}")),
+            },
+            TokenKind::Name(n) if n == "text" && *self.peek() == TokenKind::LParen => {
+                self.bump();
+                self.expect(&TokenKind::RParen)?;
+                Ok(StepTest::Text)
+            }
+            TokenKind::Name(n) => Ok(StepTest::Element(n)),
+            other => self.err(format!("expected a node test, found {other}")),
+        }
+    }
+
+    /// A bracketed predicate: `./path`, `.//path`, `path`, optionally
+    /// followed by a comparison with a literal.
+    fn predicate(&mut self) -> Result<Predicate, SyntaxError> {
+        let steps = self.relative_path()?;
+        if steps.is_empty() {
+            return self.err("empty predicate path");
+        }
+        if let Some(op) = self.try_cmp_op() {
+            let rhs = self.literal()?;
+            Ok(Predicate::Compare(steps, op, rhs))
+        } else {
+            Ok(Predicate::Exists(steps))
+        }
+    }
+
+    /// `./a/b`, `.//a`, or a bare `a/b` (implicit child step first).
+    fn relative_path(&mut self) -> Result<Vec<Step>, SyntaxError> {
+        let mut steps = Vec::new();
+        if *self.peek() == TokenKind::Dot {
+            self.bump();
+            steps = self.steps()?;
+        } else {
+            // Bare name: implicit leading child axis.
+            let test = self.node_test()?;
+            let mut predicates = Vec::new();
+            while *self.peek() == TokenKind::LBracket {
+                self.bump();
+                predicates.push(self.predicate()?);
+                self.expect(&TokenKind::RBracket)?;
+            }
+            steps.push(Step { axis: StepAxis::Child, test, predicates });
+            steps.extend(self.steps()?);
+        }
+        Ok(steps)
+    }
+
+    fn try_cmp_op(&mut self) -> Option<CmpOp> {
+        let op = match self.peek() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return None,
+        };
+        self.bump();
+        Some(op)
+    }
+
+    fn literal(&mut self) -> Result<Constant, SyntaxError> {
+        match self.bump() {
+            TokenKind::Num(n) => Ok(Constant::Num(n)),
+            TokenKind::Str(s) => Ok(Constant::Str(s)),
+            other => self.err(format!("expected a literal, found {other}")),
+        }
+    }
+
+    fn condition(&mut self) -> Result<Condition, SyntaxError> {
+        let lhs = self.var_path()?;
+        let op = match self.try_cmp_op() {
+            Some(op) => op,
+            None => return self.err("expected a comparison operator"),
+        };
+        match self.peek() {
+            TokenKind::Var(_) => {
+                let rhs = self.var_path()?;
+                Ok(Condition::Join(lhs, op, rhs))
+            }
+            _ => {
+                let rhs = self.literal()?;
+                Ok(Condition::Select(lhs, op, rhs))
+            }
+        }
+    }
+
+    fn var_path(&mut self) -> Result<VarPath, SyntaxError> {
+        let var = self.var_name()?;
+        let steps = self.steps()?;
+        Ok(VarPath { var, steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q_FIG1: &str = r#"
+        let $r := doc("auction.xml")
+        for $a in $r//open_auction[./reserve]/bidder//personref,
+            $b in $r//person[.//education]
+        where $a/@person = $b/@id
+        return $a
+    "#;
+
+    #[test]
+    fn parses_fig1_query() {
+        let q = parse_query(Q_FIG1).unwrap();
+        assert_eq!(q.lets.len(), 1);
+        assert_eq!(q.fors.len(), 2);
+        assert_eq!(q.conditions.len(), 1);
+        assert_eq!(q.return_var, "a");
+        let f = &q.fors[0];
+        assert_eq!(f.steps.len(), 3);
+        assert_eq!(f.steps[0].axis, StepAxis::Descendant);
+        assert_eq!(f.steps[0].test, StepTest::Element("open_auction".into()));
+        assert_eq!(f.steps[0].predicates.len(), 1);
+        match &q.conditions[0] {
+            Condition::Join(a, CmpOp::Eq, b) => {
+                assert_eq!(a.var, "a");
+                assert_eq!(a.steps[0].test, StepTest::Attribute("person".into()));
+                assert_eq!(b.var, "b");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_xmark_q1() {
+        let q = parse_query(
+            r#"
+            let $d := doc("xmark.xml")
+            for $o in $d//open_auction[.//current/text() < 145],
+                $p in $d//person[.//province],
+                $i in $d//item[./quantity = 1]
+            where $o//bidder//personref/@person = $p/@id and
+                  $o//itemref/@item = $i/@id
+            return $o
+        "#,
+        )
+        .unwrap();
+        assert_eq!(q.fors.len(), 3);
+        assert_eq!(q.conditions.len(), 2);
+        // The current < 145 predicate.
+        match &q.fors[0].steps[0].predicates[0] {
+            Predicate::Compare(steps, CmpOp::Lt, Constant::Num(n)) => {
+                assert_eq!(*n, 145.0);
+                assert_eq!(steps.last().unwrap().test, StepTest::Text);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_dblp_template() {
+        let q = parse_query(
+            r#"
+            for $a1 in doc("DOC1.xml")//author,
+                $a2 in doc("DOC2.xml")//author
+            where $a1/text() = $a2/text()
+            return $a1
+        "#,
+        )
+        .unwrap();
+        assert_eq!(q.fors.len(), 2);
+        assert!(matches!(q.fors[0].source, Source::Doc(_)));
+        assert_eq!(q.doc_uris(), vec!["DOC1.xml", "DOC2.xml"]);
+    }
+
+    #[test]
+    fn bare_predicate_name_is_child_step() {
+        let q = parse_query(r#"for $i in doc("d.xml")//item[quantity = 1] return $i"#).unwrap();
+        match &q.fors[0].steps[0].predicates[0] {
+            Predicate::Compare(steps, _, _) => {
+                assert_eq!(steps[0].axis, StepAxis::Child);
+                assert_eq!(steps[0].test, StepTest::Element("quantity".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unbound_variable() {
+        let e = parse_query("for $a in $zz//x return $a").unwrap_err();
+        assert!(e.message.contains("unbound"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_return_var() {
+        let e = parse_query(r#"for $a in doc("d")//x return $q"#).unwrap_err();
+        assert!(e.message.contains("not a for variable"), "{e}");
+    }
+
+    #[test]
+    fn rejects_where_on_unknown_var() {
+        let e =
+            parse_query(r#"for $a in doc("d")//x where $b/text() = 1 return $a"#).unwrap_err();
+        assert!(e.message.contains("non-for variable"), "{e}");
+    }
+
+    #[test]
+    fn select_condition_with_literal() {
+        let q = parse_query(
+            r#"for $a in doc("d")//item where $a/price/text() < 10 return $a"#,
+        )
+        .unwrap();
+        assert!(matches!(q.conditions[0], Condition::Select(_, CmpOp::Lt, _)));
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let q = parse_query(
+            r#"for $a in doc("d")//a[./b[./c]] return $a"#,
+        )
+        .unwrap();
+        match &q.fors[0].steps[0].predicates[0] {
+            Predicate::Exists(steps) => {
+                assert_eq!(steps.len(), 1);
+                assert_eq!(steps[0].predicates.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_offsets_point_into_input() {
+        let src = r#"for $a in doc("d")//x return"#;
+        let e = parse_query(src).unwrap_err();
+        assert!(e.offset <= src.len());
+    }
+}

@@ -1,0 +1,177 @@
+//! Pretty-printing of the AST back to query text.
+//!
+//! `parse ∘ print` is the identity on ASTs (checked by a property test),
+//! which gives query normalization for free and makes the AST easy to
+//! debug-log.
+
+use crate::ast::*;
+use rox_xmldb::Constant;
+use std::fmt;
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for l in &self.lets {
+            writeln!(f, "let ${} := doc(\"{}\")", l.var, l.doc_uri)?;
+        }
+        write!(f, "for ")?;
+        for (i, b) in self.fors.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",\n    ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        if !self.conditions.is_empty() {
+            write!(f, "\nwhere ")?;
+            for (i, c) in self.conditions.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " and\n      ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        write!(f, "\nreturn ${}", self.return_var)
+    }
+}
+
+impl fmt::Display for ForBinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${} in {}", self.var, self.source)?;
+        for s in &self.steps {
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Source::Doc(uri) => write!(f, "doc(\"{uri}\")"),
+            Source::Var(v) => write!(f, "${v}"),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.axis, self.test)?;
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let steps = match self {
+            Predicate::Exists(steps) => steps,
+            Predicate::Compare(steps, ..) => steps,
+        };
+        write!(f, ".")?;
+        for s in steps {
+            write!(f, "{s}")?;
+        }
+        if let Predicate::Compare(_, op, rhs) = self {
+            write!(f, " {op} {}", DisplayConstant(rhs))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Join(a, op, b) => write!(f, "{a} {op} {b}"),
+            Condition::Select(a, op, rhs) => write!(f, "{a} {op} {}", DisplayConstant(rhs)),
+        }
+    }
+}
+
+impl fmt::Display for VarPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.var)?;
+        for s in &self.steps {
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Constant printed in re-parseable query syntax (numbers without
+/// trailing `.0` when integral).
+struct DisplayConstant<'a>(&'a Constant);
+
+impl fmt::Display for DisplayConstant<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Constant::Str(s) => write!(f, "\"{s}\""),
+            Constant::Num(n) if n.fract() == 0.0 && n.abs() < 1e15 => {
+                write!(f, "{}", *n as i64)
+            }
+            Constant::Num(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_query;
+
+    fn roundtrip(src: &str) {
+        let q1 = parse_query(src).expect("parse original");
+        let printed = q1.to_string();
+        let q2 = parse_query(&printed).unwrap_or_else(|e| panic!("reparse {printed}: {e}"));
+        assert_eq!(q1, q2, "printed form:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrips_fig1_query() {
+        roundtrip(
+            r#"
+            let $r := doc("auction.xml")
+            for $a in $r//open_auction[./reserve]/bidder//personref,
+                $b in $r//person[.//education]
+            where $a/@person = $b/@id
+            return $a
+        "#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_xmark_q1() {
+        roundtrip(
+            r#"
+            let $d := doc("xmark.xml")
+            for $o in $d//open_auction[.//current/text() < 145],
+                $p in $d//person[.//province],
+                $i in $d//item[./quantity = 1]
+            where $o//bidder//personref/@person = $p/@id and
+                  $o//itemref/@item = $i/@id
+            return $o
+        "#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_string_literals_and_selects() {
+        roundtrip(
+            r#"for $a in doc("d.xml")//author[./text() = "Codd"]
+               where $a/@id != "x" and $a/year/text() >= 1970
+               return $a"#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_nested_predicates() {
+        roundtrip(r#"for $a in doc("d.xml")//a[./b[./c]//d] return $a"#);
+    }
+
+    #[test]
+    fn printed_form_is_stable() {
+        let q = parse_query(r#"for $a in doc("d")//x return $a"#).unwrap();
+        let once = q.to_string();
+        let twice = parse_query(&once).unwrap().to_string();
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests for the XQuery front end: random well-formed ASTs
+//! survive print → parse unchanged, and compilation is deterministic.
+
+use proptest::prelude::*;
+use rox_joingraph::ast::*;
+use rox_joingraph::{compile, parse_query};
+use rox_xmldb::{CmpOp, Constant};
+
+fn name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "bb", "item", "open_auction", "x-y", "n.s"])
+        .prop_map(str::to_string)
+}
+
+fn step_test() -> impl Strategy<Value = StepTest> {
+    prop_oneof![
+        name().prop_map(StepTest::Element),
+        name().prop_map(StepTest::Attribute),
+        Just(StepTest::Text),
+    ]
+}
+
+fn axis() -> impl Strategy<Value = StepAxis> {
+    prop_oneof![Just(StepAxis::Child), Just(StepAxis::Descendant)]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop::sample::select(vec![CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge])
+}
+
+fn constant() -> impl Strategy<Value = Constant> {
+    prop_oneof![
+        (0i32..10_000).prop_map(|n| Constant::Num(n as f64)),
+        "[a-zA-Z0-9 ]{0,8}".prop_map(Constant::Str),
+    ]
+}
+
+/// A step whose test is an element (so that further steps can follow) and
+/// whose axis is valid for the test (no `//@x`).
+fn element_step(depth: u32) -> BoxedStrategy<Step> {
+    if depth == 0 {
+        (axis(), name())
+            .prop_map(|(axis, n)| Step { axis, test: StepTest::Element(n), predicates: vec![] })
+            .boxed()
+    } else {
+        (
+            axis(),
+            name(),
+            prop::collection::vec(predicate(depth - 1), 0..2),
+        )
+            .prop_map(|(axis, n, predicates)| Step {
+                axis,
+                test: StepTest::Element(n),
+                predicates,
+            })
+            .boxed()
+    }
+}
+
+/// A terminal step (element / attribute / text) with valid axis.
+fn last_step(depth: u32) -> BoxedStrategy<Step> {
+    let preds = if depth == 0 {
+        Just(Vec::new()).boxed()
+    } else {
+        prop::collection::vec(predicate(depth - 1), 0..2).boxed()
+    };
+    (step_test(), axis(), preds)
+        .prop_map(|(test, ax, predicates)| {
+            // `//@x` is rejected by the compiler; normalize to child.
+            let axis = if matches!(test, StepTest::Attribute(_)) { StepAxis::Child } else { ax };
+            // Predicates only on element steps.
+            let predicates = if matches!(test, StepTest::Element(_)) { predicates } else { vec![] };
+            Step { axis, test, predicates }
+        })
+        .boxed()
+}
+
+fn steps(depth: u32) -> BoxedStrategy<Vec<Step>> {
+    (prop::collection::vec(element_step(depth), 0..3), last_step(depth))
+        .prop_map(|(mut pre, last)| {
+            pre.push(last);
+            pre
+        })
+        .boxed()
+}
+
+fn predicate(depth: u32) -> BoxedStrategy<Predicate> {
+    let inner = steps(depth);
+    prop_oneof![
+        inner.clone().prop_map(Predicate::Exists),
+        (inner, cmp_op(), constant()).prop_map(|(s, op, c)| Predicate::Compare(s, op, c)),
+    ]
+    .boxed()
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        prop::collection::vec(steps(2), 1..4),
+        prop::bool::ANY,
+    )
+        .prop_map(|(bindings, join_texts)| {
+            let fors: Vec<ForBinding> = bindings
+                .into_iter()
+                .enumerate()
+                .map(|(i, steps)| ForBinding {
+                    var: format!("v{i}"),
+                    source: Source::Doc(format!("doc{}.xml", i % 2)),
+                    steps,
+                })
+                .collect();
+            // Optionally join consecutive variables on text value.
+            let mut conditions = Vec::new();
+            if join_texts && fors.len() >= 2 {
+                for w in 0..fors.len() - 1 {
+                    conditions.push(Condition::Join(
+                        VarPath {
+                            var: fors[w].var.clone(),
+                            steps: vec![Step {
+                                axis: StepAxis::Child,
+                                test: StepTest::Text,
+                                predicates: vec![],
+                            }],
+                        },
+                        CmpOp::Eq,
+                        VarPath {
+                            var: fors[w + 1].var.clone(),
+                            steps: vec![Step {
+                                axis: StepAxis::Child,
+                                test: StepTest::Text,
+                                predicates: vec![],
+                            }],
+                        },
+                    ));
+                }
+            }
+            let return_var = fors[0].var.clone();
+            Query { lets: vec![], fors, conditions, return_var }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_roundtrip(q in query()) {
+        let printed = q.to_string();
+        let parsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(&parsed, &q, "printed:\n{}", printed);
+    }
+
+    #[test]
+    fn compilation_is_deterministic(q in query()) {
+        let g1 = compile(&q);
+        let g2 = compile(&q);
+        match (g1, g2) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.vertex_count(), b.vertex_count());
+                prop_assert_eq!(a.edge_count(), b.edge_count());
+                prop_assert_eq!(a.dump(), b.dump());
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "divergent: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
+    #[test]
+    fn compiled_graphs_have_consistent_adjacency(q in query()) {
+        if let Ok(g) = compile(&q) {
+            for e in g.edges() {
+                prop_assert!(g.edges_of(e.v1).contains(&e.id));
+                prop_assert!(g.edges_of(e.v2).contains(&e.id));
+            }
+            for v in g.vertices() {
+                for &eid in g.edges_of(v.id) {
+                    let e = g.edge(eid);
+                    prop_assert!(e.v1 == v.id || e.v2 == v.id);
+                }
+            }
+            // The tail's vertices exist.
+            for &t in g.tail.dedup.iter().chain(g.tail.sort.iter()) {
+                prop_assert!((t as usize) < g.vertex_count());
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! XPath axes and node tests for the structural (staircase) joins.
+
+use rox_xmldb::{NodeKind, Symbol};
+use std::fmt;
+
+/// The XPath axes supported by the staircase join (§2.2, Table 1), plus
+/// the attribute axis which the Join Graphs of the paper draw as a `/ @x`
+/// edge (Fig. 3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Axis {
+    /// `child::`
+    Child,
+    /// `descendant::`
+    Descendant,
+    /// `descendant-or-self::` (the `//` shorthand from the root)
+    DescendantOrSelf,
+    /// `parent::`
+    Parent,
+    /// `ancestor::`
+    Ancestor,
+    /// `ancestor-or-self::`
+    AncestorOrSelf,
+    /// `following::`
+    Following,
+    /// `preceding::`
+    Preceding,
+    /// `following-sibling::`
+    FollowingSibling,
+    /// `preceding-sibling::`
+    PrecedingSibling,
+    /// `self::`
+    SelfAxis,
+    /// `attribute::`
+    Attribute,
+}
+
+impl Axis {
+    /// The inverse axis: `s ∈ axis(c)` iff `c ∈ axis.inverse()(s)`.
+    ///
+    /// ROX uses this to execute a step edge in either direction — the
+    /// direction drawn in the Join Graph "is only a representational
+    /// issue" (§2.1).
+    pub fn inverse(self) -> Axis {
+        match self {
+            Axis::Child => Axis::Parent,
+            Axis::Parent => Axis::Child,
+            Axis::Descendant => Axis::Ancestor,
+            Axis::Ancestor => Axis::Descendant,
+            Axis::DescendantOrSelf => Axis::AncestorOrSelf,
+            Axis::AncestorOrSelf => Axis::DescendantOrSelf,
+            Axis::Following => Axis::Preceding,
+            Axis::Preceding => Axis::Following,
+            Axis::FollowingSibling => Axis::PrecedingSibling,
+            Axis::PrecedingSibling => Axis::FollowingSibling,
+            Axis::SelfAxis => Axis::SelfAxis,
+            // The owner element of an attribute is its parent.
+            Axis::Attribute => Axis::Parent,
+        }
+    }
+
+    /// Short label used in plan explanations (`/`, `//`, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            Axis::Child => "/",
+            Axis::Descendant => "//",
+            Axis::DescendantOrSelf => "//self",
+            Axis::Parent => "parent",
+            Axis::Ancestor => "anc",
+            Axis::AncestorOrSelf => "ancs",
+            Axis::Following => "foll",
+            Axis::Preceding => "prec",
+            Axis::FollowingSibling => "folls",
+            Axis::PrecedingSibling => "precs",
+            Axis::SelfAxis => "self",
+            Axis::Attribute => "/@",
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A node test: kind restriction plus optional name restriction, the `k`
+/// in `D_k/axis` of the paper's staircase join definition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeTest {
+    /// Required node kind, or `None` for `node()`.
+    pub kind: Option<NodeKind>,
+    /// Required qualified name (elements/attributes), or `None` for `*`.
+    pub name: Option<Symbol>,
+}
+
+impl NodeTest {
+    /// `node()` — matches everything.
+    pub const ANY: NodeTest = NodeTest { kind: None, name: None };
+
+    /// An element with the given interned name.
+    pub fn element(name: Symbol) -> Self {
+        NodeTest { kind: Some(NodeKind::Element), name: Some(name) }
+    }
+
+    /// Any text node.
+    pub fn text() -> Self {
+        NodeTest { kind: Some(NodeKind::Text), name: None }
+    }
+
+    /// An attribute with the given interned name.
+    pub fn attribute(name: Symbol) -> Self {
+        NodeTest { kind: Some(NodeKind::Attribute), name: Some(name) }
+    }
+
+    /// Does the node at `pre` of `doc` satisfy the test?
+    #[inline]
+    pub fn matches(&self, doc: &rox_xmldb::Document, pre: rox_xmldb::Pre) -> bool {
+        if let Some(k) = self.kind {
+            if doc.kind(pre) != k {
+                return false;
+            }
+        }
+        if let Some(n) = self.name {
+            if doc.name(pre) != n {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rox_xmldb::parse_document;
+
+    #[test]
+    fn inverse_is_an_involution() {
+        let axes = [
+            Axis::Child,
+            Axis::Descendant,
+            Axis::DescendantOrSelf,
+            Axis::Parent,
+            Axis::Ancestor,
+            Axis::AncestorOrSelf,
+            Axis::Following,
+            Axis::Preceding,
+            Axis::FollowingSibling,
+            Axis::PrecedingSibling,
+            Axis::SelfAxis,
+        ];
+        for a in axes {
+            assert_eq!(a.inverse().inverse(), a, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn node_test_matching() {
+        let d = parse_document("t.xml", r#"<a x="1"><b>t</b></a>"#).unwrap();
+        let b = d.interner().get("b").unwrap();
+        let x = d.interner().get("x").unwrap();
+        assert!(NodeTest::element(b).matches(&d, 3));
+        assert!(!NodeTest::element(b).matches(&d, 1));
+        assert!(NodeTest::attribute(x).matches(&d, 2));
+        assert!(NodeTest::text().matches(&d, 4));
+        assert!(NodeTest::ANY.matches(&d, 0));
+    }
+}

@@ -1,0 +1,78 @@
+//! Deterministic work accounting.
+//!
+//! Every physical operator charges the tuples it touches to a [`Cost`]
+//! counter following the cost column of Table 1 in the paper. The ROX
+//! optimizer keeps two counters — execution work and sampling work — which
+//! is how the experiments separate "full run" from "pure plan" time
+//! (Figs. 6–8).
+
+/// Accumulated operator work, in tuples touched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Tuples read from operator inputs.
+    pub tuples_in: u64,
+    /// Tuples produced into operator outputs.
+    pub tuples_out: u64,
+    /// Index probes (binary searches / hash lookups).
+    pub probes: u64,
+}
+
+impl Cost {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Cost::default()
+    }
+
+    /// Charge `n` input tuples.
+    #[inline]
+    pub fn charge_in(&mut self, n: usize) {
+        self.tuples_in += n as u64;
+    }
+
+    /// Charge `n` output tuples.
+    #[inline]
+    pub fn charge_out(&mut self, n: usize) {
+        self.tuples_out += n as u64;
+    }
+
+    /// Charge `n` index probes.
+    #[inline]
+    pub fn charge_probe(&mut self, n: usize) {
+        self.probes += n as u64;
+    }
+
+    /// Total work units (the scalar the harnesses report alongside wall
+    /// time).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.tuples_in + self.tuples_out + self.probes
+    }
+
+    /// Merge another counter into this one.
+    pub fn add(&mut self, other: Cost) {
+        self.tuples_in += other.tuples_in;
+        self.tuples_out += other.tuples_out;
+        self.probes += other.probes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut c = Cost::new();
+        c.charge_in(10);
+        c.charge_out(3);
+        c.charge_probe(2);
+        assert_eq!(c.total(), 15);
+    }
+
+    #[test]
+    fn add_merges() {
+        let mut a = Cost { tuples_in: 1, tuples_out: 2, probes: 3 };
+        a.add(Cost { tuples_in: 10, tuples_out: 20, probes: 30 });
+        assert_eq!(a, Cost { tuples_in: 11, tuples_out: 22, probes: 33 });
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # rox-ops — physical operators
+//!
+//! The physical algebra of the paper's Table 1, reimplemented over the
+//! pre/size/level store of [`rox_xmldb`]:
+//!
+//! * [`staircase`] — structural joins for all XPath axes, pair-producing
+//!   and zero-investment in the context input;
+//! * [`valjoin`] — value equi-joins (index nested-loop, hash, merge);
+//! * [`cutoff`] — cut-off sampled execution with reduction-factor
+//!   extrapolation (§2.3);
+//! * [`relation`] — the columnar fully-joined intermediate relations;
+//! * [`tail`] — projection / distinct / sort tail operators;
+//! * [`cost`] — deterministic work accounting following Table 1.
+
+pub mod axis;
+pub mod cost;
+pub mod cutoff;
+pub mod relation;
+pub mod staircase;
+pub mod tail;
+pub mod valjoin;
+
+pub use axis::{Axis, NodeTest};
+pub use cost::Cost;
+pub use cutoff::JoinOut;
+pub use relation::{Relation, VarId};
+pub use staircase::{naive_axis, step_join};
+pub use tail::Tail;
+pub use valjoin::{hash_value_join, index_value_join, merge_value_join, sorted_by_value};

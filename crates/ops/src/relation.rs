@@ -1,0 +1,332 @@
+//! Columnar relations over XML nodes.
+//!
+//! The semantics of a Join Graph is "a fully joined relation containing
+//! attributes of base relations" (§2.1). [`Relation`] is that intermediate:
+//! one column of [`NodeId`]s per Join Graph vertex that has been joined in
+//! so far. The ROX evaluator materializes these (the paper's
+//! fully-materialized execution model) and derives the per-vertex tables
+//! `T(v)` as distinct projections.
+
+use rand::Rng;
+use rox_xmldb::NodeId;
+use std::collections::HashMap;
+
+/// Identifier of a Join Graph vertex / relation attribute.
+pub type VarId = u32;
+
+/// A columnar relation: `cols[i]` holds the binding of `schema[i]` for
+/// every row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    schema: Vec<VarId>,
+    cols: Vec<Vec<NodeId>>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Vec<VarId>) -> Self {
+        let cols = schema.iter().map(|_| Vec::new()).collect();
+        Relation { schema, cols }
+    }
+
+    /// A single-attribute relation from a node list.
+    pub fn single(var: VarId, nodes: Vec<NodeId>) -> Self {
+        Relation { schema: vec![var], cols: vec![nodes] }
+    }
+
+    /// The attribute list.
+    pub fn schema(&self) -> &[VarId] {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.cols.first().map_or(0, Vec::len)
+    }
+
+    /// True when the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Position of `var` in the schema.
+    pub fn col_idx(&self, var: VarId) -> Option<usize> {
+        self.schema.iter().position(|&v| v == var)
+    }
+
+    /// The column bound to `var`.
+    ///
+    /// # Panics
+    /// Panics when `var` is not in the schema.
+    pub fn col(&self, var: VarId) -> &[NodeId] {
+        let i = self.col_idx(var).expect("variable not in relation schema");
+        &self.cols[i]
+    }
+
+    /// Distinct nodes of `var`'s column, sorted in document order — the
+    /// paper's `T(v)` as a projection of the component relation.
+    pub fn distinct_nodes(&self, var: VarId) -> Vec<NodeId> {
+        let mut nodes = self.col(var).to_vec();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Append one row; `row` must be parallel to the schema.
+    pub fn push_row(&mut self, row: &[NodeId]) {
+        debug_assert_eq!(row.len(), self.schema.len());
+        for (col, &v) in self.cols.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// Read one row into a buffer.
+    pub fn row(&self, i: usize, buf: &mut Vec<NodeId>) {
+        buf.clear();
+        for col in &self.cols {
+            buf.push(col[i]);
+        }
+    }
+
+    /// Keep only the rows whose index satisfies `keep`.
+    pub fn retain_rows(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.len());
+        for col in &mut self.cols {
+            let mut i = 0;
+            col.retain(|_| {
+                let k = keep[i];
+                i += 1;
+                k
+            });
+        }
+    }
+
+    /// Project onto `vars` (clones the columns, preserves row order and
+    /// multiplicity).
+    pub fn project(&self, vars: &[VarId]) -> Relation {
+        let cols = vars
+            .iter()
+            .map(|&v| self.col(v).to_vec())
+            .collect();
+        Relation { schema: vars.to_vec(), cols }
+    }
+
+    /// Sort rows lexicographically by the given variables (document order
+    /// per column) — the `τ` numbering/sort of the plan tail.
+    pub fn sort_by(&mut self, vars: &[VarId]) {
+        let key_cols: Vec<usize> = vars
+            .iter()
+            .map(|&v| self.col_idx(v).expect("sort variable not in schema"))
+            .collect();
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| {
+            for &k in &key_cols {
+                let ord = self.cols[k][a].cmp(&self.cols[k][b]);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self.reorder(&order);
+    }
+
+    fn reorder(&mut self, order: &[usize]) {
+        for col in &mut self.cols {
+            let new_col: Vec<NodeId> = order.iter().map(|&i| col[i]).collect();
+            *col = new_col;
+        }
+    }
+
+    /// Remove duplicate rows with respect to the full schema (the plan
+    /// tail's `δ`). Keeps the first occurrence; row order is otherwise
+    /// preserved.
+    pub fn distinct(&mut self) {
+        use std::collections::HashSet;
+        let mut seen: HashSet<Vec<NodeId>> = HashSet::with_capacity(self.len());
+        let mut keep = Vec::with_capacity(self.len());
+        let mut buf = Vec::new();
+        for i in 0..self.len() {
+            self.row(i, &mut buf);
+            keep.push(seen.insert(buf.clone()));
+        }
+        self.retain_rows(&keep);
+    }
+
+    /// Uniform without-replacement sample of `amount` rows (row order
+    /// preserved).
+    pub fn sample_rows<R: Rng + ?Sized>(&self, rng: &mut R, amount: usize) -> Relation {
+        if amount >= self.len() {
+            return self.clone();
+        }
+        let mut idx: Vec<usize> = rand::seq::index::sample(rng, self.len(), amount).into_vec();
+        idx.sort_unstable();
+        let cols = self
+            .cols
+            .iter()
+            .map(|col| idx.iter().map(|&i| col[i]).collect())
+            .collect();
+        Relation { schema: self.schema.clone(), cols }
+    }
+
+    /// Natural composition through a node-level pair list: every
+    /// `(a, b)` in `pairs` matches left rows with `col(var_a) == a` against
+    /// right rows with `col(var_b) == b`; output rows are the concatenation
+    /// of the left and right bindings.
+    ///
+    /// This is how the evaluator turns a node-level structural or value
+    /// join into the component-level join while preserving multiplicities.
+    pub fn compose(
+        left: &Relation,
+        var_a: VarId,
+        right: &Relation,
+        var_b: VarId,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Relation {
+        let mut left_rows: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        for (i, &n) in left.col(var_a).iter().enumerate() {
+            left_rows.entry(n).or_default().push(i as u32);
+        }
+        let mut right_rows: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        for (i, &n) in right.col(var_b).iter().enumerate() {
+            right_rows.entry(n).or_default().push(i as u32);
+        }
+        let mut schema = left.schema.clone();
+        schema.extend_from_slice(&right.schema);
+        let mut out = Relation::empty(schema);
+        let mut buf = Vec::new();
+        for &(a, b) in pairs {
+            let (Some(ls), Some(rs)) = (left_rows.get(&a), right_rows.get(&b)) else {
+                continue;
+            };
+            for &li in ls {
+                for &ri in rs {
+                    buf.clear();
+                    for col in &left.cols {
+                        buf.push(col[li as usize]);
+                    }
+                    for col in &right.cols {
+                        buf.push(col[ri as usize]);
+                    }
+                    out.push_row(&buf);
+                }
+            }
+        }
+        out
+    }
+
+    /// Extend this relation with a new attribute through row-level pairs
+    /// `(row index, node)` — the output of a step/value join executed with
+    /// this relation's `var` column as context.
+    pub fn expand(&self, pairs: &[(u32, NodeId)], new_var: VarId) -> Relation {
+        let mut schema = self.schema.clone();
+        schema.push(new_var);
+        let mut out = Relation::empty(schema);
+        let mut buf = Vec::new();
+        for &(row, node) in pairs {
+            buf.clear();
+            for col in &self.cols {
+                buf.push(col[row as usize]);
+            }
+            buf.push(node);
+            out.push_row(&buf);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rox_xmldb::catalog::DocId;
+
+    fn n(pre: u32) -> NodeId {
+        NodeId::new(DocId(0), pre)
+    }
+
+    fn rel(var: VarId, pres: &[u32]) -> Relation {
+        Relation::single(var, pres.iter().map(|&p| n(p)).collect())
+    }
+
+    #[test]
+    fn single_and_basics() {
+        let r = rel(1, &[3, 5, 5]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.schema(), &[1]);
+        assert_eq!(r.distinct_nodes(1), vec![n(3), n(5)]);
+    }
+
+    #[test]
+    fn expand_adds_column_with_multiplicity() {
+        let r = rel(1, &[3, 5]);
+        let pairs = vec![(0u32, n(10)), (0u32, n(11)), (1u32, n(12))];
+        let e = r.expand(&pairs, 2);
+        assert_eq!(e.schema(), &[1, 2]);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.col(1), &[n(3), n(3), n(5)]);
+        assert_eq!(e.col(2), &[n(10), n(11), n(12)]);
+    }
+
+    #[test]
+    fn compose_cross_multiplies_matching_rows() {
+        // left has node 3 twice.
+        let left = rel(1, &[3, 3, 5]);
+        let right = rel(2, &[7, 8]);
+        let pairs = vec![(n(3), n(7)), (n(5), n(8))];
+        let j = Relation::compose(&left, 1, &right, 2, &pairs);
+        assert_eq!(j.schema(), &[1, 2]);
+        assert_eq!(j.len(), 3); // (3,7) ×2 + (5,8)
+    }
+
+    #[test]
+    fn compose_ignores_pairs_without_rows() {
+        let left = rel(1, &[3]);
+        let right = rel(2, &[7]);
+        let pairs = vec![(n(4), n(7)), (n(3), n(9))];
+        let j = Relation::compose(&left, 1, &right, 2, &pairs);
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn distinct_removes_duplicate_rows() {
+        let mut r = rel(1, &[3, 3, 5, 3]);
+        r.distinct();
+        assert_eq!(r.col(1), &[n(3), n(5)]);
+    }
+
+    #[test]
+    fn sort_by_orders_rows() {
+        let mut r = Relation::empty(vec![1, 2]);
+        r.push_row(&[n(5), n(1)]);
+        r.push_row(&[n(3), n(9)]);
+        r.push_row(&[n(5), n(0)]);
+        r.sort_by(&[1, 2]);
+        assert_eq!(r.col(1), &[n(3), n(5), n(5)]);
+        assert_eq!(r.col(2), &[n(9), n(0), n(1)]);
+    }
+
+    #[test]
+    fn project_clones_columns() {
+        let mut r = Relation::empty(vec![1, 2]);
+        r.push_row(&[n(5), n(1)]);
+        let p = r.project(&[2]);
+        assert_eq!(p.schema(), &[2]);
+        assert_eq!(p.col(2), &[n(1)]);
+    }
+
+    #[test]
+    fn retain_rows_filters() {
+        let mut r = rel(1, &[1, 2, 3, 4]);
+        r.retain_rows(&[true, false, true, false]);
+        assert_eq!(r.col(1), &[n(1), n(3)]);
+    }
+
+    #[test]
+    fn sample_rows_is_subset() {
+        let r = rel(1, &(0..100).collect::<Vec<_>>());
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let s = r.sample_rows(&mut rng, 10);
+        assert_eq!(s.len(), 10);
+    }
+}

@@ -1,0 +1,329 @@
+//! Structural (staircase) joins over the pre/size/level encoding.
+//!
+//! `step_join(axis, C, S)` evaluates one XPath step for a context sequence
+//! `C` against a candidate sequence `S` (both pre-sorted within one
+//! document), producing *pairs* `(context row, result node)` so the caller
+//! can both derive the duplicate-free node result (the paper's staircase
+//! join output) and compose fully-joined component relations.
+//!
+//! All implementations are **zero-investment** with respect to `C` (§2.3):
+//! work is `O(|C|·log|S| + |R|)` or better — no preprocessing proportional
+//! to `|S|` happens before the first result can be produced, which is what
+//! makes cut-off sampling of these operators strictly bounded.
+
+use crate::axis::Axis;
+use crate::cost::Cost;
+use crate::cutoff::JoinOut;
+use rox_xmldb::{Document, NodeKind, Pre};
+
+/// Context tuple: `(row id, node pre)`. Row ids are dense indexes into the
+/// relation (or sample) the context was drawn from, the paper's
+/// "row-identifier densely increasing" used for the reduction factor.
+pub type CtxTuple = (u32, Pre);
+
+/// Evaluate `axis::S` for every context tuple, stopping once `limit` pairs
+/// have been produced (cut-off execution, §2.3). `ctx` must be sorted on
+/// pre; `cands` must be sorted, duplicate-free, and pre-filtered by the
+/// step's node test (element-index / value-index lookups produce exactly
+/// this shape).
+pub fn step_join(
+    doc: &Document,
+    axis: Axis,
+    ctx: &[CtxTuple],
+    cands: &[Pre],
+    limit: Option<usize>,
+    cost: &mut Cost,
+) -> JoinOut<Pre> {
+    debug_assert!(ctx.windows(2).all(|w| w[0].1 <= w[1].1), "context not sorted on pre");
+    debug_assert!(cands.windows(2).all(|w| w[0] < w[1]), "candidates not sorted/unique");
+    let mut out = JoinOut::new(ctx.len());
+    let limit = limit.unwrap_or(usize::MAX);
+    'outer: for &(row, c) in ctx {
+        cost.charge_in(1);
+        match axis {
+            Axis::Descendant | Axis::DescendantOrSelf => {
+                let lo = if axis == Axis::Descendant { c + 1 } else { c };
+                let hi = doc.post(c);
+                cost.charge_probe(1);
+                let start = cands.partition_point(|&s| s < lo);
+                for &s in &cands[start..] {
+                    if s > hi {
+                        break;
+                    }
+                    // The descendant axes exclude attribute nodes even
+                    // though they fall inside the pre range.
+                    if doc.kind(s) == NodeKind::Attribute {
+                        continue;
+                    }
+                    if out.emit(row, s, limit, cost) {
+                        break 'outer;
+                    }
+                }
+            }
+            Axis::Child => {
+                for s in doc.children(c) {
+                    cost.charge_probe(1);
+                    if cands.binary_search(&s).is_ok() && out.emit(row, s, limit, cost) {
+                        break 'outer;
+                    }
+                }
+            }
+            Axis::Attribute => {
+                for s in doc.attributes(c) {
+                    cost.charge_probe(1);
+                    if cands.binary_search(&s).is_ok() && out.emit(row, s, limit, cost) {
+                        break 'outer;
+                    }
+                }
+            }
+            Axis::Parent => {
+                if c != 0 {
+                    let p = doc.parent(c);
+                    cost.charge_probe(1);
+                    if cands.binary_search(&p).is_ok() && out.emit(row, p, limit, cost) {
+                        break 'outer;
+                    }
+                }
+            }
+            Axis::Ancestor | Axis::AncestorOrSelf => {
+                let mut cur = c;
+                if axis == Axis::AncestorOrSelf {
+                    cost.charge_probe(1);
+                    if cands.binary_search(&cur).is_ok() && out.emit(row, cur, limit, cost) {
+                        break 'outer;
+                    }
+                }
+                while cur != 0 {
+                    cur = doc.parent(cur);
+                    cost.charge_probe(1);
+                    if cands.binary_search(&cur).is_ok() && out.emit(row, cur, limit, cost) {
+                        break 'outer;
+                    }
+                    if cur == 0 {
+                        break;
+                    }
+                }
+            }
+            Axis::Following => {
+                let hi = doc.post(c);
+                cost.charge_probe(1);
+                let start = cands.partition_point(|&s| s <= hi);
+                for &s in &cands[start..] {
+                    if doc.kind(s) == NodeKind::Attribute {
+                        continue;
+                    }
+                    if out.emit(row, s, limit, cost) {
+                        break 'outer;
+                    }
+                }
+            }
+            Axis::Preceding => {
+                cost.charge_probe(1);
+                let end = cands.partition_point(|&s| s < c);
+                for &s in &cands[..end] {
+                    // Exclude ancestors (whose subtree contains c) and
+                    // attribute nodes.
+                    if doc.post(s) >= c || doc.kind(s) == NodeKind::Attribute {
+                        continue;
+                    }
+                    if out.emit(row, s, limit, cost) {
+                        break 'outer;
+                    }
+                }
+            }
+            Axis::FollowingSibling | Axis::PrecedingSibling => {
+                if c == 0 {
+                    continue;
+                }
+                let p = doc.parent(c);
+                for s in doc.children(p) {
+                    let keep = if axis == Axis::FollowingSibling { s > c } else { s < c };
+                    if !keep {
+                        continue;
+                    }
+                    cost.charge_probe(1);
+                    if cands.binary_search(&s).is_ok() && out.emit(row, s, limit, cost) {
+                        break 'outer;
+                    }
+                }
+            }
+            Axis::SelfAxis => {
+                cost.charge_probe(1);
+                if cands.binary_search(&c).is_ok() && out.emit(row, c, limit, cost) {
+                    break 'outer;
+                }
+            }
+        }
+        out.ctx_done(row);
+    }
+    out
+}
+
+/// Reference (naive) axis semantics used by the property tests: enumerate
+/// every node of the document and decide membership per the XPath data
+/// model. O(|C|·|D|) — never used by the engine itself.
+pub fn naive_axis(doc: &Document, axis: Axis, c: Pre, s: Pre) -> bool {
+    let anc = |a: Pre, d: Pre| doc.is_ancestor(a, d);
+    let s_attr = doc.kind(s) == NodeKind::Attribute;
+    match axis {
+        Axis::Child => !s_attr && doc.parent(s) == c && s != c,
+        Axis::Attribute => s_attr && doc.parent(s) == c,
+        Axis::Descendant => !s_attr && anc(c, s),
+        Axis::DescendantOrSelf => !s_attr && (s == c || anc(c, s)),
+        Axis::Parent => c != 0 && doc.parent(c) == s,
+        Axis::Ancestor => anc(s, c),
+        Axis::AncestorOrSelf => s == c || anc(s, c),
+        Axis::Following => !s_attr && s > doc.post(c),
+        Axis::Preceding => !s_attr && doc.post(s) < c,
+        // The root is its own parent in the encoding, so exclude it
+        // explicitly: it is nobody's sibling.
+        Axis::FollowingSibling => {
+            c != 0 && s != 0 && s != c && !s_attr && doc.parent(s) == doc.parent(c) && s > c
+        }
+        Axis::PrecedingSibling => {
+            c != 0 && s != 0 && s != c && !s_attr && doc.parent(s) == doc.parent(c) && s < c
+        }
+        Axis::SelfAxis => s == c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::NodeTest;
+    use rox_index::ElementIndex;
+    use rox_xmldb::parse_document;
+
+    const DOC: &str = r#"<site><people><person id="p1"><name>a</name></person><person id="p2"><name>b</name></person></people><auctions><auction><bidder><ref/></bidder><bidder><ref/></bidder></auction><auction><bidder><ref/></bidder></auction></auctions></site>"#;
+
+    fn setup() -> (std::sync::Arc<rox_xmldb::Document>, ElementIndex) {
+        let d = parse_document("t.xml", DOC).unwrap();
+        let idx = ElementIndex::build(&d);
+        (d, idx)
+    }
+
+    fn ctx_of(pres: &[Pre]) -> Vec<CtxTuple> {
+        pres.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect()
+    }
+
+    fn run(d: &rox_xmldb::Document, axis: Axis, ctx: &[Pre], cands: &[Pre]) -> Vec<(u32, Pre)> {
+        let mut cost = Cost::new();
+        step_join(d, axis, &ctx_of(ctx), cands, None, &mut cost).pairs
+    }
+
+    #[test]
+    fn descendant_matches_naive() {
+        let (d, idx) = setup();
+        let bidder = d.interner().get("bidder").unwrap();
+        let cands = idx.lookup(bidder);
+        let pairs = run(&d, Axis::Descendant, &[0], cands);
+        assert_eq!(pairs.len(), 3);
+        for (_, s) in &pairs {
+            assert!(naive_axis(&d, Axis::Descendant, 0, *s));
+        }
+    }
+
+    #[test]
+    fn child_only_direct_children() {
+        let (d, idx) = setup();
+        let auction = d.interner().get("auction").unwrap();
+        let auctions_el = idx.lookup(d.interner().get("auctions").unwrap())[0];
+        let pairs = run(&d, Axis::Child, &[auctions_el], idx.lookup(auction));
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn attribute_axis_finds_attrs() {
+        let (d, idx) = setup();
+        let person = d.interner().get("person").unwrap();
+        let persons = idx.lookup(person).to_vec();
+        let attrs = idx.attributes().to_vec();
+        let pairs = run(&d, Axis::Attribute, &persons, &attrs);
+        assert_eq!(pairs.len(), 2);
+        for (_, a) in pairs {
+            assert_eq!(d.kind(a), NodeKind::Attribute);
+        }
+    }
+
+    #[test]
+    fn ancestor_walks_to_root() {
+        let (d, idx) = setup();
+        let refs = idx.lookup(d.interner().get("ref").unwrap()).to_vec();
+        let elems = idx.elements().to_vec();
+        let pairs = run(&d, Axis::Ancestor, &refs, &elems);
+        // Each ref has ancestors: bidder, auction, auctions, site = 4.
+        assert_eq!(pairs.len(), refs.len() * 4);
+    }
+
+    #[test]
+    fn following_and_preceding_partition() {
+        let (d, idx) = setup();
+        let person = idx.lookup(d.interner().get("person").unwrap()).to_vec();
+        let elems = idx.elements().to_vec();
+        let c = person[0];
+        let foll = run(&d, Axis::Following, &[c], &elems);
+        let prec = run(&d, Axis::Preceding, &[c], &elems);
+        for (_, s) in &foll {
+            assert!(naive_axis(&d, Axis::Following, c, *s));
+        }
+        for (_, s) in &prec {
+            assert!(naive_axis(&d, Axis::Preceding, c, *s));
+        }
+        // person[0] has no preceding elements (only ancestors before it).
+        assert!(prec.is_empty());
+        assert!(!foll.is_empty());
+    }
+
+    #[test]
+    fn siblings() {
+        let (d, idx) = setup();
+        let person = idx.lookup(d.interner().get("person").unwrap()).to_vec();
+        let folls = run(&d, Axis::FollowingSibling, &[person[0]], &person);
+        assert_eq!(folls, vec![(0, person[1])]);
+        let precs = run(&d, Axis::PrecedingSibling, &[person[1]], &person);
+        assert_eq!(precs, vec![(0, person[0])]);
+    }
+
+    #[test]
+    fn parent_and_self() {
+        let (d, idx) = setup();
+        let name = idx.lookup(d.interner().get("name").unwrap()).to_vec();
+        let person = idx.lookup(d.interner().get("person").unwrap()).to_vec();
+        let pairs = run(&d, Axis::Parent, &name, &person);
+        assert_eq!(pairs.len(), 2);
+        let selfs = run(&d, Axis::SelfAxis, &person, &person);
+        assert_eq!(selfs.len(), 2);
+    }
+
+    #[test]
+    fn cutoff_truncates_and_extrapolates() {
+        let (d, idx) = setup();
+        let bidder = idx.lookup(d.interner().get("bidder").unwrap()).to_vec();
+        // Context: the two auction elements -> 3 bidder pairs total.
+        let auction = idx.lookup(d.interner().get("auction").unwrap()).to_vec();
+        let mut cost = Cost::new();
+        let out = step_join(&d, Axis::Descendant, &ctx_of(&auction), &bidder, Some(2), &mut cost);
+        assert!(out.truncated);
+        assert_eq!(out.pairs.len(), 2);
+        // First auction (row 0) produced both pairs before the cut-off:
+        // f = 1/2 processed, estimate = 2 / (1/2) = 4 (true value 3).
+        let est = out.estimate();
+        assert!((3.0..=4.5).contains(&est), "est = {est}");
+    }
+
+    #[test]
+    fn node_test_prefilter_equivalence() {
+        // Using a name-filtered candidate list is the same as filtering after.
+        let (d, idx) = setup();
+        let bidder_sym = d.interner().get("bidder").unwrap();
+        let all = idx.elements().to_vec();
+        let pairs_all = run(&d, Axis::Descendant, &[0], &all);
+        let test = NodeTest::element(bidder_sym);
+        let filtered: Vec<_> = pairs_all
+            .into_iter()
+            .filter(|(_, s)| test.matches(&d, *s))
+            .collect();
+        let direct = run(&d, Axis::Descendant, &[0], idx.lookup(bidder_sym));
+        assert_eq!(filtered, direct);
+    }
+}

@@ -1,0 +1,76 @@
+//! The plan tail (§2.1): projection, duplicate elimination and the
+//! numbering/sort that restore XQuery's order and distinctness semantics
+//! on top of the order-independent Join Graph result.
+
+use crate::cost::Cost;
+use crate::relation::{Relation, VarId};
+
+/// The tail of a plan: `π_keep ∘ τ_sort ∘ δ ∘ π_dedup` as in Fig. 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tail {
+    /// Variables the distinct step works on (`π` before `δ`).
+    pub dedup_vars: Vec<VarId>,
+    /// Sort order restoring document order of the `for` variables (`τ`).
+    pub sort_vars: Vec<VarId>,
+    /// Final projection (the `return` expression's variable).
+    pub output_vars: Vec<VarId>,
+}
+
+impl Tail {
+    /// Apply the tail to a fully joined relation.
+    pub fn apply(&self, joined: &Relation, cost: &mut Cost) -> Relation {
+        cost.charge_in(joined.len());
+        let mut r = joined.project(&self.dedup_vars);
+        r.distinct();
+        r.sort_by(&self.sort_vars);
+        let out = r.project(&self.output_vars);
+        cost.charge_out(out.len());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rox_xmldb::catalog::DocId;
+    use rox_xmldb::NodeId;
+
+    fn n(pre: u32) -> NodeId {
+        NodeId::new(DocId(0), pre)
+    }
+
+    #[test]
+    fn tail_dedups_sorts_and_projects() {
+        // Fully joined relation over vars (1, 2) with duplicates and
+        // shuffled order.
+        let mut r = Relation::empty(vec![1, 2]);
+        r.push_row(&[n(5), n(30)]);
+        r.push_row(&[n(3), n(20)]);
+        r.push_row(&[n(5), n(30)]); // duplicate pair
+        r.push_row(&[n(5), n(10)]);
+        let tail = Tail {
+            dedup_vars: vec![1, 2],
+            sort_vars: vec![1, 2],
+            output_vars: vec![1],
+        };
+        let mut cost = Cost::new();
+        let out = tail.apply(&r, &mut cost);
+        // (3,20), (5,10), (5,30): output column of var 1.
+        assert_eq!(out.col(1), &[n(3), n(5), n(5)]);
+    }
+
+    #[test]
+    fn tail_with_single_variable() {
+        let mut r = Relation::empty(vec![7]);
+        r.push_row(&[n(2)]);
+        r.push_row(&[n(1)]);
+        r.push_row(&[n(2)]);
+        let tail = Tail {
+            dedup_vars: vec![7],
+            sort_vars: vec![7],
+            output_vars: vec![7],
+        };
+        let out = tail.apply(&r, &mut Cost::new());
+        assert_eq!(out.col(7), &[n(1), n(2)]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Value-based equi-joins (the relational joins of the Join Graph).
+//!
+//! Three physical algorithms, mirroring Table 1:
+//!
+//! * [`index_value_join`] — nested-loop index lookup: for each (sampled)
+//!   outer tuple, probe the inner document's value index. Zero-investment
+//!   w.r.t. the outer input, hence the algorithm ROX samples with.
+//! * [`hash_value_join`] — classic hash join on interned value symbols,
+//!   used for full (materialized) edge execution. Cost `|C|+|S|+|R|`.
+//! * [`merge_value_join`] — merge join over inputs pre-sorted by value
+//!   symbol (zero-investment when the inner is already ordered).
+//!
+//! Cross-document joins compare interned [`Symbol`]s, which is sound
+//! because all documents of one catalog share an interner.
+
+use crate::cost::Cost;
+use crate::cutoff::JoinOut;
+use rox_index::ValueIndex;
+use rox_xmldb::{Document, NodeKind, Pre, Symbol};
+use std::collections::HashMap;
+
+/// Context tuple for value joins: `(row id, node pre)` in the outer doc.
+pub type CtxTuple = (u32, Pre);
+
+fn join_value(doc: &Document, pre: Pre) -> Symbol {
+    debug_assert!(
+        matches!(doc.kind(pre), NodeKind::Text | NodeKind::Attribute),
+        "value join inputs must be text or attribute nodes"
+    );
+    doc.value(pre)
+}
+
+/// Nested-loop index-lookup join: probe `inner_index` for each outer tuple
+/// and keep hits that appear in `inner_filter` (the materialized `T(v′)`),
+/// or all hits when `inner_filter` is `None`.
+#[allow(clippy::too_many_arguments)]
+pub fn index_value_join(
+    outer_doc: &Document,
+    outer: &[CtxTuple],
+    inner_doc: &Document,
+    inner_index: &ValueIndex,
+    inner_kind: NodeKind,
+    inner_filter: Option<&[Pre]>,
+    limit: Option<usize>,
+    cost: &mut Cost,
+) -> JoinOut<Pre> {
+    let mut out = JoinOut::new(outer.len());
+    let limit = limit.unwrap_or(usize::MAX);
+    'outer: for &(row, c) in outer {
+        cost.charge_in(1);
+        cost.charge_probe(1);
+        let v = join_value(outer_doc, c);
+        let hits: &[Pre] = match inner_kind {
+            NodeKind::Text => inner_index.text_eq(v),
+            NodeKind::Attribute => inner_index.attr_eq(v),
+            _ => unreachable!("value index covers text and attribute nodes"),
+        };
+        let _ = inner_doc;
+        for &s in hits {
+            if let Some(filter) = inner_filter {
+                cost.charge_probe(1);
+                if filter.binary_search(&s).is_err() {
+                    continue;
+                }
+            }
+            if out.emit(row, s, limit, cost) {
+                break 'outer;
+            }
+        }
+        out.ctx_done(row);
+    }
+    out
+}
+
+/// Hash join at the node level: all `(left, right)` pre pairs with equal
+/// values. Builds on the smaller side.
+pub fn hash_value_join(
+    left_doc: &Document,
+    left: &[Pre],
+    right_doc: &Document,
+    right: &[Pre],
+    cost: &mut Cost,
+) -> Vec<(Pre, Pre)> {
+    // Build on the smaller input, probe with the larger; emit in
+    // (left, right) orientation either way.
+    let build_left = left.len() <= right.len();
+    let (build_doc, build, probe_doc, probe) = if build_left {
+        (left_doc, left, right_doc, right)
+    } else {
+        (right_doc, right, left_doc, left)
+    };
+    let mut table: HashMap<Symbol, Vec<Pre>> = HashMap::with_capacity(build.len());
+    for &p in build {
+        cost.charge_in(1);
+        table.entry(join_value(build_doc, p)).or_default().push(p);
+    }
+    let mut out = Vec::new();
+    for &p in probe {
+        cost.charge_in(1);
+        cost.charge_probe(1);
+        if let Some(matches) = table.get(&join_value(probe_doc, p)) {
+            for &m in matches {
+                cost.charge_out(1);
+                if build_left {
+                    out.push((m, p));
+                } else {
+                    out.push((p, m));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Merge join over inputs sorted by value symbol. `left`/`right` are
+/// `(symbol, pre)` pairs sorted on symbol.
+pub fn merge_value_join(
+    left: &[(Symbol, Pre)],
+    right: &[(Symbol, Pre)],
+    cost: &mut Cost,
+) -> Vec<(Pre, Pre)> {
+    debug_assert!(left.windows(2).all(|w| w[0].0 <= w[1].0));
+    debug_assert!(right.windows(2).all(|w| w[0].0 <= w[1].0));
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        cost.charge_in(1);
+        match left[i].0.cmp(&right[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Emit the cross product of the equal-symbol groups.
+                let sym = left[i].0;
+                let i_end = left[i..].iter().take_while(|(s, _)| *s == sym).count() + i;
+                let j_end = right[j..].iter().take_while(|(s, _)| *s == sym).count() + j;
+                for &(_, lp) in &left[i..i_end] {
+                    for &(_, rp) in &right[j..j_end] {
+                        cost.charge_out(1);
+                        out.push((lp, rp));
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+/// Sort a node list into `(symbol, pre)` pairs ordered by symbol — the
+/// preparation step for [`merge_value_join`] (an investment, so only used
+/// on fully materialized inputs).
+pub fn sorted_by_value(doc: &Document, nodes: &[Pre]) -> Vec<(Symbol, Pre)> {
+    let mut out: Vec<(Symbol, Pre)> = nodes.iter().map(|&p| (join_value(doc, p), p)).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rox_xmldb::Catalog;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Catalog>, Arc<Document>, Arc<Document>, ValueIndex, ValueIndex) {
+        let cat = Arc::new(Catalog::new());
+        let a = cat
+            .load_str("a.xml", "<r><x>ann</x><x>bob</x><x>ann</x></r>")
+            .unwrap();
+        let b = cat
+            .load_str("b.xml", "<r><y>ann</y><y>cat</y><y>bob</y></r>")
+            .unwrap();
+        let da = cat.doc(a);
+        let db = cat.doc(b);
+        let ia = ValueIndex::build(&da);
+        let ib = ValueIndex::build(&db);
+        (cat, da, db, ia, ib)
+    }
+
+    fn text_nodes(doc: &Document) -> Vec<Pre> {
+        (0..doc.node_count() as Pre)
+            .filter(|&p| doc.kind(p) == NodeKind::Text)
+            .collect()
+    }
+
+    #[test]
+    fn index_join_finds_cross_doc_matches() {
+        let (_cat, da, db, _ia, ib) = setup();
+        let left = text_nodes(&da);
+        let ctx: Vec<CtxTuple> = left.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        let mut cost = Cost::new();
+        let out = index_value_join(&da, &ctx, &db, &ib, NodeKind::Text, None, None, &mut cost);
+        // ann (x2 left) matches 1 right; bob matches 1 => 3 pairs.
+        assert_eq!(out.pairs.len(), 3);
+    }
+
+    #[test]
+    fn index_join_respects_filter() {
+        let (_cat, da, db, _ia, ib) = setup();
+        let left = text_nodes(&da);
+        let ctx: Vec<CtxTuple> = left.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        // Only allow the right "bob" text node.
+        let right = text_nodes(&db);
+        let bob_only: Vec<Pre> = right
+            .iter()
+            .copied()
+            .filter(|&p| db.value_str(p) == "bob")
+            .collect();
+        let mut cost = Cost::new();
+        let out = index_value_join(
+            &da, &ctx, &db, &ib, NodeKind::Text, Some(&bob_only), None, &mut cost,
+        );
+        assert_eq!(out.pairs.len(), 1);
+        assert_eq!(da.value_str(ctx[out.pairs[0].0 as usize].1), "bob");
+    }
+
+    #[test]
+    fn hash_join_matches_index_join() {
+        let (_cat, da, db, _ia, ib) = setup();
+        let left = text_nodes(&da);
+        let right = text_nodes(&db);
+        let mut c1 = Cost::new();
+        let hash = hash_value_join(&da, &left, &db, &right, &mut c1);
+        let ctx: Vec<CtxTuple> = left.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        let mut c2 = Cost::new();
+        let idx = index_value_join(&da, &ctx, &db, &ib, NodeKind::Text, None, None, &mut c2);
+        let mut hash_sorted = hash.clone();
+        hash_sorted.sort_unstable();
+        let mut idx_pairs: Vec<(Pre, Pre)> = idx
+            .pairs
+            .iter()
+            .map(|&(r, s)| (ctx[r as usize].1, s))
+            .collect();
+        idx_pairs.sort_unstable();
+        assert_eq!(hash_sorted, idx_pairs);
+    }
+
+    #[test]
+    fn merge_join_matches_hash_join() {
+        let (_cat, da, db, _, _) = setup();
+        let left = text_nodes(&da);
+        let right = text_nodes(&db);
+        let mut c = Cost::new();
+        let mut hash = hash_value_join(&da, &left, &db, &right, &mut c);
+        hash.sort_unstable();
+        let ls = sorted_by_value(&da, &left);
+        let rs = sorted_by_value(&db, &right);
+        let mut merge = merge_value_join(&ls, &rs, &mut c);
+        merge.sort_unstable();
+        assert_eq!(hash, merge);
+    }
+
+    #[test]
+    fn cutoff_on_index_join() {
+        let (_cat, da, db, _ia, ib) = setup();
+        let left = text_nodes(&da);
+        let ctx: Vec<CtxTuple> = left.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        let mut cost = Cost::new();
+        let out = index_value_join(&da, &ctx, &db, &ib, NodeKind::Text, None, Some(1), &mut cost);
+        assert!(out.truncated);
+        assert_eq!(out.pairs.len(), 1);
+        assert!(out.estimate() >= 1.0);
+    }
+
+    #[test]
+    fn attribute_value_join() {
+        let cat = Arc::new(Catalog::new());
+        let a = cat.load_str("a.xml", r#"<r><e k="1"/><e k="2"/></r>"#).unwrap();
+        let b = cat.load_str("b.xml", r#"<r><f id="2"/><f id="3"/></r>"#).unwrap();
+        let da = cat.doc(a);
+        let db = cat.doc(b);
+        let ib = ValueIndex::build(&db);
+        let attrs: Vec<Pre> = (0..da.node_count() as Pre)
+            .filter(|&p| da.kind(p) == NodeKind::Attribute)
+            .collect();
+        let ctx: Vec<CtxTuple> = attrs.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        let mut cost = Cost::new();
+        let out =
+            index_value_join(&da, &ctx, &db, &ib, NodeKind::Attribute, None, None, &mut cost);
+        assert_eq!(out.pairs.len(), 1);
+        assert_eq!(da.value_str(ctx[out.pairs[0].0 as usize].1), "2");
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests: every staircase axis implementation must agree with the
+//! naive XPath axis semantics on random trees, and cut-off execution must
+//! be a prefix of the full execution.
+
+use proptest::prelude::*;
+use rox_index::ElementIndex;
+use rox_ops::{naive_axis, step_join, Axis, Cost};
+use rox_xmldb::catalog::DocId;
+use rox_xmldb::{Document, DocumentBuilder, NodeKind, Pre};
+
+/// Generate a random document: a sequence of actions driving the builder.
+fn doc_strategy() -> impl Strategy<Value = Document> {
+    // Action stream: 0 = open element, 1 = close, 2 = text, 3 = attribute.
+    prop::collection::vec((0u8..4, 0u8..4), 1..80).prop_map(|actions| {
+        let names = ["a", "b", "c", "d"];
+        let mut b = DocumentBuilder::new("prop.xml");
+        let mut depth = 0usize;
+        let mut attrs_ok = false;
+        for (action, pick) in actions {
+            match action {
+                0 => {
+                    b.start_element(names[pick as usize]);
+                    depth += 1;
+                    attrs_ok = true;
+                }
+                1 => {
+                    if depth > 0 {
+                        b.end_element();
+                        depth -= 1;
+                        attrs_ok = false;
+                    }
+                }
+                2 => {
+                    if depth > 0 {
+                        b.text(&format!("t{pick}"));
+                        attrs_ok = false;
+                    }
+                }
+                _ => {
+                    if depth > 0 && attrs_ok {
+                        // Builder forbids duplicate-free checking here; use
+                        // distinct names per pick to stay well-formed
+                        // often enough (duplicates across siblings are fine).
+                        b.attribute(names[pick as usize], "v");
+                        // keep attrs_ok: multiple attributes allowed; the
+                        // builder panics only on attribute-after-content.
+                    }
+                }
+            }
+        }
+        while depth > 0 {
+            b.end_element();
+            depth -= 1;
+        }
+        b.finish(DocId(0))
+    })
+}
+
+const AXES: [Axis; 12] = [
+    Axis::Child,
+    Axis::Descendant,
+    Axis::DescendantOrSelf,
+    Axis::Parent,
+    Axis::Ancestor,
+    Axis::AncestorOrSelf,
+    Axis::Following,
+    Axis::Preceding,
+    Axis::FollowingSibling,
+    Axis::PrecedingSibling,
+    Axis::SelfAxis,
+    Axis::Attribute,
+];
+
+fn axis_strategy() -> impl Strategy<Value = Axis> {
+    prop::sample::select(AXES.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn staircase_agrees_with_naive(doc in doc_strategy(), axis in axis_strategy(), seed in 0u64..1000) {
+        let idx = ElementIndex::build(&doc);
+        // Context: a pseudo-random subset of elements (plus attrs/text for
+        // some axes — keep to elements + text for generality).
+        let mut ctx_nodes: Vec<Pre> = idx
+            .elements()
+            .iter()
+            .chain(idx.text_nodes())
+            .copied()
+            .filter(|p| (p.wrapping_mul(2654435761).wrapping_add(seed as u32)) % 3 == 0)
+            .collect();
+        ctx_nodes.sort_unstable();
+        // Candidates: all nodes of the kind the axis can return.
+        let mut cands: Vec<Pre> = if axis == Axis::Attribute {
+            idx.attributes().to_vec()
+        } else {
+            (0..doc.node_count() as Pre)
+                .filter(|&p| doc.kind(p) != NodeKind::Attribute)
+                .collect()
+        };
+        cands.sort_unstable();
+        let ctx: Vec<(u32, Pre)> = ctx_nodes.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        let mut cost = Cost::new();
+        let out = step_join(&doc, axis, &ctx, &cands, None, &mut cost);
+        // Build the expected pair set naively.
+        let mut expected: Vec<(u32, Pre)> = Vec::new();
+        for (i, &c) in ctx_nodes.iter().enumerate() {
+            for &s in &cands {
+                if naive_axis(&doc, axis, c, s) {
+                    expected.push((i as u32, s));
+                }
+            }
+        }
+        let mut got = out.pairs.clone();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected, "axis {:?}", axis);
+    }
+
+    #[test]
+    fn cutoff_is_prefix_of_full(doc in doc_strategy(), axis in axis_strategy(), limit in 1usize..20) {
+        let idx = ElementIndex::build(&doc);
+        let ctx_nodes: Vec<Pre> = idx.elements().to_vec();
+        let ctx: Vec<(u32, Pre)> = ctx_nodes.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        let cands: Vec<Pre> = if axis == Axis::Attribute {
+            idx.attributes().to_vec()
+        } else {
+            (0..doc.node_count() as Pre)
+                .filter(|&p| doc.kind(p) != NodeKind::Attribute)
+                .collect()
+        };
+        let mut c1 = Cost::new();
+        let full = step_join(&doc, axis, &ctx, &cands, None, &mut c1);
+        let mut c2 = Cost::new();
+        let cut = step_join(&doc, axis, &ctx, &cands, Some(limit), &mut c2);
+        prop_assert!(cut.pairs.len() <= limit.max(full.pairs.len().min(limit)));
+        prop_assert_eq!(&full.pairs[..cut.pairs.len()], &cut.pairs[..]);
+        if full.pairs.len() > limit {
+            prop_assert!(cut.truncated);
+            // Extrapolation must be positive and finite.
+            let est = cut.estimate();
+            prop_assert!(est.is_finite() && est >= cut.pairs.len() as f64);
+        } else if full.pairs.len() < limit {
+            prop_assert!(!cut.truncated);
+            prop_assert_eq!(cut.estimate(), full.pairs.len() as f64);
+        }
+        // full.len() == limit: the cut-off run stops exactly at the last
+        // pair and conservatively reports truncation — both acceptable.
+    }
+
+    #[test]
+    fn inverse_axis_flips_pairs(doc in doc_strategy(), axis in axis_strategy()) {
+        // s ∈ axis(c) ⟺ c ∈ axis⁻¹(s), with kind filtering consistent.
+        let n = doc.node_count() as Pre;
+        for c in 0..n {
+            for s in 0..n {
+                if naive_axis(&doc, axis, c, s) {
+                    // The inverse holds whenever c is a legal *result* of
+                    // the inverse axis (kind-wise): attribute nodes are
+                    // only reachable via the attribute axis.
+                    let inv = axis.inverse();
+                    let c_is_attr = doc.kind(c) == NodeKind::Attribute;
+                    if (inv == Axis::Attribute) == c_is_attr {
+                        prop_assert!(
+                            naive_axis(&doc, inv, s, c),
+                            "axis {:?} pair ({c},{s}) not inverted by {:?}",
+                            axis, inv
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The run-time environment: documents, indices, and per-vertex base
+//! lists.
+//!
+//! A Join Graph vertex denotes a relation of XML nodes ("all elements named
+//! q", "all text nodes with value = x", ...). The environment resolves each
+//! vertex to its **base list** — the index lookup of §2.2 — lazily and
+//! caches it. Base-list *counts* are what Phase 1 of Algorithm 1 seeds
+//! `card(v)` with; base-list *samples* seed `S(v)`.
+
+use rox_index::IndexedStore;
+use rox_joingraph::{JoinGraph, VertexId, VertexLabel};
+use rox_xmldb::{Catalog, DocId, Document, NodeId, NodeKind, Pre};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Resolved, cached run-time context for one Join Graph over one catalog.
+pub struct RoxEnv {
+    store: IndexedStore,
+    /// vertex → document id (resolved from the vertex URI).
+    vertex_doc: Vec<DocId>,
+    /// vertex → cached base list (lazily built).
+    base_lists: std::sync::Mutex<HashMap<VertexId, Arc<Vec<Pre>>>>,
+}
+
+/// An environment construction error (unknown document, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "environment error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+impl std::fmt::Debug for RoxEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoxEnv")
+            .field("vertices", &self.vertex_doc.len())
+            .finish()
+    }
+}
+
+impl RoxEnv {
+    /// Resolve every vertex of `graph` against `catalog`.
+    pub fn new(catalog: Arc<Catalog>, graph: &JoinGraph) -> Result<Self, EnvError> {
+        let mut vertex_doc = Vec::with_capacity(graph.vertex_count());
+        for v in graph.vertices() {
+            let id = catalog.resolve(&v.doc_uri).ok_or_else(|| EnvError {
+                message: format!("document '{}' is not loaded", v.doc_uri),
+            })?;
+            vertex_doc.push(id);
+        }
+        Ok(RoxEnv {
+            store: IndexedStore::new(catalog),
+            vertex_doc,
+            base_lists: std::sync::Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The indexed store.
+    pub fn store(&self) -> &IndexedStore {
+        &self.store
+    }
+
+    /// The document a vertex lives in.
+    pub fn doc_id(&self, v: VertexId) -> DocId {
+        self.vertex_doc[v as usize]
+    }
+
+    /// The document a vertex lives in (loaded).
+    pub fn doc(&self, v: VertexId) -> Arc<Document> {
+        self.store.doc(self.doc_id(v))
+    }
+
+    /// The node kind a vertex's nodes have (for value-join index probes).
+    pub fn vertex_kind(label: &VertexLabel) -> NodeKind {
+        match label {
+            VertexLabel::Root => NodeKind::Document,
+            VertexLabel::Element(_) => NodeKind::Element,
+            VertexLabel::Text(_) => NodeKind::Text,
+            VertexLabel::Attribute(..) => NodeKind::Attribute,
+        }
+    }
+
+    /// The base list of a vertex: all nodes satisfying its annotation, from
+    /// the cheapest index path, sorted on pre. Cached per vertex.
+    pub fn base_list(&self, graph: &JoinGraph, v: VertexId) -> Arc<Vec<Pre>> {
+        if let Some(cached) = self.base_lists.lock().expect("base list cache").get(&v) {
+            return Arc::clone(cached);
+        }
+        let doc_id = self.doc_id(v);
+        let doc = self.store.doc(doc_id);
+        let idx = self.store.indexes(doc_id);
+        let list: Vec<Pre> = match &graph.vertex(v).label {
+            VertexLabel::Root => vec![0],
+            VertexLabel::Element(name) => match doc.interner().get(name) {
+                Some(sym) => idx.element.lookup(sym).to_vec(),
+                None => Vec::new(),
+            },
+            VertexLabel::Text(None) => idx.element.text_nodes().to_vec(),
+            VertexLabel::Text(Some(pred)) => idx.value.select_text(&doc, pred),
+            VertexLabel::Attribute(name, pred) => {
+                let by_name: Vec<Pre> = match doc.interner().get(name) {
+                    Some(sym) => idx.element.lookup_attr(sym).to_vec(),
+                    None => Vec::new(),
+                };
+                match pred {
+                    None => by_name,
+                    Some(p) => by_name
+                        .into_iter()
+                        .filter(|&a| p.matches(&doc.value_str(a)))
+                        .collect(),
+                }
+            }
+        };
+        let list = Arc::new(list);
+        self.base_lists
+            .lock()
+            .expect("base list cache")
+            .insert(v, Arc::clone(&list));
+        list
+    }
+
+    /// Base-list count — the `card(v)` seed (O(1) once cached; an index
+    /// count probe either way).
+    pub fn base_count(&self, graph: &JoinGraph, v: VertexId) -> usize {
+        self.base_list(graph, v).len()
+    }
+
+    /// Convert a pre list of vertex `v` into global node ids.
+    pub fn to_node_ids(&self, v: VertexId, pres: &[Pre]) -> Vec<NodeId> {
+        let doc = self.doc_id(v);
+        pres.iter().map(|&p| NodeId::new(doc, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rox_joingraph::compile_query;
+
+    fn setup() -> (Arc<Catalog>, JoinGraph) {
+        let cat = Arc::new(Catalog::new());
+        cat.load_str(
+            "d.xml",
+            r#"<site><item id="1"><quantity>1</quantity></item><item id="2"><quantity>3</quantity></item></site>"#,
+        )
+        .unwrap();
+        let g = compile_query(r#"for $i in doc("d.xml")//item[./quantity = 1] return $i"#)
+            .unwrap();
+        (cat, g)
+    }
+
+    #[test]
+    fn resolves_documents() {
+        let (cat, g) = setup();
+        let env = RoxEnv::new(cat, &g).unwrap();
+        assert_eq!(env.doc_id(0), DocId(0));
+    }
+
+    #[test]
+    fn unknown_document_errors() {
+        let cat = Arc::new(Catalog::new());
+        let g = compile_query(r#"for $i in doc("missing.xml")//item return $i"#).unwrap();
+        let e = RoxEnv::new(cat, &g).unwrap_err();
+        assert!(e.message.contains("missing.xml"));
+    }
+
+    #[test]
+    fn base_lists_per_label() {
+        let (cat, g) = setup();
+        let env = RoxEnv::new(cat, &g).unwrap();
+        // Find vertices by label.
+        for v in g.vertices() {
+            let list = env.base_list(&g, v.id);
+            match &v.label {
+                VertexLabel::Root => assert_eq!(&*list, &vec![0]),
+                VertexLabel::Element(n) if n == "item" => assert_eq!(list.len(), 2),
+                VertexLabel::Element(n) if n == "quantity" => assert_eq!(list.len(), 2),
+                VertexLabel::Text(Some(_)) => assert_eq!(list.len(), 1), // "1"
+                other => panic!("unexpected label {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn base_list_is_cached() {
+        let (cat, g) = setup();
+        let env = RoxEnv::new(cat, &g).unwrap();
+        let a = env.base_list(&g, 1);
+        let b = env.base_list(&g, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn missing_name_gives_empty_base() {
+        let cat = Arc::new(Catalog::new());
+        cat.load_str("d.xml", "<a/>").unwrap();
+        let g = compile_query(r#"for $i in doc("d.xml")//zebra return $i"#).unwrap();
+        let env = RoxEnv::new(cat, &g).unwrap();
+        let zebra = g.var_vertices["i"];
+        assert!(env.base_list(&g, zebra).is_empty());
+        assert_eq!(env.base_count(&g, zebra), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Human-readable explanations of ROX runs: rendered execution orders,
+//! chain-sampling traces (the paper's Table 2 rows) and plan summaries.
+
+use crate::chain::ChainTrace;
+use crate::optimizer::RoxReport;
+use rox_joingraph::{EdgeId, EdgeKind, JoinGraph};
+use std::fmt::Write as _;
+
+/// Render one edge as `label <op> label`.
+pub fn render_edge(graph: &JoinGraph, e: EdgeId) -> String {
+    let edge = graph.edge(e);
+    let op = match &edge.kind {
+        EdgeKind::Step(ax) => format!("◦{}", ax.label()),
+        EdgeKind::EquiJoin { inferred: false } => "=".into(),
+        EdgeKind::EquiJoin { inferred: true } => "=·".into(),
+    };
+    format!(
+        "{} {} {}",
+        graph.vertex(edge.v1).label,
+        op,
+        graph.vertex(edge.v2).label
+    )
+}
+
+/// Render the executed order with per-edge result sizes (the Fig. 3.3/3.4
+/// presentation).
+pub fn render_execution(graph: &JoinGraph, report: &RoxReport) -> String {
+    let mut out = String::new();
+    for (i, &e) in report.executed_order.iter().enumerate() {
+        let rows = report
+            .edge_log
+            .iter()
+            .find(|x| x.edge == e)
+            .map(|x| x.result_rows)
+            .unwrap_or(0);
+        let _ = writeln!(out, "{:>3}. {}  -> {} rows", i + 1, render_edge(graph, e), rows);
+    }
+    out
+}
+
+/// Render a chain-sampling trace as the (cost, sf) round table of Table 2.
+pub fn render_trace(graph: &JoinGraph, trace: &ChainTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "seed e{} ({}), source v{}",
+        trace.seed_edge,
+        render_edge(graph, trace.seed_edge),
+        trace.source
+    );
+    for (round, snaps) in trace.rounds.iter().enumerate() {
+        let _ = write!(out, "round {:>2}:", round + 1);
+        for p in snaps {
+            let edges: Vec<String> = p.edges.iter().map(|e| format!("e{e}")).collect();
+            let _ = write!(out, "  ({}: {:.1}, {:.2})", edges.join("·"), p.cost, p.sf);
+        }
+        let _ = writeln!(out);
+    }
+    let chosen: Vec<String> = trace.chosen.iter().map(|e| format!("e{e}")).collect();
+    let _ = writeln!(
+        out,
+        "chosen [{}] {}",
+        chosen.join("·"),
+        if trace.stopped_early { "(stopping condition)" } else { "(exhausted)" }
+    );
+    out
+}
+
+/// One-paragraph run summary.
+pub fn summarize(report: &RoxReport) -> String {
+    format!(
+        "{} edges executed, {} result rows; work: {} execution + {} sampling \
+         ({:.1}% overhead); wall: {:?} total ({:?} sampling)",
+        report.executed_order.len(),
+        report.output.len(),
+        report.exec_cost.total(),
+        report.sample_cost.total(),
+        report.sampling_overhead_pct(),
+        report.total_wall,
+        report.sample_wall,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{run_rox, RoxOptions};
+    use rox_xmldb::Catalog;
+    use std::sync::Arc;
+
+    fn setup() -> (JoinGraph, RoxReport) {
+        let cat = Arc::new(Catalog::new());
+        cat.load_str(
+            "d.xml",
+            "<site><auction><cheap/><bidder/></auction><auction><bidder/><bidder/></auction></site>",
+        )
+        .unwrap();
+        let g = rox_joingraph::compile_query(
+            r#"for $a in doc("d.xml")//auction[./cheap], $b in $a/bidder return $b"#,
+        )
+        .unwrap();
+        let r = run_rox(cat, &g, RoxOptions { trace: true, tau: 4, ..Default::default() }).unwrap();
+        (g, r)
+    }
+
+    #[test]
+    fn execution_rendering_covers_all_edges() {
+        let (g, r) = setup();
+        let s = render_execution(&g, &r);
+        assert_eq!(s.lines().count(), r.executed_order.len());
+        assert!(s.contains("rows"));
+    }
+
+    #[test]
+    fn trace_rendering_shows_rounds() {
+        let (g, r) = setup();
+        for t in &r.traces {
+            let s = render_trace(&g, t);
+            assert!(s.contains("seed"));
+            assert!(s.contains("chosen"));
+        }
+    }
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let (_, r) = setup();
+        let s = summarize(&r);
+        assert!(s.contains("result rows"));
+        assert!(s.contains("overhead"));
+    }
+}

@@ -1,0 +1,176 @@
+//! A deliberately naive reference evaluator used as a differential-testing
+//! oracle: it evaluates the Join Graph with nested-loop node joins and
+//! per-row predicate checks, sharing no staircase/index/hash code with the
+//! engine under test (only base lists and the columnar relation type).
+
+use crate::env::RoxEnv;
+use rox_joingraph::{EdgeKind, JoinGraph, VertexLabel};
+use rox_ops::{naive_axis, Cost, Relation, Tail};
+use rox_xmldb::NodeId;
+use std::collections::HashMap;
+
+/// Evaluate the whole graph naively; returns (joined, output-after-tail).
+pub fn naive_evaluate(env: &RoxEnv, graph: &JoinGraph) -> (Relation, Relation) {
+    // Component maintenance mirroring the real evaluator, but with O(n·m)
+    // joins and no operator reuse.
+    let mut comp_of: Vec<Option<usize>> = vec![None; graph.vertex_count()];
+    let mut comps: Vec<Option<Relation>> = Vec::new();
+
+    let ensure = |v: u32, comp_of: &mut Vec<Option<usize>>, comps: &mut Vec<Option<Relation>>| {
+        if comp_of[v as usize].is_none() {
+            let base = env.base_list(graph, v);
+            let rel = Relation::single(v, env.to_node_ids(v, &base));
+            comp_of[v as usize] = Some(comps.len());
+            comps.push(Some(rel));
+        }
+    };
+
+    for edge in graph.edges() {
+        if edge.redundant {
+            continue;
+        }
+        let (v1, v2) = (edge.v1, edge.v2);
+        ensure(v1, &mut comp_of, &mut comps);
+        ensure(v2, &mut comp_of, &mut comps);
+        let c1 = comp_of[v1 as usize].unwrap();
+        let c2 = comp_of[v2 as usize].unwrap();
+        let holds = |a: NodeId, b: NodeId| -> bool {
+            match &edge.kind {
+                EdgeKind::Step(ax) => {
+                    let doc = env.doc(v1);
+                    a.doc == b.doc && naive_axis(&doc, *ax, a.pre, b.pre)
+                }
+                EdgeKind::EquiJoin { .. } => {
+                    let d1 = env.doc(v1);
+                    let d2 = env.doc(v2);
+                    d1.value(a.pre) == d2.value(b.pre)
+                }
+            }
+        };
+        if c1 == c2 {
+            let rel = comps[c1].take().unwrap();
+            let keep: Vec<bool> = (0..rel.len())
+                .map(|i| holds(rel.col(v1)[i], rel.col(v2)[i]))
+                .collect();
+            let mut rel = rel;
+            rel.retain_rows(&keep);
+            comps[c1] = Some(rel);
+        } else {
+            let left = comps[c1].take().unwrap();
+            let right = comps[c2].take().unwrap();
+            // All node pairs by nested loops over the distinct columns.
+            let ln = left.distinct_nodes(v1);
+            let rn = right.distinct_nodes(v2);
+            let mut pairs = Vec::new();
+            for &a in &ln {
+                for &b in &rn {
+                    if holds(a, b) {
+                        pairs.push((a, b));
+                    }
+                }
+            }
+            let joined = Relation::compose(&left, v1, &right, v2, &pairs);
+            for slot in comp_of.iter_mut() {
+                if *slot == Some(c2) {
+                    *slot = Some(c1);
+                }
+            }
+            comps[c1] = Some(joined);
+        }
+    }
+
+    // Materialize untouched non-root vertices and combine components.
+    for v in graph.vertices() {
+        if matches!(v.label, VertexLabel::Root) {
+            continue;
+        }
+        ensure(v.id, &mut comp_of, &mut comps);
+    }
+    let mut parts: HashMap<usize, Relation> = HashMap::new();
+    for v in graph.vertices() {
+        if matches!(v.label, VertexLabel::Root) {
+            continue;
+        }
+        let cid = comp_of[v.id as usize].unwrap();
+        parts.entry(cid).or_insert_with(|| comps[cid].clone().unwrap());
+    }
+    let mut ids: Vec<usize> = parts.keys().copied().collect();
+    ids.sort_unstable();
+    let mut joined: Option<Relation> = None;
+    for cid in ids {
+        let part = parts.remove(&cid).unwrap();
+        joined = Some(match joined {
+            None => part,
+            Some(acc) => cartesian(&acc, &part),
+        });
+    }
+    let joined = joined.unwrap_or_else(|| Relation::empty(vec![]));
+    let tail = Tail {
+        dedup_vars: graph.tail.dedup.clone(),
+        sort_vars: graph.tail.sort.clone(),
+        output_vars: vec![graph.tail.output],
+    };
+    let output = tail.apply(&joined, &mut Cost::new());
+    (joined, output)
+}
+
+fn cartesian(a: &Relation, b: &Relation) -> Relation {
+    let mut schema = a.schema().to_vec();
+    schema.extend_from_slice(b.schema());
+    let mut out = Relation::empty(schema);
+    let (mut ra, mut rb) = (Vec::new(), Vec::new());
+    for i in 0..a.len() {
+        for j in 0..b.len() {
+            ra.clear();
+            a.row(i, &mut ra);
+            b.row(j, &mut rb);
+            ra.extend_from_slice(&rb);
+            out.push_row(&ra);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{run_rox, RoxOptions};
+    use rox_joingraph::compile_query;
+    use rox_xmldb::Catalog;
+    use std::sync::Arc;
+
+    #[test]
+    fn naive_matches_rox_on_step_query() {
+        let cat = Arc::new(Catalog::new());
+        cat.load_str(
+            "d.xml",
+            "<site><auction><bidder><ref/></bidder><bidder/></auction><auction><bidder><ref/><ref/></bidder></auction></site>",
+        )
+        .unwrap();
+        let g = compile_query(
+            r#"for $a in doc("d.xml")//auction, $b in $a/bidder, $r in $b/ref return $r"#,
+        )
+        .unwrap();
+        let env = RoxEnv::new(Arc::clone(&cat), &g).unwrap();
+        let (_, naive_out) = naive_evaluate(&env, &g);
+        let rox = run_rox(cat, &g, RoxOptions::default()).unwrap();
+        assert_eq!(naive_out, rox.output);
+    }
+
+    #[test]
+    fn naive_matches_rox_on_join_query() {
+        let cat = Arc::new(Catalog::new());
+        cat.load_str("x.xml", "<r><a>k1</a><a>k2</a><a>k2</a><a>zz</a></r>").unwrap();
+        cat.load_str("y.xml", "<r><b>k2</b><b>k1</b><b>k1</b></r>").unwrap();
+        let g = compile_query(
+            r#"for $x in doc("x.xml")//a, $y in doc("y.xml")//b
+               where $x/text() = $y/text() return $x"#,
+        )
+        .unwrap();
+        let env = RoxEnv::new(Arc::clone(&cat), &g).unwrap();
+        let (naive_joined, naive_out) = naive_evaluate(&env, &g);
+        let rox = run_rox(cat, &g, RoxOptions::default()).unwrap();
+        assert_eq!(naive_joined.len(), rox.joined.len());
+        assert_eq!(naive_out, rox.output);
+    }
+}

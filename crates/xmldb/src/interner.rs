@@ -1,0 +1,167 @@
+//! String interning for qualified names and (optionally) frequent text
+//! values.
+//!
+//! The shredded node table stores a [`Symbol`] (a dense `u32`) instead of an
+//! owned string per tuple, which keeps the columnar representation compact
+//! and makes qname comparisons O(1) — element-index lookups hinge on that.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense identifier for an interned string.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them. Symbol `0` is always the empty string.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The interned empty string, present in every interner.
+    pub const EMPTY: Symbol = Symbol(0);
+
+    /// The raw index of the symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// A thread-safe append-only string interner.
+///
+/// Interning is write-locked; resolution takes a read lock and returns an
+/// owned `String` (resolution is off the hot path — operators compare
+/// symbols, not strings).
+#[derive(Default)]
+pub struct Interner {
+    inner: RwLock<InternerInner>,
+}
+
+#[derive(Default)]
+struct InternerInner {
+    strings: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, Symbol>,
+}
+
+impl Interner {
+    /// Create an interner pre-seeded with the empty string as [`Symbol::EMPTY`].
+    pub fn new() -> Self {
+        let interner = Interner::default();
+        let empty = interner.intern("");
+        debug_assert_eq!(empty, Symbol::EMPTY);
+        interner
+    }
+
+    /// Intern `s`, returning its stable symbol.
+    pub fn intern(&self, s: &str) -> Symbol {
+        if let Some(sym) = self.inner.read().lookup.get(s) {
+            return *sym;
+        }
+        let mut inner = self.inner.write();
+        if let Some(sym) = inner.lookup.get(s) {
+            return *sym;
+        }
+        let sym = Symbol(u32::try_from(inner.strings.len()).expect("interner overflow"));
+        let boxed: Box<str> = s.into();
+        inner.strings.push(boxed.clone());
+        inner.lookup.insert(boxed, sym);
+        sym
+    }
+
+    /// Look up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.inner.read().lookup.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> String {
+        self.inner.read().strings[sym.index()].to_string()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.inner.read().strings.len()
+    }
+
+    /// True when only the implicit empty string is present.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_string_is_symbol_zero() {
+        let i = Interner::new();
+        assert_eq!(i.intern(""), Symbol::EMPTY);
+        assert_eq!(i.resolve(Symbol::EMPTY), "");
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let i = Interner::new();
+        let a = i.intern("author");
+        let b = i.intern("author");
+        assert_eq!(a, b);
+        assert_eq!(i.resolve(a), "author");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let i = Interner::new();
+        let a = i.intern("open_auction");
+        let b = i.intern("closed_auction");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let i = Interner::new();
+        assert_eq!(i.get("bidder"), None);
+        let s = i.intern("bidder");
+        assert_eq!(i.get("bidder"), Some(s));
+    }
+
+    #[test]
+    fn len_counts_distinct() {
+        let i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        i.intern("a");
+        assert_eq!(i.len(), 3); // "", "a", "b"
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        use std::sync::Arc;
+        let i = Arc::new(Interner::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let i = Arc::clone(&i);
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|k| i.intern(&format!("s{}", (t * 100 + k) % 37)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 37 distinct strings + empty
+        assert_eq!(i.len(), 38);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # rox-xmldb — relational XML storage substrate
+//!
+//! This crate reimplements the storage layer the ROX paper (SIGMOD 2009)
+//! relies on: MonetDB/XQuery-style *shredded* XML. Every XML node becomes a
+//! relational tuple in a columnar node table using the range-based
+//! **pre/size/level** encoding:
+//!
+//! * `pre`    — preorder rank (position of the opening tag), the node id;
+//! * `size`   — number of descendants, so `post = pre + size`;
+//! * `level`  — depth below the virtual document root;
+//! * `parent` — pre rank of the parent (stored explicitly so that
+//!   `parent`/sibling staircase joins run in O(|C|), matching Table 1 of the
+//!   paper).
+//!
+//! A node `d` is a descendant of `c` iff `c.pre < d.pre <= c.pre + c.size`.
+//! Attributes are stored as regular tuples (kind [`NodeKind::Attribute`])
+//! immediately after their owner element in preorder with `size = 0`, which
+//! keeps the containment test uniform across all node kinds.
+//!
+//! The crate ships a hand-written, dependency-free XML parser
+//! ([`parser`]), the shredder/builder ([`doc`]), a serializer
+//! ([`serialize`]) and a multi-document [`catalog`] (XQuery's `fn:doc(url)`
+//! maps to catalog lookup at *run-time*, one of the paper's motivations for
+//! run-time optimization).
+
+pub mod catalog;
+pub mod doc;
+pub mod interner;
+pub mod node;
+pub mod parser;
+pub mod serialize;
+pub mod stats;
+pub mod value;
+
+pub use catalog::{Catalog, DocId};
+pub use doc::{Document, DocumentBuilder};
+pub use interner::{Interner, Symbol};
+pub use node::{NodeId, NodeKind, Pre};
+pub use parser::{parse_document, ParseError};
+pub use serialize::{serialize_document, serialize_subtree_string};
+pub use value::{CmpOp, Constant, ValuePredicate};

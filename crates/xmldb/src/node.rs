@@ -1,0 +1,118 @@
+//! Node identifiers and node kinds for the shredded XML store.
+
+use crate::catalog::DocId;
+use std::fmt;
+
+/// Preorder rank of a node within its document — the per-document node id.
+pub type Pre = u32;
+
+/// A global node identifier: document plus preorder rank.
+///
+/// The derived lexicographic `Ord` (doc major, pre minor) is exactly
+/// document order for multi-document sequences, which the staircase-join
+/// and tail operators rely on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId {
+    /// The owning document.
+    pub doc: DocId,
+    /// Preorder rank within the document.
+    pub pre: Pre,
+}
+
+impl NodeId {
+    /// Construct a node id.
+    #[inline]
+    pub fn new(doc: DocId, pre: Pre) -> Self {
+        NodeId { doc, pre }
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.pre, self.doc.0)
+    }
+}
+
+/// The node kinds of the XQuery data model that the store represents.
+///
+/// These mirror the kind tests `k` of the staircase join definition in the
+/// paper (§2.2): `k ∈ {*, doc, elem, text, attr, comment, pi}`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum NodeKind {
+    /// The document root node (pre = 0, level = 0).
+    Document = 0,
+    /// An element node; `name` holds the interned qualified name.
+    Element = 1,
+    /// A text node; `value` holds the interned character data.
+    Text = 2,
+    /// An attribute node; `name` is the attribute qname, `value` its value.
+    Attribute = 3,
+    /// A comment node; `value` holds the comment text.
+    Comment = 4,
+    /// A processing instruction; `name` is the target, `value` the data.
+    ProcessingInstruction = 5,
+}
+
+impl NodeKind {
+    /// All concrete node kinds, in tag order.
+    pub const ALL: [NodeKind; 6] = [
+        NodeKind::Document,
+        NodeKind::Element,
+        NodeKind::Text,
+        NodeKind::Attribute,
+        NodeKind::Comment,
+        NodeKind::ProcessingInstruction,
+    ];
+}
+
+/// A kind test as used in XPath steps: either any kind (`node()`) or a
+/// specific [`NodeKind`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum KindTest {
+    /// `node()` — matches every node kind.
+    #[default]
+    Any,
+    /// Matches one specific kind.
+    Is(NodeKind),
+}
+
+impl KindTest {
+    /// Does `kind` satisfy this test?
+    #[inline]
+    pub fn matches(self, kind: NodeKind) -> bool {
+        match self {
+            KindTest::Any => true,
+            KindTest::Is(k) => k == kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_orders_by_doc_then_pre() {
+        let a = NodeId::new(DocId(0), 5);
+        let b = NodeId::new(DocId(0), 9);
+        let c = NodeId::new(DocId(1), 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn kind_test_any_matches_all() {
+        for k in NodeKind::ALL {
+            assert!(KindTest::Any.matches(k));
+        }
+    }
+
+    #[test]
+    fn kind_test_is_matches_exactly() {
+        let t = KindTest::Is(NodeKind::Text);
+        assert!(t.matches(NodeKind::Text));
+        assert!(!t.matches(NodeKind::Element));
+        assert!(!t.matches(NodeKind::Attribute));
+    }
+}

@@ -1,0 +1,660 @@
+//! A hand-written, dependency-free XML parser.
+//!
+//! The parser is event based ([`XmlEvent`]); [`parse_document`] drives it
+//! into a [`DocumentBuilder`](crate::doc::DocumentBuilder) to produce a
+//! shredded [`Document`](crate::doc::Document).
+//!
+//! Supported: elements, attributes, character data, CDATA sections,
+//! comments, processing instructions, the XML declaration, a (skipped)
+//! DOCTYPE, the five predefined entities and decimal/hexadecimal character
+//! references. Namespaces are treated lexically (prefixes are part of the
+//! qualified name), which matches how the paper's Join Graph vertices are
+//! annotated with qualified names.
+
+use crate::catalog::DocId;
+use crate::doc::{Document, DocumentBuilder};
+use std::fmt;
+use std::sync::Arc;
+
+/// A parse error with byte offset and line/column information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in bytes).
+    pub column: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XML parse error at line {}, column {} (offset {}): {}",
+            self.line, self.column, self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A single parse event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="v" ...>` — `self_closing` is true for `<name/>`.
+    StartElement {
+        /// Qualified element name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<(String, String)>,
+        /// Whether the element closed itself (`<a/>`).
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndElement {
+        /// Qualified element name.
+        name: String,
+    },
+    /// Character data (entities resolved, CDATA included verbatim).
+    Text(String),
+    /// `<!-- ... -->`.
+    Comment(String),
+    /// `<?target data?>`.
+    ProcessingInstruction {
+        /// PI target.
+        target: String,
+        /// PI data (possibly empty).
+        data: String,
+    },
+}
+
+/// A pull parser over a UTF-8 XML input.
+pub struct XmlParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    /// Stack of open element names, used to validate nesting.
+    open: Vec<String>,
+    /// Set once the document element has been closed.
+    root_closed: bool,
+    /// Set once the document element has been seen.
+    root_seen: bool,
+}
+
+impl<'a> XmlParser<'a> {
+    /// Create a parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        XmlParser {
+            input: input.as_bytes(),
+            pos: 0,
+            open: Vec::new(),
+            root_closed: false,
+            root_seen: false,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let mut line = 1usize;
+        let mut col = 1usize;
+        for &b in &self.input[..self.pos.min(self.input.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+            line,
+            column: col,
+        }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected '{}', found {}",
+                b as char,
+                self.peek()
+                    .map(|c| format!("'{}'", c as char))
+                    .unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn read_until(&mut self, delim: &str, what: &str) -> Result<String, ParseError> {
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            if self.starts_with(delim) {
+                let s = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8"))?
+                    .to_string();
+                self.pos += delim.len();
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.error(format!("unterminated {what}")))
+    }
+
+    fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+    }
+
+    fn is_name_char(b: u8) -> bool {
+        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+    }
+
+    fn read_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if Self::is_name_start(b) => {
+                self.pos += 1;
+            }
+            _ => return Err(self.error("expected a name")),
+        }
+        while let Some(b) = self.peek() {
+            if Self::is_name_char(b) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .map(|s| s.to_string())
+            .map_err(|_| self.error("invalid UTF-8 in name"))
+    }
+
+    fn resolve_entity(&self, ent: &str) -> Result<String, ParseError> {
+        Ok(match ent {
+            "lt" => "<".into(),
+            "gt" => ">".into(),
+            "amp" => "&".into(),
+            "quot" => "\"".into(),
+            "apos" => "'".into(),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let cp = u32::from_str_radix(&ent[2..], 16)
+                    .map_err(|_| self.error(format!("bad character reference &{ent};")))?;
+                char::from_u32(cp)
+                    .ok_or_else(|| self.error(format!("invalid code point &{ent};")))?
+                    .to_string()
+            }
+            _ if ent.starts_with('#') => {
+                let cp = ent[1..]
+                    .parse::<u32>()
+                    .map_err(|_| self.error(format!("bad character reference &{ent};")))?;
+                char::from_u32(cp)
+                    .ok_or_else(|| self.error(format!("invalid code point &{ent};")))?
+                    .to_string()
+            }
+            _ => return Err(self.error(format!("unknown entity &{ent};"))),
+        })
+    }
+
+    /// Decode character data up to (not including) the next `<`, resolving
+    /// entity and character references.
+    fn read_text(&mut self) -> Result<String, ParseError> {
+        let mut out = String::new();
+        while let Some(b) = self.peek() {
+            match b {
+                b'<' => break,
+                b'&' => {
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().map(|c| c != b';').unwrap_or(false) {
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(b';') {
+                        return Err(self.error("unterminated entity reference"));
+                    }
+                    let ent = std::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 in entity"))?
+                        .to_string();
+                    self.pos += 1; // ';'
+                    out.push_str(&self.resolve_entity(&ent)?);
+                }
+                _ => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'<' || c == b'&' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.input[start..self.pos])
+                            .map_err(|_| self.error("invalid UTF-8 in text"))?,
+                    );
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn read_attribute_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.error("expected quoted attribute value")),
+        };
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated attribute value")),
+                Some(q) if q == quote => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'&') => {
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().map(|c| c != b';').unwrap_or(false) {
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(b';') {
+                        return Err(self.error("unterminated entity reference"));
+                    }
+                    let ent = std::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 in entity"))?
+                        .to_string();
+                    self.pos += 1;
+                    out.push_str(&self.resolve_entity(&ent)?);
+                }
+                Some(b'<') => return Err(self.error("'<' not allowed in attribute value")),
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == quote || c == b'&' || c == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.input[start..self.pos])
+                            .map_err(|_| self.error("invalid UTF-8 in attribute"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pull the next event; `Ok(None)` signals a well-formed end of input.
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent>, ParseError> {
+        loop {
+            if self.pos >= self.input.len() {
+                if !self.open.is_empty() {
+                    return Err(self.error(format!("unclosed element <{}>", self.open.last().unwrap())));
+                }
+                if !self.root_seen {
+                    return Err(self.error("document has no root element"));
+                }
+                return Ok(None);
+            }
+            if self.peek() != Some(b'<') {
+                let text = self.read_text()?;
+                if self.open.is_empty() {
+                    // Whitespace between top-level constructs is fine.
+                    if text.trim().is_empty() {
+                        continue;
+                    }
+                    return Err(self.error("character data outside the document element"));
+                }
+                return Ok(Some(XmlEvent::Text(text)));
+            }
+            // A markup construct.
+            if self.eat("<!--") {
+                let body = self.read_until("-->", "comment")?;
+                return Ok(Some(XmlEvent::Comment(body)));
+            }
+            if self.eat("<![CDATA[") {
+                if self.open.is_empty() {
+                    return Err(self.error("CDATA outside the document element"));
+                }
+                let body = self.read_until("]]>", "CDATA section")?;
+                return Ok(Some(XmlEvent::Text(body)));
+            }
+            if self.starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+                continue;
+            }
+            if self.eat("<?") {
+                let target = self.read_name()?;
+                self.skip_whitespace();
+                let data = self.read_until("?>", "processing instruction")?;
+                if target.eq_ignore_ascii_case("xml") {
+                    // XML declaration — not reported as an event.
+                    continue;
+                }
+                return Ok(Some(XmlEvent::ProcessingInstruction {
+                    target,
+                    data: data.trim_end().to_string(),
+                }));
+            }
+            if self.eat("</") {
+                let name = self.read_name()?;
+                self.skip_whitespace();
+                self.expect(b'>')?;
+                match self.open.pop() {
+                    Some(expected) if expected == name => {}
+                    Some(expected) => {
+                        return Err(self.error(format!(
+                            "mismatched closing tag </{name}>, expected </{expected}>"
+                        )))
+                    }
+                    None => return Err(self.error(format!("closing tag </{name}> with no open element"))),
+                }
+                if self.open.is_empty() {
+                    self.root_closed = true;
+                }
+                return Ok(Some(XmlEvent::EndElement { name }));
+            }
+            // Start tag.
+            self.expect(b'<')?;
+            if self.root_closed {
+                return Err(self.error("content after the document element"));
+            }
+            let name = self.read_name()?;
+            let mut attributes = Vec::new();
+            loop {
+                self.skip_whitespace();
+                match self.peek() {
+                    Some(b'>') => {
+                        self.pos += 1;
+                        self.open.push(name.clone());
+                        self.root_seen = true;
+                        return Ok(Some(XmlEvent::StartElement {
+                            name,
+                            attributes,
+                            self_closing: false,
+                        }));
+                    }
+                    Some(b'/') => {
+                        self.pos += 1;
+                        self.expect(b'>')?;
+                        self.root_seen = true;
+                        if self.open.is_empty() {
+                            self.root_closed = true;
+                        }
+                        return Ok(Some(XmlEvent::StartElement {
+                            name,
+                            attributes,
+                            self_closing: true,
+                        }));
+                    }
+                    Some(b) if Self::is_name_start(b) => {
+                        let attr_name = self.read_name()?;
+                        self.skip_whitespace();
+                        self.expect(b'=')?;
+                        self.skip_whitespace();
+                        let value = self.read_attribute_value()?;
+                        if attributes.iter().any(|(n, _)| *n == attr_name) {
+                            return Err(self.error(format!("duplicate attribute '{attr_name}'")));
+                        }
+                        attributes.push((attr_name, value));
+                    }
+                    _ => return Err(self.error("malformed start tag")),
+                }
+            }
+        }
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), ParseError> {
+        // Skip "<!DOCTYPE ... >" allowing one level of [...] internal subset.
+        self.pos += "<!DOCTYPE".len();
+        let mut depth = 0usize;
+        while let Some(b) = self.bump() {
+            match b {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => return Ok(()),
+                _ => {}
+            }
+        }
+        Err(self.error("unterminated DOCTYPE"))
+    }
+}
+
+/// Parse a complete XML document into a shredded [`Document`].
+///
+/// `uri` is recorded as the document's name (the argument of `fn:doc`).
+/// Whitespace-only text nodes between elements are preserved only when
+/// `keep_whitespace` is set on the builder; this convenience entry point
+/// strips them, which matches how MonetDB/XQuery shreds data documents.
+pub fn parse_document(uri: &str, input: &str) -> Result<Arc<Document>, ParseError> {
+    parse_document_with(uri, input, false)
+}
+
+/// Like [`parse_document`] but with explicit control over whitespace-only
+/// text node retention.
+pub fn parse_document_with(
+    uri: &str,
+    input: &str,
+    keep_whitespace: bool,
+) -> Result<Arc<Document>, ParseError> {
+    let mut parser = XmlParser::new(input);
+    let mut builder = DocumentBuilder::new(uri);
+    // Coalesce adjacent text (e.g. around entity references / CDATA).
+    let mut pending_text: Option<String> = None;
+    let flush_text = |builder: &mut DocumentBuilder, pending: &mut Option<String>| {
+        if let Some(t) = pending.take() {
+            if keep_whitespace || !t.trim().is_empty() {
+                builder.text(&t);
+            }
+        }
+    };
+    while let Some(event) = parser.next_event()? {
+        match event {
+            XmlEvent::Text(t) => match &mut pending_text {
+                Some(acc) => acc.push_str(&t),
+                None => pending_text = Some(t),
+            },
+            XmlEvent::StartElement {
+                name,
+                attributes,
+                self_closing,
+            } => {
+                flush_text(&mut builder, &mut pending_text);
+                builder.start_element(&name);
+                for (n, v) in &attributes {
+                    builder.attribute(n, v);
+                }
+                if self_closing {
+                    builder.end_element();
+                }
+            }
+            XmlEvent::EndElement { .. } => {
+                flush_text(&mut builder, &mut pending_text);
+                builder.end_element();
+            }
+            XmlEvent::Comment(c) => {
+                flush_text(&mut builder, &mut pending_text);
+                builder.comment(&c);
+            }
+            XmlEvent::ProcessingInstruction { target, data } => {
+                flush_text(&mut builder, &mut pending_text);
+                builder.processing_instruction(&target, &data);
+            }
+        }
+    }
+    Ok(Arc::new(builder.finish(DocId(0))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Vec<XmlEvent> {
+        let mut p = XmlParser::new(input);
+        let mut out = Vec::new();
+        while let Some(e) = p.next_event().expect("parse ok") {
+            out.push(e);
+        }
+        out
+    }
+
+    fn parse_err(input: &str) -> ParseError {
+        let mut p = XmlParser::new(input);
+        loop {
+            match p.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("expected a parse error for {input:?}"),
+                Err(e) => return e,
+            }
+        }
+    }
+
+    #[test]
+    fn simple_element() {
+        let ev = events("<a/>");
+        assert_eq!(
+            ev,
+            vec![XmlEvent::StartElement {
+                name: "a".into(),
+                attributes: vec![],
+                self_closing: true
+            }]
+        );
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let ev = events("<a><b>hi</b></a>");
+        assert_eq!(ev.len(), 5);
+        assert_eq!(ev[2], XmlEvent::Text("hi".into()));
+    }
+
+    #[test]
+    fn attributes_parsed_in_order() {
+        let ev = events(r#"<a x="1" y='2'/>"#);
+        match &ev[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(
+                    attributes,
+                    &vec![("x".to_string(), "1".to_string()), ("y".to_string(), "2".to_string())]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entities_resolved_in_text_and_attributes() {
+        let ev = events(r#"<a t="&lt;&amp;&gt;">x &#65;&#x42; &quot;q&apos;</a>"#);
+        match &ev[0] {
+            XmlEvent::StartElement { attributes, .. } => assert_eq!(attributes[0].1, "<&>"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ev[1], XmlEvent::Text("x AB \"q'".into()));
+    }
+
+    #[test]
+    fn cdata_is_verbatim_text() {
+        let ev = events("<a><![CDATA[x < & y]]></a>");
+        assert_eq!(ev[1], XmlEvent::Text("x < & y".into()));
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let ev = events("<a><!-- note --><?php echo?></a>");
+        assert_eq!(ev[1], XmlEvent::Comment(" note ".into()));
+        assert_eq!(
+            ev[2],
+            XmlEvent::ProcessingInstruction {
+                target: "php".into(),
+                data: "echo".into()
+            }
+        );
+    }
+
+    #[test]
+    fn xml_declaration_and_doctype_skipped() {
+        let ev = events("<?xml version=\"1.0\"?>\n<!DOCTYPE a [<!ELEMENT a ANY>]>\n<a/>");
+        assert_eq!(ev.len(), 1);
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let e = parse_err("<a><b></a></b>");
+        assert!(e.message.contains("mismatched"), "{e}");
+    }
+
+    #[test]
+    fn unclosed_element_error() {
+        let e = parse_err("<a><b>");
+        assert!(e.message.contains("unclosed"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_attribute_error() {
+        let e = parse_err(r#"<a x="1" x="2"/>"#);
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn content_after_root_error() {
+        let e = parse_err("<a/><b/>");
+        assert!(e.message.contains("after the document element"), "{e}");
+    }
+
+    #[test]
+    fn text_outside_root_error() {
+        let e = parse_err("hello<a/>");
+        assert!(e.message.contains("outside"), "{e}");
+    }
+
+    #[test]
+    fn error_positions_are_line_column() {
+        let e = parse_err("<a>\n  <b></c>\n</a>");
+        assert_eq!(e.line, 2);
+        assert!(e.column > 1);
+    }
+
+    #[test]
+    fn unknown_entity_error() {
+        let e = parse_err("<a>&nope;</a>");
+        assert!(e.message.contains("unknown entity"), "{e}");
+    }
+
+    #[test]
+    fn whitespace_between_top_level_constructs_ok() {
+        let ev = events("<?xml version=\"1.0\"?>\n  <a/>  \n");
+        assert_eq!(ev.len(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Serialization of shredded documents (and arbitrary subtrees) back to
+//! XML text — the inverse of shredding, needed to emit query results and to
+//! round-trip documents in tests.
+
+use crate::doc::Document;
+use crate::node::{NodeKind, Pre};
+
+/// Escape character data for element content.
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escape character data for a double-quoted attribute value.
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Serialize the subtree rooted at `pre` (an element, or the document root)
+/// into `out`.
+pub fn serialize_subtree(doc: &Document, pre: Pre, out: &mut String) {
+    match doc.kind(pre) {
+        NodeKind::Document => {
+            for child in doc.children(pre) {
+                serialize_subtree(doc, child, out);
+            }
+        }
+        NodeKind::Element => {
+            let name = doc.name_str(pre);
+            out.push('<');
+            out.push_str(&name);
+            for attr in doc.attributes(pre) {
+                out.push(' ');
+                out.push_str(&doc.name_str(attr));
+                out.push_str("=\"");
+                escape_attr(&doc.value_str(attr), out);
+                out.push('"');
+            }
+            // Children excluding attributes.
+            let kids: Vec<Pre> = doc.children(pre).collect();
+            if kids.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for child in kids {
+                    serialize_subtree(doc, child, out);
+                }
+                out.push_str("</");
+                out.push_str(&name);
+                out.push('>');
+            }
+        }
+        NodeKind::Text => escape_text(&doc.value_str(pre), out),
+        NodeKind::Comment => {
+            out.push_str("<!--");
+            out.push_str(&doc.value_str(pre));
+            out.push_str("-->");
+        }
+        NodeKind::ProcessingInstruction => {
+            out.push_str("<?");
+            out.push_str(&doc.name_str(pre));
+            let data = doc.value_str(pre);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(&data);
+            }
+            out.push_str("?>");
+        }
+        NodeKind::Attribute => {
+            // A bare attribute serializes as name="value" (XQuery
+            // serialization of attribute nodes outside an element is an
+            // error; we choose the pragmatic debugging form).
+            out.push_str(&doc.name_str(pre));
+            out.push_str("=\"");
+            escape_attr(&doc.value_str(pre), out);
+            out.push('"');
+        }
+    }
+}
+
+/// Serialize a subtree into a fresh string.
+pub fn serialize_subtree_string(doc: &Document, pre: Pre) -> String {
+    let mut out = String::new();
+    serialize_subtree(doc, pre, &mut out);
+    out
+}
+
+/// Serialize a whole document.
+pub fn serialize_document(doc: &Document) -> String {
+    let mut out = String::new();
+    serialize_subtree(doc, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = "<a x=\"1\"><b>t1</b><c><b>t2</b></c></a>";
+        let d = parse_document("r.xml", src).unwrap();
+        assert_eq!(serialize_document(&d), src);
+    }
+
+    #[test]
+    fn roundtrip_is_fixpoint() {
+        let src = "<a><b>hi &amp; bye</b><!--c--><?pi data?><e/></a>";
+        let d1 = parse_document("r.xml", src).unwrap();
+        let s1 = serialize_document(&d1);
+        let d2 = parse_document("r.xml", &s1).unwrap();
+        let s2 = serialize_document(&d2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let d = parse_document("e.xml", "<a t=\"&quot;&lt;\">&lt;&amp;&gt;</a>").unwrap();
+        let s = serialize_document(&d);
+        assert_eq!(s, "<a t=\"&quot;&lt;\">&lt;&amp;&gt;</a>");
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let d = parse_document("e.xml", "<a><b></b></a>").unwrap();
+        assert_eq!(serialize_document(&d), "<a><b/></a>");
+    }
+
+    #[test]
+    fn serialize_inner_subtree() {
+        let d = parse_document("s.xml", "<a><b>x</b><c>y</c></a>").unwrap();
+        let mut out = String::new();
+        // pre 2 is <b>
+        serialize_subtree(&d, 2, &mut out);
+        assert_eq!(out, "<b>x</b>");
+    }
+}

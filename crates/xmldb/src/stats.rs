@@ -1,0 +1,133 @@
+//! Per-document statistics: the cheap structural summaries a classical
+//! optimizer would keep (and the numbers Table 3 of the paper reports).
+
+use crate::doc::Document;
+use crate::node::{NodeKind, Pre};
+
+/// Structural statistics of one shredded document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocStats {
+    /// Total nodes including the virtual root.
+    pub nodes: usize,
+    /// Element count.
+    pub elements: usize,
+    /// Text node count.
+    pub text_nodes: usize,
+    /// Attribute count.
+    pub attributes: usize,
+    /// Comment count.
+    pub comments: usize,
+    /// Processing-instruction count.
+    pub processing_instructions: usize,
+    /// Maximum depth (root = 0).
+    pub max_depth: u16,
+    /// Average depth over all nodes.
+    pub avg_depth: f64,
+    /// Distinct element names.
+    pub distinct_element_names: usize,
+    /// Distinct text values.
+    pub distinct_text_values: usize,
+    /// Maximum fan-out (children per element, attributes excluded).
+    pub max_fanout: usize,
+}
+
+impl DocStats {
+    /// Compute all statistics in one pass (plus one pass for fan-out).
+    pub fn compute(doc: &Document) -> Self {
+        use std::collections::HashSet;
+        let n = doc.node_count();
+        let mut stats = DocStats {
+            nodes: n,
+            elements: 0,
+            text_nodes: 0,
+            attributes: 0,
+            comments: 0,
+            processing_instructions: 0,
+            max_depth: 0,
+            avg_depth: 0.0,
+            distinct_element_names: 0,
+            distinct_text_values: 0,
+            max_fanout: 0,
+        };
+        let mut names = HashSet::new();
+        let mut values = HashSet::new();
+        let mut depth_sum = 0u64;
+        // Children per parent (attributes excluded).
+        let mut fanout = vec![0usize; n];
+        for pre in 0..n as Pre {
+            let level = doc.level(pre);
+            stats.max_depth = stats.max_depth.max(level);
+            depth_sum += level as u64;
+            match doc.kind(pre) {
+                NodeKind::Element => {
+                    stats.elements += 1;
+                    names.insert(doc.name(pre));
+                    if pre != 0 {
+                        fanout[doc.parent(pre) as usize] += 1;
+                    }
+                }
+                NodeKind::Text => {
+                    stats.text_nodes += 1;
+                    values.insert(doc.value(pre));
+                    fanout[doc.parent(pre) as usize] += 1;
+                }
+                NodeKind::Attribute => stats.attributes += 1,
+                NodeKind::Comment => {
+                    stats.comments += 1;
+                    fanout[doc.parent(pre) as usize] += 1;
+                }
+                NodeKind::ProcessingInstruction => {
+                    stats.processing_instructions += 1;
+                    fanout[doc.parent(pre) as usize] += 1;
+                }
+                NodeKind::Document => {}
+            }
+        }
+        stats.avg_depth = depth_sum as f64 / n as f64;
+        stats.distinct_element_names = names.len();
+        stats.distinct_text_values = values.len();
+        stats.max_fanout = fanout.into_iter().max().unwrap_or(0);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn counts_node_kinds() {
+        let d = parse_document(
+            "s.xml",
+            r#"<a x="1" y="2"><b>t</b><b>t</b><!--c--><?pi d?></a>"#,
+        )
+        .unwrap();
+        let s = DocStats::compute(&d);
+        assert_eq!(s.elements, 3); // a, b, b
+        assert_eq!(s.attributes, 2);
+        assert_eq!(s.text_nodes, 2);
+        assert_eq!(s.comments, 1);
+        assert_eq!(s.processing_instructions, 1);
+        assert_eq!(s.distinct_element_names, 2);
+        assert_eq!(s.distinct_text_values, 1);
+    }
+
+    #[test]
+    fn depth_and_fanout() {
+        let d = parse_document("s.xml", "<a><b><c/><c/><c/></b></a>").unwrap();
+        let s = DocStats::compute(&d);
+        assert_eq!(s.max_depth, 3);
+        assert_eq!(s.max_fanout, 3);
+        assert!(s.avg_depth > 0.0 && s.avg_depth < 3.0);
+    }
+
+    #[test]
+    fn trivial_document() {
+        let d = parse_document("s.xml", "<a/>").unwrap();
+        let s = DocStats::compute(&d);
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.elements, 1);
+        assert_eq!(s.max_fanout, 1); // root's single element child
+    }
+}

@@ -1,0 +1,204 @@
+//! Typed value comparisons for selection predicates on text and attribute
+//! nodes (the range-selection annotations of Join Graph vertices, Def. 1 of
+//! the paper).
+//!
+//! XQuery general comparisons on untyped data compare numerically when both
+//! operands look like numbers, else by string. The paper's workloads use
+//! string equality (`$a1/text() = $a2/text()`, `@person = @id`) and numeric
+//! ranges (`current/text() < 145`, `quantity = 1`), which is exactly the
+//! set modelled here.
+
+use std::fmt;
+
+/// Comparison operator of a value predicate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the operator to an ordering of `lhs` versus `rhs`.
+    #[inline]
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// A constant compared against a node's string value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Constant {
+    /// String literal — compared by string (in)equality.
+    Str(String),
+    /// Numeric literal — the node value is cast to a double first.
+    Num(f64),
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Str(s) => write!(f, "\"{s}\""),
+            Constant::Num(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A selection predicate `value <op> constant`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ValuePredicate {
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The right-hand constant.
+    pub rhs: Constant,
+}
+
+impl ValuePredicate {
+    /// `= "literal"` — the form the value index can answer with a hash
+    /// lookup (the paper's released MonetDB supported hash-based string
+    /// equality, §2.2).
+    pub fn eq_str(s: impl Into<String>) -> Self {
+        ValuePredicate { op: CmpOp::Eq, rhs: Constant::Str(s.into()) }
+    }
+
+    /// A numeric comparison predicate.
+    pub fn num(op: CmpOp, n: f64) -> Self {
+        ValuePredicate { op, rhs: Constant::Num(n) }
+    }
+
+    /// Is this a string-equality predicate (index-selectable via hash)?
+    pub fn is_string_eq(&self) -> Option<&str> {
+        match (&self.op, &self.rhs) {
+            (CmpOp::Eq, Constant::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Evaluate the predicate against a raw string value.
+    pub fn matches(&self, value: &str) -> bool {
+        match &self.rhs {
+            Constant::Str(s) => self.op.eval(value.cmp(s.as_str())),
+            Constant::Num(n) => match parse_number(value) {
+                Some(v) => self
+                    .op
+                    .eval(v.partial_cmp(n).unwrap_or(std::cmp::Ordering::Greater)),
+                // Untyped values that do not cast to a number never satisfy
+                // a numeric comparison.
+                None => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for ValuePredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.op, self.rhs)
+    }
+}
+
+/// Parse an XML untyped value as a double (xs:double cast, lexically
+/// trimmed). Returns `None` for non-numeric strings and NaN.
+pub fn parse_number(value: &str) -> Option<f64> {
+    let t = value.trim();
+    if t.is_empty() {
+        return None;
+    }
+    t.parse::<f64>().ok().filter(|v| !v.is_nan())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_equality() {
+        let p = ValuePredicate::eq_str("Codd");
+        assert!(p.matches("Codd"));
+        assert!(!p.matches("codd"));
+        assert_eq!(p.is_string_eq(), Some("Codd"));
+    }
+
+    #[test]
+    fn numeric_ranges() {
+        let p = ValuePredicate::num(CmpOp::Lt, 145.0);
+        assert!(p.matches("144.5"));
+        assert!(p.matches(" 12 "));
+        assert!(!p.matches("145"));
+        assert!(!p.matches("banana"));
+    }
+
+    #[test]
+    fn numeric_equality_casts() {
+        let p = ValuePredicate::num(CmpOp::Eq, 1.0);
+        assert!(p.matches("1"));
+        assert!(p.matches("1.0"));
+        assert!(!p.matches("2"));
+        assert!(!p.matches(""));
+    }
+
+    #[test]
+    fn flipped_is_involutive_on_ordering() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.flipped().flipped(), op);
+        }
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.flipped(), CmpOp::Ge);
+    }
+
+    #[test]
+    fn parse_number_rejects_garbage() {
+        assert_eq!(parse_number("12"), Some(12.0));
+        assert_eq!(parse_number("-3.5e2"), Some(-350.0));
+        assert_eq!(parse_number("NaN"), None);
+        assert_eq!(parse_number("12x"), None);
+        assert_eq!(parse_number(""), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ValuePredicate::num(CmpOp::Ge, 2.0).to_string(), ">= 2");
+        assert_eq!(ValuePredicate::eq_str("x").to_string(), "= \"x\"");
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the shredded encoding: arbitrary trees must satisfy
+//! the pre/size/level/parent invariants and round-trip through
+//! serialize ∘ parse.
+
+use proptest::prelude::*;
+use rox_xmldb::{parse_document, serialize_document, DocumentBuilder, NodeKind};
+use rox_xmldb::catalog::DocId;
+
+/// A recursive tree model we can drive the builder with.
+#[derive(Debug, Clone)]
+enum Node {
+    Element {
+        name: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Node>,
+    },
+    Text(String),
+    Comment(String),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "c", "item", "author", "bidder", "x-1"])
+        .prop_map(|s| s.to_string())
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Printable, non-empty after trim so whitespace stripping keeps them.
+    "[a-zA-Z0-9 <>&'\"]{1,12}"
+        .prop_filter("keep non-whitespace", |s| !s.trim().is_empty())
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(Node::Text),
+        "[a-zA-Z0-9 ]{0,8}"
+            .prop_filter("no double dash", |s| !s.contains("--"))
+            .prop_map(Node::Comment),
+    ];
+    leaf.prop_recursive(4, 40, 5, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec(("[a-z]{1,4}", "[a-zA-Z0-9]{0,6}"), 0..3),
+            prop::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(name, raw_attrs, children)| {
+                // Deduplicate attribute names (XML forbids duplicates).
+                let mut attrs: Vec<(String, String)> = Vec::new();
+                for (n, v) in raw_attrs {
+                    if !attrs.iter().any(|(en, _)| *en == n) {
+                        attrs.push((n, v));
+                    }
+                }
+                Node::Element { name, attrs, children }
+            })
+    })
+}
+
+fn root_strategy() -> impl Strategy<Value = Node> {
+    (
+        name_strategy(),
+        prop::collection::vec(("[a-z]{1,4}", "[a-zA-Z0-9]{0,6}"), 0..3),
+        prop::collection::vec(node_strategy(), 0..6),
+    )
+        .prop_map(|(name, raw_attrs, children)| {
+            let mut attrs: Vec<(String, String)> = Vec::new();
+            for (n, v) in raw_attrs {
+                if !attrs.iter().any(|(en, _)| *en == n) {
+                    attrs.push((n, v));
+                }
+            }
+            Node::Element { name, attrs, children }
+        })
+}
+
+fn build(node: &Node, b: &mut DocumentBuilder) {
+    match node {
+        Node::Element { name, attrs, children } => {
+            b.start_element(name);
+            for (n, v) in attrs {
+                b.attribute(n, v);
+            }
+            // Coalesce adjacent text children: the parser merges adjacent
+            // character data, so the model must too for round-tripping.
+            let mut pending: Option<String> = None;
+            for c in children {
+                if let Node::Text(t) = c {
+                    pending = Some(pending.unwrap_or_default() + t);
+                } else {
+                    if let Some(t) = pending.take() {
+                        b.text(&t);
+                    }
+                    build(c, b);
+                }
+            }
+            if let Some(t) = pending.take() {
+                b.text(&t);
+            }
+            b.end_element();
+        }
+        Node::Text(t) => {
+            b.text(t);
+        }
+        Node::Comment(c) => {
+            b.comment(c);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn built_documents_satisfy_invariants(root in root_strategy()) {
+        let mut b = DocumentBuilder::new("prop.xml");
+        build(&root, &mut b);
+        let d = b.finish(DocId(0));
+        prop_assert!(d.check_invariants().is_ok(), "{:?}", d.check_invariants());
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip(root in root_strategy()) {
+        let mut b = DocumentBuilder::new("prop.xml");
+        build(&root, &mut b);
+        let d = b.finish(DocId(0));
+        let s1 = serialize_document(&d);
+        let d2 = parse_document("prop.xml", &s1).expect("reparse");
+        prop_assert!(d2.check_invariants().is_ok());
+        let s2 = serialize_document(&d2);
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn parent_child_ranges_agree(root in root_strategy()) {
+        let mut b = DocumentBuilder::new("prop.xml");
+        build(&root, &mut b);
+        let d = b.finish(DocId(0));
+        for pre in 1..d.node_count() as u32 {
+            let p = d.parent(pre);
+            prop_assert!(d.is_ancestor(p, pre));
+            // Every child enumerated from the parent includes this node
+            // (unless it is an attribute, which children() skips).
+            if d.kind(pre) != NodeKind::Attribute && d.level(pre) == d.level(p) + 1 {
+                let found = d.children(p).any(|c| c == pre);
+                prop_assert!(found, "child {} not enumerated from parent {}", pre, p);
+            }
+        }
+    }
+
+    #[test]
+    fn post_order_is_consistent(root in root_strategy()) {
+        let mut b = DocumentBuilder::new("prop.xml");
+        build(&root, &mut b);
+        let d = b.finish(DocId(0));
+        for pre in 1..d.node_count() as u32 {
+            let parent = d.parent(pre);
+            prop_assert!(d.post(pre) <= d.post(parent));
+            prop_assert!(pre > parent);
+        }
+    }
+}

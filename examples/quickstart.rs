@@ -1,0 +1,65 @@
+//! Quickstart: load XML, write an XQuery, let ROX optimize and evaluate
+//! it at run-time.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rox_core::{run_rox, RoxOptions};
+use rox_xmldb::{serialize_subtree_string, Catalog};
+use std::sync::Arc;
+
+fn main() {
+    // 1. Load documents into a catalog (fn:doc resolves against it).
+    let catalog = Arc::new(Catalog::new());
+    catalog
+        .load_str(
+            "library.xml",
+            r#"<library>
+                 <book year="2009"><title>ROX</title><author>Abdel Kader</author></book>
+                 <book year="2006"><title>MonetDB/XQuery</title><author>Boncz</author></book>
+                 <book year="2004"><title>Staircase Join</title><author>Grust</author></book>
+               </library>"#,
+        )
+        .unwrap();
+    catalog
+        .load_str(
+            "awards.xml",
+            r#"<awards>
+                 <award><winner>Boncz</winner></award>
+                 <award><winner>Grust</winner></award>
+               </awards>"#,
+        )
+        .unwrap();
+
+    // 2. An XQuery joining the two documents on author name.
+    let query = r#"
+        for $b in doc("library.xml")//book,
+            $a in $b/author,
+            $w in doc("awards.xml")//award/winner
+        where $a/text() = $w/text()
+        return $b
+    "#;
+
+    // 3. Compile to a Join Graph (the paper's "Join Graph isolation").
+    let graph = rox_joingraph::compile_query(query).expect("valid query");
+    println!("Join Graph:\n{}", graph.dump());
+
+    // 4. Run the ROX run-time optimizer: it samples, picks an order,
+    //    executes, and returns the result.
+    let report = run_rox(Arc::clone(&catalog), &graph, RoxOptions::default()).unwrap();
+    println!("executed {} edges; result rows: {}", report.executed_order.len(), report.output.len());
+    println!(
+        "work: {} execution + {} sampling ({:.0}% overhead)",
+        report.exec_cost.total(),
+        report.sample_cost.total(),
+        report.sampling_overhead_pct()
+    );
+
+    // 5. Serialize the matched book elements.
+    let out_var = graph.tail.output;
+    for &node in report.output.col(out_var) {
+        let doc = catalog.doc(node.doc);
+        println!("match: {}", serialize_subtree_string(&doc, node.pre));
+    }
+}

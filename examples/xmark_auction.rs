@@ -1,0 +1,70 @@
+//! The paper's §3.2 walkthrough: ROX on XMark-like auction data with a
+//! price ↔ bidder-count correlation.
+//!
+//! Q1 selects cheap auctions (`current < 145`, few bidders each); Qm1
+//! selects expensive ones (`current > 145`, many bidders each). A static
+//! optimizer sees near-identical auction counts for both and would pick
+//! the same plan; ROX re-samples after every execution and orders the
+//! bidder-side and item-side path segments differently (Figs. 3.3 / 3.4).
+//!
+//! ```text
+//! cargo run --release --example xmark_auction
+//! ```
+
+use rox_core::{run_rox, RoxOptions};
+use rox_datagen::{generate_xmark, xmark_query, XmarkConfig};
+use rox_joingraph::EdgeKind;
+use rox_xmldb::Catalog;
+use std::sync::Arc;
+
+fn main() {
+    let catalog = Arc::new(Catalog::new());
+    let cfg = XmarkConfig::default();
+    generate_xmark(&catalog, "xmark.xml", &cfg);
+    println!(
+        "generated xmark.xml: {} auctions, {} persons, {} items (bidders ≈ 1 + price/{})\n",
+        cfg.auctions, cfg.persons, cfg.items, cfg.price_per_bidder
+    );
+
+    for (name, op) in [("Q1  (current < 145)", "<"), ("Qm1 (current > 145)", ">")] {
+        let graph = rox_joingraph::compile_query(&xmark_query(op, 145.0)).unwrap();
+        let report = run_rox(
+            Arc::clone(&catalog),
+            &graph,
+            RoxOptions { trace: true, ..Default::default() },
+        )
+        .unwrap();
+        println!("==== {name} ====");
+        println!("result rows: {}", report.output.len());
+        println!("execution order:");
+        for (i, &e) in report.executed_order.iter().enumerate() {
+            let edge = graph.edge(e);
+            let op = match &edge.kind {
+                EdgeKind::Step(ax) => format!("◦{}", ax.label()),
+                EdgeKind::EquiJoin { .. } => "=".into(),
+            };
+            let rows = report.edge_log.iter().find(|x| x.edge == e).map(|x| x.result_rows);
+            println!(
+                "  {:>2}. {} {} {}  -> {} rows",
+                i + 1,
+                graph.vertex(edge.v1).label,
+                op,
+                graph.vertex(edge.v2).label,
+                rows.unwrap_or(0),
+            );
+        }
+        println!(
+            "work: {} exec + {} sampling; {} chain-sampling phases\n",
+            report.exec_cost.total(),
+            report.sample_cost.total(),
+            report.traces.len()
+        );
+    }
+    println!(
+        "Compare the row counts on the bidder-side steps: expensive auctions (Qm1)\n\
+         carry several times more bidders than cheap ones (Q1) although both\n\
+         queries select a near-equal number of auctions — the correlation a\n\
+         compile-time optimizer cannot know. ROX keeps the bidder branch last,\n\
+         where its re-sampled weights say the explosion is."
+    );
+}

@@ -1,0 +1,151 @@
+//! Robustness and edge-case tests across the whole stack.
+
+use rox_core::{run_rox, RoxOptions};
+use rox_xmldb::Catalog;
+use std::sync::Arc;
+
+fn rox(query: &str, docs: &[(&str, &str)]) -> rox_core::RoxReport {
+    let catalog = Arc::new(Catalog::new());
+    for (uri, xml) in docs {
+        catalog.load_str(uri, xml).unwrap();
+    }
+    let graph = rox_joingraph::compile_query(query).unwrap();
+    run_rox(catalog, &graph, RoxOptions { tau: 4, ..Default::default() }).unwrap()
+}
+
+#[test]
+fn missing_document_is_reported() {
+    let catalog = Arc::new(Catalog::new());
+    let graph =
+        rox_joingraph::compile_query(r#"for $a in doc("nope.xml")//a return $a"#).unwrap();
+    let err = rox_core::run_rox(catalog, &graph, RoxOptions::default()).unwrap_err();
+    assert!(err.message.contains("nope.xml"));
+}
+
+#[test]
+fn single_vertex_query_without_joins() {
+    let r = rox(
+        r#"for $a in doc("d.xml")//a return $a"#,
+        &[("d.xml", "<r><a/><a/><a/></r>")],
+    );
+    assert_eq!(r.output.len(), 3);
+    // Only the redundant root step exists; nothing is "executed".
+    assert!(r.executed_order.is_empty());
+}
+
+#[test]
+fn deeply_nested_recursive_structure() {
+    let mut xml = String::new();
+    for _ in 0..60 {
+        xml.push_str("<a>");
+    }
+    xml.push_str("<b/>");
+    for _ in 0..60 {
+        xml.push_str("</a>");
+    }
+    let r = rox(
+        r#"for $a in doc("d.xml")//a, $b in $a//b return $b"#,
+        &[("d.xml", &xml)],
+    );
+    // Every a (60 of them) has the single b as a descendant.
+    assert_eq!(r.output.len(), 60);
+}
+
+#[test]
+fn tiny_sample_sizes_still_correct() {
+    let catalog = Arc::new(Catalog::new());
+    let mut xml = String::from("<s>");
+    for i in 0..50 {
+        xml.push_str(&format!("<p id=\"x{}\"/><q ref=\"x{}\"/>", i, (i * 7) % 50));
+    }
+    xml.push_str("</s>");
+    catalog.load_str("d.xml", &xml).unwrap();
+    let graph = rox_joingraph::compile_query(
+        r#"for $p in doc("d.xml")//p, $q in doc("d.xml")//q
+           where $p/@id = $q/@ref return $p"#,
+    )
+    .unwrap();
+    for tau in [1usize, 2, 3, 1000] {
+        let r = rox_core::run_rox(
+            Arc::clone(&catalog),
+            &graph,
+            RoxOptions { tau, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(r.output.len(), 50, "tau = {tau}");
+    }
+}
+
+#[test]
+fn disconnected_join_graph_is_a_product() {
+    let r = rox(
+        r#"for $a in doc("x.xml")//a, $b in doc("y.xml")//b return $a"#,
+        &[("x.xml", "<r><a/><a/></r>"), ("y.xml", "<r><b/><b/><b/></r>")],
+    );
+    assert_eq!(r.joined.len(), 6);
+    assert_eq!(r.output.len(), 6);
+}
+
+#[test]
+fn no_matches_on_one_side_short_circuits_result() {
+    let r = rox(
+        r#"for $x in doc("x.xml")//name, $y in doc("y.xml")//name
+           where $x/text() = $y/text() return $x"#,
+        &[("x.xml", "<p><name>only</name></p>"), ("y.xml", "<p/>")],
+    );
+    assert!(r.output.is_empty());
+}
+
+#[test]
+fn duplicate_values_multiply_correctly() {
+    let r = rox(
+        r#"for $x in doc("x.xml")//t, $y in doc("y.xml")//t
+           where $x/text() = $y/text() return $x"#,
+        &[
+            ("x.xml", "<r><t>v</t><t>v</t><t>v</t></r>"),
+            ("y.xml", "<r><t>v</t><t>v</t></r>"),
+        ],
+    );
+    // 3 × 2 pairs.
+    assert_eq!(r.output.len(), 6);
+}
+
+#[test]
+fn unicode_content_survives_the_pipeline() {
+    let r = rox(
+        r#"for $a in doc("d.xml")//author[./text() = "Łukasz"] return $a"#,
+        &[("d.xml", "<s><author>Łukasz</author><author>René</author><author>何</author></s>")],
+    );
+    assert_eq!(r.output.len(), 1);
+}
+
+#[test]
+fn numeric_predicate_ignores_non_numeric_values() {
+    let r = rox(
+        r#"for $p in doc("d.xml")//v[./text() < 5] return $p"#,
+        &[("d.xml", "<s><v>3</v><v>seven</v><v>4.9</v><v></v></s>")],
+    );
+    assert_eq!(r.output.len(), 2);
+}
+
+#[test]
+fn wide_fanout_document() {
+    let mut xml = String::from("<r>");
+    for _ in 0..5000 {
+        xml.push_str("<c/>");
+    }
+    xml.push_str("</r>");
+    let r = rox(r#"for $c in doc("d.xml")//c return $c"#, &[("d.xml", &xml)]);
+    assert_eq!(r.output.len(), 5000);
+}
+
+#[test]
+fn self_join_of_one_document() {
+    let r = rox(
+        r#"for $x in doc("d.xml")//t, $y in doc("d.xml")//t
+           where $x/text() = $y/text() return $x"#,
+        &[("d.xml", "<r><t>a</t><t>b</t><t>a</t></r>")],
+    );
+    // Pairs with equal value: (a1,a1),(a1,a3),(a3,a1),(a3,a3),(b,b) = 5.
+    assert_eq!(r.joined.len(), 5);
+}
