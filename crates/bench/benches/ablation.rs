@@ -21,8 +21,20 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
     let variants: [(&str, RoxOptions); 3] = [
         ("full_rox", RoxOptions::default()),
-        ("no_chain_sampling", RoxOptions { chain_sampling: false, ..Default::default() }),
-        ("no_resampling", RoxOptions { resample: false, ..Default::default() }),
+        (
+            "no_chain_sampling",
+            RoxOptions {
+                chain_sampling: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no_resampling",
+            RoxOptions {
+                resample: false,
+                ..Default::default()
+            },
+        ),
     ];
     for (name, opts) in variants {
         group.bench_function(name, |b| {

@@ -11,7 +11,12 @@ use std::sync::Arc;
 
 fn bench_table2(c: &mut Criterion) {
     let cfg = Table2Config {
-        xmark: XmarkConfig { persons: 300, items: 250, auctions: 250, ..XmarkConfig::default() },
+        xmark: XmarkConfig {
+            persons: 300,
+            items: 250,
+            auctions: 250,
+            ..XmarkConfig::default()
+        },
         ..Table2Config::default()
     };
     c.bench_function("table2/q1_and_qm1", |b| b.iter(|| black_box(run(&cfg))));
@@ -29,9 +34,7 @@ fn bench_rox_variants(c: &mut Criterion) {
         let graph = rox_joingraph::compile_query(&xmark_query(op, 145.0)).unwrap();
         group.bench_function(name, |b| {
             b.iter(|| {
-                black_box(
-                    run_rox(Arc::clone(&catalog), &graph, RoxOptions::default()).unwrap(),
-                )
+                black_box(run_rox(Arc::clone(&catalog), &graph, RoxOptions::default()).unwrap())
             })
         });
     }

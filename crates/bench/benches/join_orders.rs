@@ -3,13 +3,19 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rox_bench::fig5::{run, Fig5Config};
-use rox_core::{analyze_star, enumerate_join_orders, plan_edges, run_plan_with_env, Placement, RoxEnv};
+use rox_core::{
+    analyze_star, enumerate_join_orders, plan_edges, run_plan_with_env, Placement, RoxEnv,
+};
 use rox_datagen::{dblp_query, venue_index};
 use std::hint::black_box;
 use std::sync::Arc;
 
 fn bench_sweep(c: &mut Criterion) {
-    let cfg = Fig5Config { scale: 1, size_factor: 0.05, seed: 9 };
+    let cfg = Fig5Config {
+        scale: 1,
+        size_factor: 0.05,
+        seed: 9,
+    };
     c.bench_function("fig5/full_sweep", |b| b.iter(|| black_box(run(&cfg))));
 }
 

@@ -23,9 +23,16 @@ fn bench_staircase(c: &mut Criterion) {
         .lookup(doc.interner().get("open_auction").unwrap())
         .to_vec();
     let bidders: Vec<Pre> = idx.lookup(doc.interner().get("bidder").unwrap()).to_vec();
-    let ctx: Vec<(u32, Pre)> = auctions.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
-    let bidder_ctx: Vec<(u32, Pre)> =
-        bidders.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+    let ctx: Vec<(u32, Pre)> = auctions
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i as u32, p))
+        .collect();
+    let bidder_ctx: Vec<(u32, Pre)> = bidders
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i as u32, p))
+        .collect();
 
     let mut group = c.benchmark_group("staircase");
     for (name, axis, context, cands) in [
@@ -58,13 +65,24 @@ fn bench_cutoff_sampling(c: &mut Criterion) {
         .lookup(doc.interner().get("open_auction").unwrap())
         .to_vec();
     let bidders: Vec<Pre> = idx.lookup(doc.interner().get("bidder").unwrap()).to_vec();
-    let ctx: Vec<(u32, Pre)> = auctions.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+    let ctx: Vec<(u32, Pre)> = auctions
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i as u32, p))
+        .collect();
     let mut group = c.benchmark_group("cutoff");
     for limit in [25usize, 100, 400] {
         group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, &limit| {
             b.iter(|| {
                 let mut cost = Cost::new();
-                black_box(step_join(&doc, Axis::Descendant, &ctx, &bidders, Some(limit), &mut cost))
+                black_box(step_join(
+                    &doc,
+                    Axis::Descendant,
+                    &ctx,
+                    &bidders,
+                    Some(limit),
+                    &mut cost,
+                ))
             })
         });
     }
@@ -73,15 +91,26 @@ fn bench_cutoff_sampling(c: &mut Criterion) {
 
 fn bench_value_joins(c: &mut Criterion) {
     let setup = rox_bench::dblp_catalog(1, 0.3, 7);
-    let vldb = setup.catalog.doc(setup.corpus.docs[rox_datagen::venue_index("VLDB")]);
-    let icde = setup.catalog.doc(setup.corpus.docs[rox_datagen::venue_index("ICDE")]);
+    let vldb = setup
+        .catalog
+        .doc(setup.corpus.docs[rox_datagen::venue_index("VLDB")]);
+    let icde = setup
+        .catalog
+        .doc(setup.corpus.docs[rox_datagen::venue_index("ICDE")]);
     let texts = |d: &rox_xmldb::Document| -> Vec<Pre> {
-        (0..d.node_count() as Pre).filter(|&p| d.kind(p) == NodeKind::Text).collect()
+        (0..d.node_count() as Pre)
+            .filter(|&p| d.kind(p) == NodeKind::Text)
+            .collect()
     };
     let lt = texts(&vldb);
     let rt = texts(&icde);
     let r_idx = DocIndexes::build(&icde);
-    let ctx: Vec<(u32, Pre)> = lt.iter().take(100).enumerate().map(|(i, &p)| (i as u32, p)).collect();
+    let ctx: Vec<(u32, Pre)> = lt
+        .iter()
+        .take(100)
+        .enumerate()
+        .map(|(i, &p)| (i as u32, p))
+        .collect();
     let mut group = c.benchmark_group("value_join");
     group.bench_function("hash_full", |b| {
         b.iter(|| {
@@ -93,7 +122,14 @@ fn bench_value_joins(c: &mut Criterion) {
         b.iter(|| {
             let mut cost = Cost::new();
             black_box(index_value_join(
-                &vldb, &ctx, &icde, &r_idx.value, NodeKind::Text, None, Some(100), &mut cost,
+                &vldb,
+                &ctx,
+                &icde,
+                &r_idx.value,
+                NodeKind::Text,
+                None,
+                Some(100),
+                &mut cost,
             ))
         })
     });

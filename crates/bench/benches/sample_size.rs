@@ -22,8 +22,16 @@ fn bench_sample_sizes(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, &tau| {
             b.iter(|| {
                 black_box(
-                    run_rox_with_env(&env, &graph, RoxOptions { tau, seed: 21, ..Default::default() })
-                        .unwrap(),
+                    run_rox_with_env(
+                        &env,
+                        &graph,
+                        RoxOptions {
+                            tau,
+                            seed: 21,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap(),
                 )
             })
         });

@@ -31,7 +31,10 @@ fn main() {
         .max(1);
     let mut sorted = out.orders.clone();
     sorted.sort_by_key(|o| o.cumulative_join_rows);
-    println!("{:<16} {:>16} {:>8}  marks", "join order", "cum. join rows", "×best");
+    println!(
+        "{:<16} {:>16} {:>8}  marks",
+        "join order", "cum. join rows", "×best"
+    );
     for o in &sorted {
         let mut marks = String::new();
         if o.is_classical {
@@ -49,7 +52,10 @@ fn main() {
         );
     }
     println!("\nclassical chose: {}", out.classical);
-    println!("ROX chose:       {} (its own run accumulated {} join rows)", out.rox, out.rox_cumulative);
+    println!(
+        "ROX chose:       {} (its own run accumulated {} join rows)",
+        out.rox, out.rox_cumulative
+    );
     println!(
         "\nExpected shape (paper): orders that join ICIP (doc 3) early stay small;\n\
          orders that leave it last blow up by orders of magnitude. ROX lands near\n\

@@ -27,9 +27,17 @@ fn main() {
         "Figure 6 reproduction — scale ×{}, size factor {}, {} combos/group, τ={} ({} metric)\n",
         cfg.scale,
         cfg.size_factor,
-        if cfg.per_group == 0 { "all".to_string() } else { cfg.per_group.to_string() },
+        if cfg.per_group == 0 {
+            "all".to_string()
+        } else {
+            cfg.per_group.to_string()
+        },
         cfg.tau,
-        if use_wall { "wall-clock" } else { "work-counter" },
+        if use_wall {
+            "wall-clock"
+        } else {
+            "work-counter"
+        },
     );
     let out = fig6::run(&cfg);
     println!(
@@ -38,9 +46,23 @@ fn main() {
     );
     for r in &out.rows {
         let (lg, cl, ro, sm, rf, rp) = if use_wall {
-            (r.wall.largest, r.wall.classical, r.wall.rox_order, r.wall.smallest, r.wall.rox_full, r.wall.rox_pure)
+            (
+                r.wall.largest,
+                r.wall.classical,
+                r.wall.rox_order,
+                r.wall.smallest,
+                r.wall.rox_full,
+                r.wall.rox_pure,
+            )
         } else {
-            (r.largest, r.classical, r.rox_order, r.smallest, r.rox_full, r.rox_pure)
+            (
+                r.largest,
+                r.classical,
+                r.rox_order,
+                r.smallest,
+                r.rox_full,
+                r.rox_pure,
+            )
         };
         println!(
             "{:<6} {:>10.3} {:>9.2} {:>10.2} {:>10.2} {:>10.2} {:>9.2} {:>9.2}  {:?}",
@@ -55,7 +77,14 @@ fn main() {
     for g in group_averages(&out.rows) {
         println!(
             "{:<6} {:>7} {:>9.2} {:>10.2} {:>10.2} {:>10.2} {:>9.2} {:>9.2}",
-            g.group, g.combos, g.largest, g.classical, g.rox_order, g.smallest, g.rox_full, g.rox_pure
+            g.group,
+            g.combos,
+            g.largest,
+            g.classical,
+            g.rox_order,
+            g.smallest,
+            g.rox_full,
+            g.rox_pure
         );
     }
     println!("\n--- group averages (cumulative join rows vs best order, Fig. 5 metric) ---");

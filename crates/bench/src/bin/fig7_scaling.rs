@@ -30,13 +30,29 @@ fn main() {
     let out = fig7::run(&cfg);
     println!(
         "{:<8} {:<6} {:>7} {:>9} {:>10} {:>10} {:>10} {:>9} {:>9}",
-        "scale", "group", "combos", "largest", "classical", "rox-order", "smallest", "rox-full", "rox-pure"
+        "scale",
+        "group",
+        "combos",
+        "largest",
+        "classical",
+        "rox-order",
+        "smallest",
+        "rox-full",
+        "rox-pure"
     );
     for s in &out.scales {
         for g in &s.averages {
             println!(
                 "x{:<7} {:<6} {:>7} {:>9.2} {:>10.2} {:>10.2} {:>10.2} {:>9.2} {:>9.2}",
-                s.scale, g.group, g.combos, g.largest, g.classical, g.rox_order, g.smallest, g.rox_full, g.rox_pure
+                s.scale,
+                g.group,
+                g.combos,
+                g.largest,
+                g.classical,
+                g.rox_order,
+                g.smallest,
+                g.rox_full,
+                g.rox_pure
             );
         }
     }

@@ -1,0 +1,39 @@
+//! Thread-scaling reproduction binary: wall time and speedup of the
+//! parallel candidate-sampling phase at increasing worker counts, plus an
+//! end-to-end `run_rox` comparison.
+//!
+//! ```text
+//! cargo run --release --bin fig_scaling_threads -- \
+//!     --persons 3000 --items 2500 --auctions 2500 --tau 4096 \
+//!     --threads 2,4,8 --repeats 3
+//! ```
+
+use rox_bench::args::Args;
+use rox_bench::scaling_threads::{render, run, ThreadScalingConfig};
+use rox_datagen::XmarkConfig;
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = ThreadScalingConfig::default();
+    cfg.xmark = XmarkConfig {
+        persons: args.get("persons", cfg.xmark.persons),
+        items: args.get("items", cfg.xmark.items),
+        auctions: args.get("auctions", cfg.xmark.auctions),
+        ..cfg.xmark
+    };
+    cfg.tau = args.get("tau", cfg.tau);
+    cfg.repeats = args.get("repeats", cfg.repeats);
+    let threads: String = args.get("threads", String::new());
+    if !threads.is_empty() {
+        cfg.threads = threads
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .expect("--threads wants a comma-separated list")
+            })
+            .collect();
+    }
+    let result = run(&cfg);
+    print!("{}", render(&result));
+}

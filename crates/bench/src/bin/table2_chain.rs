@@ -52,7 +52,11 @@ fn print_variant(v: &VariantResult, explain: bool) {
                     .map(|e| format!("e{e}"))
                     .collect::<Vec<_>>()
                     .join(","),
-                if trace.stopped_early { " (stopping condition fired)" } else { " (exhausted)" }
+                if trace.stopped_early {
+                    " (stopping condition fired)"
+                } else {
+                    " (exhausted)"
+                }
             );
         }
     }

@@ -28,7 +28,11 @@ pub struct Fig5Config {
 
 impl Default for Fig5Config {
     fn default() -> Self {
-        Fig5Config { scale: 1, size_factor: 0.2, seed: 9 }
+        Fig5Config {
+            scale: 1,
+            size_factor: 0.2,
+            seed: 9,
+        }
     }
 }
 
@@ -73,8 +77,15 @@ pub fn run(cfg: &Fig5Config) -> Fig5Output {
     let env = RoxEnv::new(Arc::clone(&setup.catalog), &graph).unwrap();
 
     let classical = classical_join_order(&env, &graph, &star);
-    let rox_report = run_rox_with_env(&env, &graph, RoxOptions { seed: cfg.seed, ..Default::default() })
-        .unwrap();
+    let rox_report = run_rox_with_env(
+        &env,
+        &graph,
+        RoxOptions {
+            seed: cfg.seed,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let rox_order = extract_join_order(&graph, &star, &rox_report.executed_order);
 
     let same_merges = |a: &JoinOrder, b: &JoinOrder| {
@@ -115,10 +126,24 @@ mod tests {
 
     #[test]
     fn rox_order_is_near_optimal() {
-        let out = run(&Fig5Config { scale: 1, size_factor: 0.05, seed: 11 });
+        let out = run(&Fig5Config {
+            scale: 1,
+            size_factor: 0.05,
+            seed: 11,
+        });
         assert_eq!(out.orders.len(), 18);
-        let best = out.orders.iter().map(|o| o.cumulative_join_rows).min().unwrap();
-        let worst = out.orders.iter().map(|o| o.cumulative_join_rows).max().unwrap();
+        let best = out
+            .orders
+            .iter()
+            .map(|o| o.cumulative_join_rows)
+            .min()
+            .unwrap();
+        let worst = out
+            .orders
+            .iter()
+            .map(|o| o.cumulative_join_rows)
+            .max()
+            .unwrap();
         assert!(worst > best, "orders must differ");
         // ROX's chosen order must be within a small factor of the best
         // enumerated order (the paper: ROX finds the smallest).
@@ -137,7 +162,11 @@ mod tests {
     #[test]
     fn icip_early_orders_beat_icip_late() {
         // Doc 3 = ICIP (IR among three DB venues).
-        let out = run(&Fig5Config { scale: 1, size_factor: 0.05, seed: 11 });
+        let out = run(&Fig5Config {
+            scale: 1,
+            size_factor: 0.05,
+            seed: 11,
+        });
         let avg = |f: &dyn Fn(&str) -> bool| {
             let xs: Vec<u64> = out
                 .orders

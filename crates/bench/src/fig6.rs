@@ -45,7 +45,13 @@ pub struct Fig6Config {
 
 impl Default for Fig6Config {
     fn default() -> Self {
-        Fig6Config { scale: 1, size_factor: 0.05, per_group: 8, tau: 100, seed: 13 }
+        Fig6Config {
+            scale: 1,
+            size_factor: 0.05,
+            per_group: 8,
+            tau: 100,
+            seed: 13,
+        }
     }
 }
 
@@ -102,12 +108,7 @@ pub struct WallRatios {
 }
 
 /// Measure a single combination against an existing corpus.
-pub fn measure_combo(
-    setup: &DblpSetup,
-    combo: [usize; 4],
-    tau: usize,
-    seed: u64,
-) -> ComboResult {
+pub fn measure_combo(setup: &DblpSetup, combo: [usize; 4], tau: usize, seed: u64) -> ComboResult {
     let group = rox_datagen::group_of(&combo);
     let graph = rox_joingraph::compile_query(&dblp_query(&combo)).unwrap();
     let star = analyze_star(&graph).expect("star query");
@@ -137,7 +138,11 @@ pub fn measure_combo(
         }
     }
     let best_cost = runs.iter().map(|r| r.cost).min().unwrap().max(1);
-    let best_wall = runs.iter().map(|r| r.wall).fold(f64::INFINITY, f64::min).max(1e-9);
+    let best_wall = runs
+        .iter()
+        .map(|r| r.wall)
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-9);
 
     // Per-order aggregates.
     let per_order = |oi: usize| {
@@ -157,7 +162,16 @@ pub fn measure_combo(
         .find(|&oi| order_signature(&orders[oi].merges) == order_signature(&classical.merges))
         .expect("classical order is linear, hence enumerated");
 
-    let rox = run_rox_with_env(&env, &graph, RoxOptions { tau, seed, ..Default::default() }).unwrap();
+    let rox = run_rox_with_env(
+        &env,
+        &graph,
+        RoxOptions {
+            tau,
+            seed,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let rox_replay = crate::fig8::replay(&env, &graph, &rox.executed_order);
     let rox_order = extract_join_order(&graph, &star, &rox.executed_order);
     let rox_oi = (0..orders.len())
@@ -324,7 +338,12 @@ mod tests {
         assert!(r.classical >= 1.0);
         // ROX's pure plan must be competitive: within a small factor of
         // the optimum.
-        assert!(r.rox_pure <= r.largest, "pure {} largest {}", r.rox_pure, r.largest);
+        assert!(
+            r.rox_pure <= r.largest,
+            "pure {} largest {}",
+            r.rox_pure,
+            r.largest
+        );
     }
 
     #[test]

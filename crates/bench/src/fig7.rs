@@ -79,7 +79,11 @@ pub fn run(cfg: &Fig7Config) -> Fig7Output {
             .filter(|r| r.result_rows > 0)
             .collect();
         let averages = group_averages(&rows);
-        scales.push(ScaleResult { scale, rows, averages });
+        scales.push(ScaleResult {
+            scale,
+            rows,
+            averages,
+        });
     }
     Fig7Output { scales }
 }

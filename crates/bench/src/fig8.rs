@@ -18,7 +18,10 @@ use std::time::Instant;
 pub fn replay(env: &RoxEnv, graph: &JoinGraph, order: &[EdgeId]) -> (u64, f64) {
     let t = Instant::now();
     let run = run_plan_with_env(env, graph, order).expect("replay of executed order");
-    (run.cost.total(), t.elapsed().as_secs_f64().max(run.wall.as_secs_f64()))
+    (
+        run.cost.total(),
+        t.elapsed().as_secs_f64().max(run.wall.as_secs_f64()),
+    )
 }
 
 /// Configuration.
@@ -94,7 +97,11 @@ pub fn run(cfg: &Fig8Config) -> Fig8Output {
                 let report = run_rox_with_env(
                     &env,
                     &graph,
-                    RoxOptions { tau, seed: cfg.seed, ..Default::default() },
+                    RoxOptions {
+                        tau,
+                        seed: cfg.seed,
+                        ..Default::default()
+                    },
                 )
                 .unwrap();
                 let full_wall = t.elapsed().as_secs_f64();

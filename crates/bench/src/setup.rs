@@ -17,10 +17,19 @@ pub struct DblpSetup {
 /// Generate the 23-venue DBLP corpus at the given replication scale and
 /// size factor.
 pub fn dblp_catalog(scale: usize, size_factor: f64, seed: u64) -> DblpSetup {
-    let config = DblpConfig { scale, size_factor, seed, ..DblpConfig::default() };
+    let config = DblpConfig {
+        scale,
+        size_factor,
+        seed,
+        ..DblpConfig::default()
+    };
     let catalog = Arc::new(Catalog::new());
     let corpus = generate_dblp(&catalog, &config);
-    DblpSetup { catalog, corpus, config }
+    DblpSetup {
+        catalog,
+        corpus,
+        config,
+    }
 }
 
 /// Generate an XMark catalog under "xmark.xml".
@@ -39,9 +48,8 @@ pub fn extract_join_order(
     executed: &[rox_joingraph::EdgeId],
 ) -> rox_core::JoinOrder {
     use rox_joingraph::EdgeKind;
-    let member_of = |v: rox_joingraph::VertexId| {
-        star.members.iter().position(|m| m.value_vertex == v)
-    };
+    let member_of =
+        |v: rox_joingraph::VertexId| star.members.iter().position(|m| m.value_vertex == v);
     let mut parent: Vec<usize> = (0..star.members.len()).collect();
     fn find(parent: &mut Vec<usize>, x: usize) -> usize {
         if parent[x] != x {
@@ -83,9 +91,7 @@ pub fn extract_join_order(
 pub fn order_signature(merges: &[(usize, usize)]) -> Vec<(Vec<usize>, Vec<usize>)> {
     use std::collections::BTreeSet;
     let mut comps: Vec<BTreeSet<usize>> = Vec::new();
-    let find = |comps: &Vec<BTreeSet<usize>>, m: usize| {
-        comps.iter().position(|c| c.contains(&m))
-    };
+    let find = |comps: &Vec<BTreeSet<usize>>, m: usize| comps.iter().position(|c| c.contains(&m));
     let mut sig = Vec::new();
     for &(a, b) in merges {
         let ca = find(&comps, a);
@@ -98,8 +104,10 @@ pub fn order_signature(merges: &[(usize, usize)]) -> Vec<(Vec<usize>, Vec<usize>
             Some(i) => comps[i].clone(),
             None => [b].into_iter().collect(),
         };
-        let (mut va, mut vb): (Vec<usize>, Vec<usize>) =
-            (set_a.iter().copied().collect(), set_b.iter().copied().collect());
+        let (mut va, mut vb): (Vec<usize>, Vec<usize>) = (
+            set_a.iter().copied().collect(),
+            set_b.iter().copied().collect(),
+        );
         if va > vb {
             std::mem::swap(&mut va, &mut vb);
         }

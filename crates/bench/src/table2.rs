@@ -82,10 +82,19 @@ pub fn run(cfg: &Table2Config) -> (VariantResult, VariantResult) {
         let report = run_rox(
             Arc::clone(&catalog),
             &graph,
-            RoxOptions { tau: cfg.tau, seed: cfg.seed, trace: true, ..Default::default() },
+            RoxOptions {
+                tau: cfg.tau,
+                seed: cfg.seed,
+                trace: true,
+                ..Default::default()
+            },
         )
         .unwrap();
-        out.push(VariantResult { name, graph, report });
+        out.push(VariantResult {
+            name,
+            graph,
+            report,
+        });
     }
     let qm1 = out.pop().unwrap();
     let q1 = out.pop().unwrap();
@@ -140,6 +149,8 @@ mod tests {
         let (q1, _) = run(&small_cfg());
         let rendered = q1.render_order();
         assert_eq!(rendered.len(), q1.report.executed_order.len());
-        assert!(rendered.iter().any(|s| s.contains("open_auction") || s.contains("bidder")));
+        assert!(rendered
+            .iter()
+            .any(|s| s.contains("open_auction") || s.contains("bidder")));
     }
 }

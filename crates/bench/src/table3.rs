@@ -40,7 +40,10 @@ pub fn run(scale: usize, size_factor: f64, seed: u64) -> Table3Output {
         .iter()
         .enumerate()
         .map(|(i, v)| {
-            let doc = setup.catalog.doc_by_uri(&venue_uri(i)).expect("venue loaded");
+            let doc = setup
+                .catalog
+                .doc_by_uri(&venue_uri(i))
+                .expect("venue loaded");
             let areas = match v.secondary {
                 None => v.primary.label().to_string(),
                 Some(s) => format!("{} {}", v.primary.label(), s.label()),
@@ -55,7 +58,11 @@ pub fn run(scale: usize, size_factor: f64, seed: u64) -> Table3Output {
             }
         })
         .collect();
-    Table3Output { rows, scale, size_factor }
+    Table3Output {
+        rows,
+        scale,
+        size_factor,
+    }
 }
 
 #[cfg(test)]

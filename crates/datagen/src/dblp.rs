@@ -66,29 +66,144 @@ pub struct Venue {
 
 /// The 23 venues of Table 3, in the paper's order.
 pub const VENUES: [Venue; 23] = [
-    Venue { name: "Fuzzy Logic in AI", primary: Area::AI, secondary: None, author_tags: 62 },
-    Venue { name: "AI in Medicine", primary: Area::AI, secondary: None, author_tags: 2264 },
-    Venue { name: "AAAI", primary: Area::AI, secondary: None, author_tags: 6832 },
-    Venue { name: "CANS", primary: Area::AI, secondary: Some(Area::BI), author_tags: 214 },
-    Venue { name: "BMC Bioinform.", primary: Area::BI, secondary: None, author_tags: 3547 },
-    Venue { name: "Bioinformatics", primary: Area::BI, secondary: None, author_tags: 15019 },
-    Venue { name: "BIOKDD", primary: Area::DM, secondary: Some(Area::BI), author_tags: 139 },
-    Venue { name: "MLDM", primary: Area::DM, secondary: None, author_tags: 575 },
-    Venue { name: "ICDM", primary: Area::DM, secondary: None, author_tags: 2205 },
-    Venue { name: "KDD", primary: Area::DM, secondary: None, author_tags: 3201 },
-    Venue { name: "WSDM", primary: Area::DM, secondary: Some(Area::IR), author_tags: 95 },
-    Venue { name: "INEX", primary: Area::IR, secondary: None, author_tags: 342 },
-    Venue { name: "SPIRE", primary: Area::IR, secondary: None, author_tags: 724 },
-    Venue { name: "TREC", primary: Area::IR, secondary: None, author_tags: 2541 },
-    Venue { name: "SIGIR", primary: Area::IR, secondary: None, author_tags: 4584 },
-    Venue { name: "ICME", primary: Area::IR, secondary: None, author_tags: 5757 },
-    Venue { name: "ICIP", primary: Area::IR, secondary: None, author_tags: 7935 },
-    Venue { name: "CIKM", primary: Area::DB, secondary: Some(Area::IR), author_tags: 3684 },
-    Venue { name: "ADBIS", primary: Area::DB, secondary: None, author_tags: 947 },
-    Venue { name: "EDBT", primary: Area::DB, secondary: None, author_tags: 1340 },
-    Venue { name: "SIGMOD", primary: Area::DB, secondary: None, author_tags: 5912 },
-    Venue { name: "ICDE", primary: Area::DB, secondary: None, author_tags: 6169 },
-    Venue { name: "VLDB", primary: Area::DB, secondary: None, author_tags: 6865 },
+    Venue {
+        name: "Fuzzy Logic in AI",
+        primary: Area::AI,
+        secondary: None,
+        author_tags: 62,
+    },
+    Venue {
+        name: "AI in Medicine",
+        primary: Area::AI,
+        secondary: None,
+        author_tags: 2264,
+    },
+    Venue {
+        name: "AAAI",
+        primary: Area::AI,
+        secondary: None,
+        author_tags: 6832,
+    },
+    Venue {
+        name: "CANS",
+        primary: Area::AI,
+        secondary: Some(Area::BI),
+        author_tags: 214,
+    },
+    Venue {
+        name: "BMC Bioinform.",
+        primary: Area::BI,
+        secondary: None,
+        author_tags: 3547,
+    },
+    Venue {
+        name: "Bioinformatics",
+        primary: Area::BI,
+        secondary: None,
+        author_tags: 15019,
+    },
+    Venue {
+        name: "BIOKDD",
+        primary: Area::DM,
+        secondary: Some(Area::BI),
+        author_tags: 139,
+    },
+    Venue {
+        name: "MLDM",
+        primary: Area::DM,
+        secondary: None,
+        author_tags: 575,
+    },
+    Venue {
+        name: "ICDM",
+        primary: Area::DM,
+        secondary: None,
+        author_tags: 2205,
+    },
+    Venue {
+        name: "KDD",
+        primary: Area::DM,
+        secondary: None,
+        author_tags: 3201,
+    },
+    Venue {
+        name: "WSDM",
+        primary: Area::DM,
+        secondary: Some(Area::IR),
+        author_tags: 95,
+    },
+    Venue {
+        name: "INEX",
+        primary: Area::IR,
+        secondary: None,
+        author_tags: 342,
+    },
+    Venue {
+        name: "SPIRE",
+        primary: Area::IR,
+        secondary: None,
+        author_tags: 724,
+    },
+    Venue {
+        name: "TREC",
+        primary: Area::IR,
+        secondary: None,
+        author_tags: 2541,
+    },
+    Venue {
+        name: "SIGIR",
+        primary: Area::IR,
+        secondary: None,
+        author_tags: 4584,
+    },
+    Venue {
+        name: "ICME",
+        primary: Area::IR,
+        secondary: None,
+        author_tags: 5757,
+    },
+    Venue {
+        name: "ICIP",
+        primary: Area::IR,
+        secondary: None,
+        author_tags: 7935,
+    },
+    Venue {
+        name: "CIKM",
+        primary: Area::DB,
+        secondary: Some(Area::IR),
+        author_tags: 3684,
+    },
+    Venue {
+        name: "ADBIS",
+        primary: Area::DB,
+        secondary: None,
+        author_tags: 947,
+    },
+    Venue {
+        name: "EDBT",
+        primary: Area::DB,
+        secondary: None,
+        author_tags: 1340,
+    },
+    Venue {
+        name: "SIGMOD",
+        primary: Area::DB,
+        secondary: None,
+        author_tags: 5912,
+    },
+    Venue {
+        name: "ICDE",
+        primary: Area::DB,
+        secondary: None,
+        author_tags: 6169,
+    },
+    Venue {
+        name: "VLDB",
+        primary: Area::DB,
+        secondary: None,
+        author_tags: 6865,
+    },
 ];
 
 /// Index of a venue by name (panics on unknown names — test helper).
@@ -142,7 +257,10 @@ impl Default for DblpConfig {
 impl DblpConfig {
     /// A shrunk configuration for unit tests and quick benches.
     pub fn tiny() -> Self {
-        DblpConfig { size_factor: 0.03, ..Default::default() }
+        DblpConfig {
+            size_factor: 0.03,
+            ..Default::default()
+        }
     }
 }
 
@@ -216,7 +334,11 @@ pub fn generate_dblp(catalog: &Arc<Catalog>, cfg: &DblpConfig) -> DblpCorpus {
                 let area = if rng.random_bool(cfg.cross_area_noise) {
                     *Area::ALL.choose(&mut rng).unwrap()
                 } else if let Some(sec) = venue.secondary {
-                    if rng.random_bool(0.5) { venue.primary } else { sec }
+                    if rng.random_bool(0.5) {
+                        venue.primary
+                    } else {
+                        sec
+                    }
                 } else {
                     venue.primary
                 };
@@ -244,8 +366,11 @@ pub fn generate_dblp(catalog: &Arc<Catalog>, cfg: &DblpConfig) -> DblpCorpus {
             for rep in 0..cfg.scale {
                 b.start_element("article");
                 for a in authors {
-                    let name =
-                        if rep == 0 { a.clone() } else { format!("{a}#{rep}") };
+                    let name = if rep == 0 {
+                        a.clone()
+                    } else {
+                        format!("{a}#{rep}")
+                    };
                     b.leaf("author", &name);
                     tags += 1;
                 }
@@ -309,7 +434,11 @@ fn author_histogram(catalog: &Catalog, doc: DocId) -> (HashMap<rox_xmldb::Symbol
 pub fn join_size(catalog: &Catalog, a: DocId, b: DocId) -> u64 {
     let (ha, _) = author_histogram(catalog, a);
     let (hb, _) = author_histogram(catalog, b);
-    let (small, large) = if ha.len() <= hb.len() { (&ha, &hb) } else { (&hb, &ha) };
+    let (small, large) = if ha.len() <= hb.len() {
+        (&ha, &hb)
+    } else {
+        (&hb, &ha)
+    };
     small
         .iter()
         .filter_map(|(sym, ca)| large.get(sym).map(|cb| ca * cb))
@@ -327,7 +456,11 @@ pub fn correlation(catalog: &Catalog, docs: &[DocId]) -> f64 {
         for j in i + 1..docs.len() {
             let (hi, ti) = &hists[i];
             let (hj, tj) = &hists[j];
-            let (small, large) = if hi.len() <= hj.len() { (hi, hj) } else { (hj, hi) };
+            let (small, large) = if hi.len() <= hj.len() {
+                (hi, hj)
+            } else {
+                (hj, hi)
+            };
             let joined: u64 = small
                 .iter()
                 .filter_map(|(sym, ca)| large.get(sym).map(|cb| ca * cb))
@@ -435,7 +568,13 @@ mod tests {
         let cat1 = Arc::new(Catalog::new());
         let c1 = generate_dblp(&cat1, &DblpConfig::tiny());
         let cat10 = Arc::new(Catalog::new());
-        let c10 = generate_dblp(&cat10, &DblpConfig { scale: 10, ..DblpConfig::tiny() });
+        let c10 = generate_dblp(
+            &cat10,
+            &DblpConfig {
+                scale: 10,
+                ..DblpConfig::tiny()
+            },
+        );
         let vi = venue_index("ADBIS");
         assert_eq!(c10.author_tags[vi], 10 * c1.author_tags[vi]);
         // Replicas only join within their replica (suffixing), so join
@@ -496,7 +635,10 @@ mod tests {
         // Pairwise cross-area joins non-empty thanks to global authors.
         let vldb = corpus.docs[combo[0]];
         let icip = corpus.docs[combo[2]];
-        assert!(join_size(&cat, vldb, icip) > 0, "cross-area join must not be empty");
+        assert!(
+            join_size(&cat, vldb, icip) > 0,
+            "cross-area join must not be empty"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub mod dblp;
 pub mod xmark;
 
 pub use dblp::{
-    correlation, dblp_query, generate_dblp, group_of, grouped_combinations, join_size,
-    venue_index, venue_uri, Area, DblpConfig, DblpCorpus, Venue, VENUES,
+    correlation, dblp_query, generate_dblp, group_of, grouped_combinations, join_size, venue_index,
+    venue_uri, Area, DblpConfig, DblpCorpus, Venue, VENUES,
 };
 pub use xmark::{generate_xmark, xmark_query, XmarkConfig};

@@ -56,7 +56,12 @@ impl Default for XmarkConfig {
 impl XmarkConfig {
     /// A small configuration for unit tests.
     pub fn tiny() -> Self {
-        XmarkConfig { persons: 40, items: 30, auctions: 30, ..Default::default() }
+        XmarkConfig {
+            persons: 40,
+            items: 30,
+            auctions: 30,
+            ..Default::default()
+        }
     }
 }
 
@@ -98,7 +103,7 @@ pub fn generate_xmark(catalog: &Arc<Catalog>, uri: &str, cfg: &XmarkConfig) -> D
         // Correlated bidder count: more expensive auctions attract more
         // bidders.
         let base = 1 + (price / cfg.price_per_bidder) as usize;
-        let noise = rng.random_range(0..=1);
+        let noise: usize = rng.random_range(0..=1);
         for _ in 0..base + noise {
             b.start_element("bidder");
             b.start_element("personref");
@@ -177,14 +182,18 @@ mod tests {
     #[test]
     fn bidder_count_correlates_with_price() {
         let cat = Arc::new(Catalog::new());
-        let cfg = XmarkConfig { auctions: 300, ..XmarkConfig::default() };
+        let cfg = XmarkConfig {
+            auctions: 300,
+            ..XmarkConfig::default()
+        };
         let id = generate_xmark(&cat, "xmark.xml", &cfg);
         let d = cat.doc(id);
         let idx = rox_index::ElementIndex::build(&d);
         let oa = d.interner().get("open_auction").unwrap();
         let bidder = d.interner().get("bidder").unwrap();
         let current = d.interner().get("current").unwrap();
-        let (mut cheap_bidders, mut cheap_n, mut exp_bidders, mut exp_n) = (0usize, 0usize, 0usize, 0usize);
+        let (mut cheap_bidders, mut cheap_n, mut exp_bidders, mut exp_n) =
+            (0usize, 0usize, 0usize, 0usize);
         for &a in idx.lookup(oa) {
             let mut price = None;
             let mut bidders = 0;

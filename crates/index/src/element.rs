@@ -63,7 +63,10 @@ impl ElementIndex {
 
     /// All attributes named `q`, sorted on pre.
     pub fn lookup_attr(&self, qname: Symbol) -> &[Pre] {
-        self.attr_by_name.get(&qname).map(Vec::as_slice).unwrap_or(&[])
+        self.attr_by_name
+            .get(&qname)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// All elements in document order.

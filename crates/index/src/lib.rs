@@ -15,7 +15,7 @@
 //!   plus an ordered numeric projection for range predicates.
 //!
 //! [`sampling`] provides uniform index sampling (the paper cites
-//! partial-sum trees [26]; over our in-memory sorted pre lists a direct
+//! partial-sum trees \[26\]; over our in-memory sorted pre lists a direct
 //! uniform draw of positions is exact and O(τ log τ)).
 
 pub mod element;

@@ -70,7 +70,10 @@ impl IndexedStore {
 
     /// Drop cached indices (used after re-loading a document in tests).
     pub fn invalidate(&self, id: DocId) {
-        self.indexes.lock().expect("index cache poisoned").remove(&id);
+        self.indexes
+            .lock()
+            .expect("index cache poisoned")
+            .remove(&id);
     }
 }
 

@@ -62,12 +62,18 @@ impl ValueIndex {
     /// `D³ₜₑₓₜ(v)`: text nodes with exactly value `v` (interned symbol),
     /// sorted on pre.
     pub fn text_eq(&self, value: Symbol) -> &[Pre] {
-        self.text_by_value.get(&value).map(Vec::as_slice).unwrap_or(&[])
+        self.text_by_value
+            .get(&value)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Attribute nodes with exactly value `v`, sorted on pre.
     pub fn attr_eq(&self, value: Symbol) -> &[Pre] {
-        self.attr_by_value.get(&value).map(Vec::as_slice).unwrap_or(&[])
+        self.attr_by_value
+            .get(&value)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// `D³ₐₜₜᵣ(v, qelt, qattr)`: the *owner elements* (paper semantics) of
@@ -185,7 +191,9 @@ mod tests {
         for &p in &hits {
             assert_eq!(d.value_str(p), "x");
         }
-        assert!(idx.select_text(&d, &ValuePredicate::eq_str("zzz")).is_empty());
+        assert!(idx
+            .select_text(&d, &ValuePredicate::eq_str("zzz"))
+            .is_empty());
     }
 
     #[test]
@@ -214,7 +222,9 @@ mod tests {
         assert_eq!(d.name_str(owners[0]), "p");
         // Wrong element name restriction filters it out.
         let q_name = d.interner().get("q").unwrap();
-        assert!(idx.attr_owners(&d, seven, Some(q_name), Some(id_name)).is_empty());
+        assert!(idx
+            .attr_owners(&d, seven, Some(q_name), Some(id_name))
+            .is_empty());
     }
 
     #[test]
@@ -238,7 +248,10 @@ mod tests {
     fn string_inequality_falls_back_to_scan() {
         let d = doc();
         let idx = ValueIndex::build(&d);
-        let p = ValuePredicate { op: CmpOp::Ne, rhs: Constant::Str("x".into()) };
+        let p = ValuePredicate {
+            op: CmpOp::Ne,
+            rhs: Constant::Str("x".into()),
+        };
         let hits = idx.select_text(&d, &p);
         // 12, 145, 150, abc
         assert_eq!(hits.len(), 4);

@@ -25,12 +25,21 @@ fn doc_strategy() -> impl Strategy<Value = String> {
 }
 
 fn pred_strategy() -> impl Strategy<Value = ValuePredicate> {
-    let op = prop::sample::select(vec![CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]);
+    let op = prop::sample::select(vec![
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ]);
     prop_oneof![
-        (op.clone(), prop::sample::select(vec![1.0f64, 2.0, 2.5, 10.0]))
+        (
+            op.clone(),
+            prop::sample::select(vec![1.0f64, 2.0, 2.5, 10.0])
+        )
             .prop_map(|(op, n)| ValuePredicate::num(op, n)),
-        prop::sample::select(vec!["1", "x", "zz"])
-            .prop_map(ValuePredicate::eq_str),
+        prop::sample::select(vec!["1", "x", "zz"]).prop_map(ValuePredicate::eq_str),
     ]
 }
 

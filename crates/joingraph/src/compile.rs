@@ -30,7 +30,9 @@ impl fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, CompileError> {
-    Err(CompileError { message: message.into() })
+    Err(CompileError {
+        message: message.into(),
+    })
 }
 
 /// Compile a parsed query into its Join Graph (with equi-join closure
@@ -94,7 +96,8 @@ impl Compiler {
                     let vb = self.resolve_var_path(b)?;
                     self.check_value_vertex(va)?;
                     self.check_value_vertex(vb)?;
-                    self.graph.add_edge(va, vb, EdgeKind::EquiJoin { inferred: false });
+                    self.graph
+                        .add_edge(va, vb, EdgeKind::EquiJoin { inferred: false });
                 }
                 Condition::Select(a, op, rhs) => {
                     let v = self.resolve_var_path(a)?;
@@ -196,9 +199,7 @@ impl Compiler {
                 return err("descendant attribute steps (//@x) are not supported")
             }
             (StepTest::Text, StepAxis::Child) => (VertexLabel::Text(None), Axis::Child),
-            (StepTest::Text, StepAxis::Descendant) => {
-                (VertexLabel::Text(None), Axis::Descendant)
-            }
+            (StepTest::Text, StepAxis::Descendant) => (VertexLabel::Text(None), Axis::Descendant),
         };
         Ok(pair)
     }
@@ -247,16 +248,12 @@ impl Compiler {
     /// Resolve `$var/steps` to the vertex the path ends at, creating
     /// vertices/edges for the relative steps.
     fn resolve_var_path(&mut self, path: &VarPath) -> Result<VertexId, CompileError> {
-        let &start = self
-            .graph
-            .var_vertices
-            .get(&path.var)
-            .ok_or(CompileError { message: format!("unbound variable ${}", path.var) })?;
-        let uri = self
-            .var_doc
-            .get(&path.var)
-            .cloned()
-            .ok_or(CompileError { message: format!("variable ${} has no document", path.var) })?;
+        let &start = self.graph.var_vertices.get(&path.var).ok_or(CompileError {
+            message: format!("unbound variable ${}", path.var),
+        })?;
+        let uri = self.var_doc.get(&path.var).cloned().ok_or(CompileError {
+            message: format!("variable ${} has no document", path.var),
+        })?;
         self.compile_steps(start, &uri, &path.steps, true)
     }
 
@@ -397,9 +394,7 @@ mod tests {
 
     #[test]
     fn select_condition_attaches_predicate() {
-        let g = graph_of(
-            r#"for $a in doc("d.xml")//item where $a/price/text() < 10 return $a"#,
-        );
+        let g = graph_of(r#"for $a in doc("d.xml")//item where $a/price/text() < 10 return $a"#);
         assert!(g.vertices().iter().any(|v| matches!(
             &v.label,
             VertexLabel::Text(Some(p)) if p.to_string() == "< 10"
@@ -446,9 +441,7 @@ mod tests {
 
     #[test]
     fn attribute_with_value_predicate() {
-        let g = graph_of(
-            r#"for $p in doc("d.xml")//person where $p/@id = "p7" return $p"#,
-        );
+        let g = graph_of(r#"for $p in doc("d.xml")//person where $p/@id = "p7" return $p"#);
         assert!(g.vertices().iter().any(|v| matches!(
             &v.label,
             VertexLabel::Attribute(n, Some(p)) if n == "id" && p.to_string() == "= \"p7\""

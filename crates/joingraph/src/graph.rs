@@ -135,17 +135,29 @@ impl JoinGraph {
     /// Add a vertex, returning its id.
     pub fn add_vertex(&mut self, doc_uri: impl Into<String>, label: VertexLabel) -> VertexId {
         let id = self.vertices.len() as VertexId;
-        self.vertices.push(Vertex { id, doc_uri: doc_uri.into(), label });
+        self.vertices.push(Vertex {
+            id,
+            doc_uri: doc_uri.into(),
+            label,
+        });
         self.adjacency.push(Vec::new());
         id
     }
 
     /// Add an edge, returning its id.
     pub fn add_edge(&mut self, v1: VertexId, v2: VertexId, kind: EdgeKind) -> EdgeId {
-        let redundant = matches!(kind, EdgeKind::Step(Axis::Descendant | Axis::DescendantOrSelf))
-            && matches!(self.vertex(v1).label, VertexLabel::Root);
+        let redundant = matches!(
+            kind,
+            EdgeKind::Step(Axis::Descendant | Axis::DescendantOrSelf)
+        ) && matches!(self.vertex(v1).label, VertexLabel::Root);
         let id = self.edges.len() as EdgeId;
-        self.edges.push(Edge { id, v1, v2, kind, redundant });
+        self.edges.push(Edge {
+            id,
+            v1,
+            v2,
+            kind,
+            redundant,
+        });
         self.adjacency[v1 as usize].push(id);
         self.adjacency[v2 as usize].push(id);
         id
@@ -254,7 +266,8 @@ impl JoinGraph {
     /// equi-joins bold, inferred equivalence edges dotted — matching the
     /// visual language of the paper's Fig. 4).
     pub fn to_dot(&self) -> String {
-        let mut out = String::from("graph joingraph {\n  node [shape=box, fontname=\"monospace\"];\n");
+        let mut out =
+            String::from("graph joingraph {\n  node [shape=box, fontname=\"monospace\"];\n");
         for v in &self.vertices {
             out.push_str(&format!(
                 "  v{} [label=\"{}\\n[{}]\"];\n",

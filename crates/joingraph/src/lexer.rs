@@ -168,7 +168,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     }
                 }
                 if depth > 0 {
-                    return Err(LexError { message: "unterminated comment".into(), offset });
+                    return Err(LexError {
+                        message: "unterminated comment".into(),
+                        offset,
+                    });
                 }
                 continue;
             }
@@ -179,10 +182,16 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 if start == i {
-                    return Err(LexError { message: "expected variable name after $".into(), offset });
+                    return Err(LexError {
+                        message: "expected variable name after $".into(),
+                        offset,
+                    });
                 }
                 let name: String = bytes[start..i].iter().collect();
-                out.push(Token { kind: TokenKind::Var(name), offset });
+                out.push(Token {
+                    kind: TokenKind::Var(name),
+                    offset,
+                });
             }
             '"' | '\'' | '\u{201c}' | '\u{201d}' => {
                 // Accept curly quotes too — the paper's text uses them.
@@ -197,11 +206,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 if i >= bytes.len() {
-                    return Err(LexError { message: "unterminated string".into(), offset });
+                    return Err(LexError {
+                        message: "unterminated string".into(),
+                        offset,
+                    });
                 }
                 let s: String = bytes[start..i].iter().collect();
                 i += 1;
-                out.push(Token { kind: TokenKind::Str(s), offset });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset,
+                });
             }
             '0'..='9' => {
                 let start = i;
@@ -209,75 +224,127 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let s: String = bytes[start..i].iter().collect();
-                let n = s
-                    .parse::<f64>()
-                    .map_err(|_| LexError { message: format!("bad number {s}"), offset })?;
-                out.push(Token { kind: TokenKind::Num(n), offset });
+                let n = s.parse::<f64>().map_err(|_| LexError {
+                    message: format!("bad number {s}"),
+                    offset,
+                })?;
+                out.push(Token {
+                    kind: TokenKind::Num(n),
+                    offset,
+                });
             }
             '/' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == '/' {
-                    out.push(Token { kind: TokenKind::DoubleSlash, offset });
+                    out.push(Token {
+                        kind: TokenKind::DoubleSlash,
+                        offset,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Slash, offset });
+                    out.push(Token {
+                        kind: TokenKind::Slash,
+                        offset,
+                    });
                     i += 1;
                 }
             }
             ':' if i + 1 < bytes.len() && bytes[i + 1] == '=' => {
-                out.push(Token { kind: TokenKind::Assign, offset });
+                out.push(Token {
+                    kind: TokenKind::Assign,
+                    offset,
+                });
                 i += 2;
             }
             '[' => {
-                out.push(Token { kind: TokenKind::LBracket, offset });
+                out.push(Token {
+                    kind: TokenKind::LBracket,
+                    offset,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Token { kind: TokenKind::RBracket, offset });
+                out.push(Token {
+                    kind: TokenKind::RBracket,
+                    offset,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, offset });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    offset,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, offset });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    offset,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { kind: TokenKind::Comma, offset });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    offset,
+                });
                 i += 1;
             }
             '@' => {
-                out.push(Token { kind: TokenKind::At, offset });
+                out.push(Token {
+                    kind: TokenKind::At,
+                    offset,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Token { kind: TokenKind::Dot, offset });
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    offset,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { kind: TokenKind::Eq, offset });
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    offset,
+                });
                 i += 1;
             }
             '!' if i + 1 < bytes.len() && bytes[i + 1] == '=' => {
-                out.push(Token { kind: TokenKind::Ne, offset });
+                out.push(Token {
+                    kind: TokenKind::Ne,
+                    offset,
+                });
                 i += 2;
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == '=' {
-                    out.push(Token { kind: TokenKind::Le, offset });
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        offset,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Lt, offset });
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        offset,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == '=' {
-                    out.push(Token { kind: TokenKind::Ge, offset });
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        offset,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Gt, offset });
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        offset,
+                    });
                     i += 1;
                 }
             }
@@ -307,7 +374,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             }
         }
     }
-    out.push(Token { kind: TokenKind::Eof, offset: bytes.len() });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        offset: bytes.len(),
+    });
     Ok(out)
 }
 
@@ -397,7 +467,10 @@ mod tests {
     #[test]
     fn comments_skipped() {
         let k = kinds("for (: a (: nested :) comment :) $x");
-        assert_eq!(k, vec![TokenKind::For, TokenKind::Var("x".into()), TokenKind::Eof]);
+        assert_eq!(
+            k,
+            vec![TokenKind::For, TokenKind::Var("x".into()), TokenKind::Eof]
+        );
     }
 
     #[test]

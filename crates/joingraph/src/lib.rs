@@ -3,7 +3,7 @@
 //! # rox-joingraph — XQuery frontend and Join Graph isolation
 //!
 //! The ROX paper defers all join/step ordering decisions to run-time by
-//! having the static compiler (Pathfinder, [17,18]) isolate **Join Graphs**
+//! having the static compiler (Pathfinder, \[17,18\]) isolate **Join Graphs**
 //! out of XQuery plans. This crate provides that front end for the query
 //! fragment the paper's workloads exercise:
 //!
@@ -13,7 +13,7 @@
 //!   vertices annotated with element names / text / attribute predicates,
 //!   edges that are staircase steps or value equi-joins, plus the plan
 //!   tail (π·δ·τ·π) and the inferred join-equivalence edges of Fig. 4;
-//! * [`compile`] — AST → Join Graph translation.
+//! * [`compile`](mod@compile) — AST → Join Graph translation.
 //!
 //! ```
 //! let q = rox_joingraph::parse_query(

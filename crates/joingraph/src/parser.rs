@@ -16,7 +16,11 @@ pub struct SyntaxError {
 
 impl fmt::Display for SyntaxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "syntax error at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "syntax error at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -24,7 +28,10 @@ impl std::error::Error for SyntaxError {}
 
 impl From<LexError> for SyntaxError {
     fn from(e: LexError) -> Self {
-        SyntaxError { message: e.message, offset: e.offset }
+        SyntaxError {
+            message: e.message,
+            offset: e.offset,
+        }
     }
 }
 
@@ -57,7 +64,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, SyntaxError> {
-        Err(SyntaxError { message: message.into(), offset: self.offset() })
+        Err(SyntaxError {
+            message: message.into(),
+            offset: self.offset(),
+        })
     }
 
     fn expect(&mut self, kind: &TokenKind) -> Result<(), SyntaxError> {
@@ -109,7 +119,9 @@ impl Parser {
             known.push(f.var.as_str());
         }
         if !fors.iter().any(|f| f.var == return_var) {
-            return self.err(format!("return variable ${return_var} is not a for variable"));
+            return self.err(format!(
+                "return variable ${return_var} is not a for variable"
+            ));
         }
         for c in &conditions {
             let vars: Vec<&str> = match c {
@@ -122,7 +134,12 @@ impl Parser {
                 }
             }
         }
-        Ok(Query { lets, fors, conditions, return_var })
+        Ok(Query {
+            lets,
+            fors,
+            conditions,
+            return_var,
+        })
     }
 
     fn var_name(&mut self) -> Result<String, SyntaxError> {
@@ -175,7 +192,11 @@ impl Parser {
                 predicates.push(self.predicate()?);
                 self.expect(&TokenKind::RBracket)?;
             }
-            steps.push(Step { axis, test, predicates });
+            steps.push(Step {
+                axis,
+                test,
+                predicates,
+            });
         }
         Ok(steps)
     }
@@ -226,7 +247,11 @@ impl Parser {
                 predicates.push(self.predicate()?);
                 self.expect(&TokenKind::RBracket)?;
             }
-            steps.push(Step { axis: StepAxis::Child, test, predicates });
+            steps.push(Step {
+                axis: StepAxis::Child,
+                test,
+                predicates,
+            });
             steps.extend(self.steps()?);
         }
         Ok(steps)
@@ -381,26 +406,23 @@ mod tests {
 
     #[test]
     fn rejects_where_on_unknown_var() {
-        let e =
-            parse_query(r#"for $a in doc("d")//x where $b/text() = 1 return $a"#).unwrap_err();
+        let e = parse_query(r#"for $a in doc("d")//x where $b/text() = 1 return $a"#).unwrap_err();
         assert!(e.message.contains("non-for variable"), "{e}");
     }
 
     #[test]
     fn select_condition_with_literal() {
-        let q = parse_query(
-            r#"for $a in doc("d")//item where $a/price/text() < 10 return $a"#,
-        )
-        .unwrap();
-        assert!(matches!(q.conditions[0], Condition::Select(_, CmpOp::Lt, _)));
+        let q = parse_query(r#"for $a in doc("d")//item where $a/price/text() < 10 return $a"#)
+            .unwrap();
+        assert!(matches!(
+            q.conditions[0],
+            Condition::Select(_, CmpOp::Lt, _)
+        ));
     }
 
     #[test]
     fn nested_predicates() {
-        let q = parse_query(
-            r#"for $a in doc("d")//a[./b[./c]] return $a"#,
-        )
-        .unwrap();
+        let q = parse_query(r#"for $a in doc("d")//a[./b[./c]] return $a"#).unwrap();
         match &q.fors[0].steps[0].predicates[0] {
             Predicate::Exists(steps) => {
                 assert_eq!(steps.len(), 1);

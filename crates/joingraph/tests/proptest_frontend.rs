@@ -24,7 +24,14 @@ fn axis() -> impl Strategy<Value = StepAxis> {
 }
 
 fn cmp_op() -> impl Strategy<Value = CmpOp> {
-    prop::sample::select(vec![CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge])
+    prop::sample::select(vec![
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ])
 }
 
 fn constant() -> impl Strategy<Value = Constant> {
@@ -39,7 +46,11 @@ fn constant() -> impl Strategy<Value = Constant> {
 fn element_step(depth: u32) -> BoxedStrategy<Step> {
     if depth == 0 {
         (axis(), name())
-            .prop_map(|(axis, n)| Step { axis, test: StepTest::Element(n), predicates: vec![] })
+            .prop_map(|(axis, n)| Step {
+                axis,
+                test: StepTest::Element(n),
+                predicates: vec![],
+            })
             .boxed()
     } else {
         (
@@ -66,16 +77,31 @@ fn last_step(depth: u32) -> BoxedStrategy<Step> {
     (step_test(), axis(), preds)
         .prop_map(|(test, ax, predicates)| {
             // `//@x` is rejected by the compiler; normalize to child.
-            let axis = if matches!(test, StepTest::Attribute(_)) { StepAxis::Child } else { ax };
+            let axis = if matches!(test, StepTest::Attribute(_)) {
+                StepAxis::Child
+            } else {
+                ax
+            };
             // Predicates only on element steps.
-            let predicates = if matches!(test, StepTest::Element(_)) { predicates } else { vec![] };
-            Step { axis, test, predicates }
+            let predicates = if matches!(test, StepTest::Element(_)) {
+                predicates
+            } else {
+                vec![]
+            };
+            Step {
+                axis,
+                test,
+                predicates,
+            }
         })
         .boxed()
 }
 
 fn steps(depth: u32) -> BoxedStrategy<Vec<Step>> {
-    (prop::collection::vec(element_step(depth), 0..3), last_step(depth))
+    (
+        prop::collection::vec(element_step(depth), 0..3),
+        last_step(depth),
+    )
         .prop_map(|(mut pre, last)| {
             pre.push(last);
             pre
@@ -93,48 +119,49 @@ fn predicate(depth: u32) -> BoxedStrategy<Predicate> {
 }
 
 fn query() -> impl Strategy<Value = Query> {
-    (
-        prop::collection::vec(steps(2), 1..4),
-        prop::bool::ANY,
-    )
-        .prop_map(|(bindings, join_texts)| {
-            let fors: Vec<ForBinding> = bindings
-                .into_iter()
-                .enumerate()
-                .map(|(i, steps)| ForBinding {
-                    var: format!("v{i}"),
-                    source: Source::Doc(format!("doc{}.xml", i % 2)),
-                    steps,
-                })
-                .collect();
-            // Optionally join consecutive variables on text value.
-            let mut conditions = Vec::new();
-            if join_texts && fors.len() >= 2 {
-                for w in 0..fors.len() - 1 {
-                    conditions.push(Condition::Join(
-                        VarPath {
-                            var: fors[w].var.clone(),
-                            steps: vec![Step {
-                                axis: StepAxis::Child,
-                                test: StepTest::Text,
-                                predicates: vec![],
-                            }],
-                        },
-                        CmpOp::Eq,
-                        VarPath {
-                            var: fors[w + 1].var.clone(),
-                            steps: vec![Step {
-                                axis: StepAxis::Child,
-                                test: StepTest::Text,
-                                predicates: vec![],
-                            }],
-                        },
-                    ));
-                }
+    (prop::collection::vec(steps(2), 1..4), prop::bool::ANY).prop_map(|(bindings, join_texts)| {
+        let fors: Vec<ForBinding> = bindings
+            .into_iter()
+            .enumerate()
+            .map(|(i, steps)| ForBinding {
+                var: format!("v{i}"),
+                source: Source::Doc(format!("doc{}.xml", i % 2)),
+                steps,
+            })
+            .collect();
+        // Optionally join consecutive variables on text value.
+        let mut conditions = Vec::new();
+        if join_texts && fors.len() >= 2 {
+            for w in 0..fors.len() - 1 {
+                conditions.push(Condition::Join(
+                    VarPath {
+                        var: fors[w].var.clone(),
+                        steps: vec![Step {
+                            axis: StepAxis::Child,
+                            test: StepTest::Text,
+                            predicates: vec![],
+                        }],
+                    },
+                    CmpOp::Eq,
+                    VarPath {
+                        var: fors[w + 1].var.clone(),
+                        steps: vec![Step {
+                            axis: StepAxis::Child,
+                            test: StepTest::Text,
+                            predicates: vec![],
+                        }],
+                    },
+                ));
             }
-            let return_var = fors[0].var.clone();
-            Query { lets: vec![], fors, conditions, return_var }
-        })
+        }
+        let return_var = fors[0].var.clone();
+        Query {
+            lets: vec![],
+            fors,
+            conditions,
+            return_var,
+        }
+    })
 }
 
 proptest! {

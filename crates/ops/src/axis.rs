@@ -95,21 +95,33 @@ pub struct NodeTest {
 
 impl NodeTest {
     /// `node()` — matches everything.
-    pub const ANY: NodeTest = NodeTest { kind: None, name: None };
+    pub const ANY: NodeTest = NodeTest {
+        kind: None,
+        name: None,
+    };
 
     /// An element with the given interned name.
     pub fn element(name: Symbol) -> Self {
-        NodeTest { kind: Some(NodeKind::Element), name: Some(name) }
+        NodeTest {
+            kind: Some(NodeKind::Element),
+            name: Some(name),
+        }
     }
 
     /// Any text node.
     pub fn text() -> Self {
-        NodeTest { kind: Some(NodeKind::Text), name: None }
+        NodeTest {
+            kind: Some(NodeKind::Text),
+            name: None,
+        }
     }
 
     /// An attribute with the given interned name.
     pub fn attribute(name: Symbol) -> Self {
-        NodeTest { kind: Some(NodeKind::Attribute), name: Some(name) }
+        NodeTest {
+            kind: Some(NodeKind::Attribute),
+            name: Some(name),
+        }
     }
 
     /// Does the node at `pre` of `doc` satisfy the test?

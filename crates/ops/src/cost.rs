@@ -71,8 +71,23 @@ mod tests {
 
     #[test]
     fn add_merges() {
-        let mut a = Cost { tuples_in: 1, tuples_out: 2, probes: 3 };
-        a.add(Cost { tuples_in: 10, tuples_out: 20, probes: 30 });
-        assert_eq!(a, Cost { tuples_in: 11, tuples_out: 22, probes: 33 });
+        let mut a = Cost {
+            tuples_in: 1,
+            tuples_out: 2,
+            probes: 3,
+        };
+        a.add(Cost {
+            tuples_in: 10,
+            tuples_out: 20,
+            probes: 30,
+        });
+        assert_eq!(
+            a,
+            Cost {
+                tuples_in: 11,
+                tuples_out: 22,
+                probes: 33
+            }
+        );
     }
 }

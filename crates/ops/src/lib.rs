@@ -8,6 +8,9 @@
 //! * [`staircase`] — structural joins for all XPath axes, pair-producing
 //!   and zero-investment in the context input;
 //! * [`valjoin`] — value equi-joins (index nested-loop, hash, merge);
+//! * [`partition`] — morsel-partitioned parallel variants of the
+//!   staircase and hash joins (split the context, merge in document
+//!   order; bit-identical to the sequential operators);
 //! * [`cutoff`] — cut-off sampled execution with reduction-factor
 //!   extrapolation (§2.3);
 //! * [`relation`] — the columnar fully-joined intermediate relations;
@@ -17,6 +20,7 @@
 pub mod axis;
 pub mod cost;
 pub mod cutoff;
+pub mod partition;
 pub mod relation;
 pub mod staircase;
 pub mod tail;
@@ -25,7 +29,9 @@ pub mod valjoin;
 pub use axis::{Axis, NodeTest};
 pub use cost::Cost;
 pub use cutoff::JoinOut;
+pub use partition::{hash_value_join_partitioned, step_join_partitioned, MIN_PARTITION_INPUT};
 pub use relation::{Relation, VarId};
+pub use rox_par::Parallelism;
 pub use staircase::{naive_axis, step_join};
 pub use tail::Tail;
 pub use valjoin::{hash_value_join, index_value_join, merge_value_join, sorted_by_value};

@@ -31,7 +31,10 @@ impl Relation {
 
     /// A single-attribute relation from a node list.
     pub fn single(var: VarId, nodes: Vec<NodeId>) -> Self {
-        Relation { schema: vec![var], cols: vec![nodes] }
+        Relation {
+            schema: vec![var],
+            cols: vec![nodes],
+        }
     }
 
     /// The attribute list.
@@ -104,11 +107,11 @@ impl Relation {
     /// Project onto `vars` (clones the columns, preserves row order and
     /// multiplicity).
     pub fn project(&self, vars: &[VarId]) -> Relation {
-        let cols = vars
-            .iter()
-            .map(|&v| self.col(v).to_vec())
-            .collect();
-        Relation { schema: vars.to_vec(), cols }
+        let cols = vars.iter().map(|&v| self.col(v).to_vec()).collect();
+        Relation {
+            schema: vars.to_vec(),
+            cols,
+        }
     }
 
     /// Sort rows lexicographically by the given variables (document order
@@ -166,7 +169,10 @@ impl Relation {
             .iter()
             .map(|col| idx.iter().map(|&i| col[i]).collect())
             .collect();
-        Relation { schema: self.schema.clone(), cols }
+        Relation {
+            schema: self.schema.clone(),
+            cols,
+        }
     }
 
     /// Natural composition through a node-level pair list: every

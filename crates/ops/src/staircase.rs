@@ -34,8 +34,14 @@ pub fn step_join(
     limit: Option<usize>,
     cost: &mut Cost,
 ) -> JoinOut<Pre> {
-    debug_assert!(ctx.windows(2).all(|w| w[0].1 <= w[1].1), "context not sorted on pre");
-    debug_assert!(cands.windows(2).all(|w| w[0] < w[1]), "candidates not sorted/unique");
+    debug_assert!(
+        ctx.windows(2).all(|w| w[0].1 <= w[1].1),
+        "context not sorted on pre"
+    );
+    debug_assert!(
+        cands.windows(2).all(|w| w[0] < w[1]),
+        "candidates not sorted/unique"
+    );
     let mut out = JoinOut::new(ctx.len());
     let limit = limit.unwrap_or(usize::MAX);
     'outer: for &(row, c) in ctx {
@@ -137,7 +143,11 @@ pub fn step_join(
                 }
                 let p = doc.parent(c);
                 for s in doc.children(p) {
-                    let keep = if axis == Axis::FollowingSibling { s > c } else { s < c };
+                    let keep = if axis == Axis::FollowingSibling {
+                        s > c
+                    } else {
+                        s < c
+                    };
                     if !keep {
                         continue;
                     }
@@ -203,7 +213,10 @@ mod tests {
     }
 
     fn ctx_of(pres: &[Pre]) -> Vec<CtxTuple> {
-        pres.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect()
+        pres.iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u32, p))
+            .collect()
     }
 
     fn run(d: &rox_xmldb::Document, axis: Axis, ctx: &[Pre], cands: &[Pre]) -> Vec<(u32, Pre)> {
@@ -302,7 +315,14 @@ mod tests {
         // Context: the two auction elements -> 3 bidder pairs total.
         let auction = idx.lookup(d.interner().get("auction").unwrap()).to_vec();
         let mut cost = Cost::new();
-        let out = step_join(&d, Axis::Descendant, &ctx_of(&auction), &bidder, Some(2), &mut cost);
+        let out = step_join(
+            &d,
+            Axis::Descendant,
+            &ctx_of(&auction),
+            &bidder,
+            Some(2),
+            &mut cost,
+        );
         assert!(out.truncated);
         assert_eq!(out.pairs.len(), 2);
         // First auction (row 0) produced both pairs before the cut-off:

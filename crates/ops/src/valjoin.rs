@@ -72,29 +72,39 @@ pub fn index_value_join(
     out
 }
 
-/// Hash join at the node level: all `(left, right)` pre pairs with equal
-/// values. Builds on the smaller side.
-pub fn hash_value_join(
-    left_doc: &Document,
-    left: &[Pre],
-    right_doc: &Document,
-    right: &[Pre],
+/// Build-side choice shared by the sequential and partitioned hash joins:
+/// build on the smaller input, probe with the larger. Keeping this in one
+/// place locks the two variants' orientation together.
+pub(crate) fn hash_builds_left(left: &[Pre], right: &[Pre]) -> bool {
+    left.len() <= right.len()
+}
+
+/// Build the hash table over the build side (an investment charged per
+/// input tuple).
+pub(crate) fn build_hash_table(
+    build_doc: &Document,
+    build: &[Pre],
     cost: &mut Cost,
-) -> Vec<(Pre, Pre)> {
-    // Build on the smaller input, probe with the larger; emit in
-    // (left, right) orientation either way.
-    let build_left = left.len() <= right.len();
-    let (build_doc, build, probe_doc, probe) = if build_left {
-        (left_doc, left, right_doc, right)
-    } else {
-        (right_doc, right, left_doc, left)
-    };
+) -> HashMap<Symbol, Vec<Pre>> {
     let mut table: HashMap<Symbol, Vec<Pre>> = HashMap::with_capacity(build.len());
     for &p in build {
         cost.charge_in(1);
         table.entry(join_value(build_doc, p)).or_default().push(p);
     }
-    let mut out = Vec::new();
+    table
+}
+
+/// Probe a slice of the probe side against the table, appending matches to
+/// `out` in probe order, oriented `(left, right)` per `build_left`. The
+/// probe kernel of both [`hash_value_join`] and its partitioned variant.
+pub(crate) fn probe_hash_table(
+    table: &HashMap<Symbol, Vec<Pre>>,
+    probe_doc: &Document,
+    probe: &[Pre],
+    build_left: bool,
+    cost: &mut Cost,
+    out: &mut Vec<(Pre, Pre)>,
+) {
     for &p in probe {
         cost.charge_in(1);
         cost.charge_probe(1);
@@ -109,6 +119,26 @@ pub fn hash_value_join(
             }
         }
     }
+}
+
+/// Hash join at the node level: all `(left, right)` pre pairs with equal
+/// values. Builds on the smaller side.
+pub fn hash_value_join(
+    left_doc: &Document,
+    left: &[Pre],
+    right_doc: &Document,
+    right: &[Pre],
+    cost: &mut Cost,
+) -> Vec<(Pre, Pre)> {
+    let build_left = hash_builds_left(left, right);
+    let (build_doc, build, probe_doc, probe) = if build_left {
+        (left_doc, left, right_doc, right)
+    } else {
+        (right_doc, right, left_doc, left)
+    };
+    let table = build_hash_table(build_doc, build, cost);
+    let mut out = Vec::new();
+    probe_hash_table(&table, probe_doc, probe, build_left, cost, &mut out);
     out
 }
 
@@ -162,7 +192,13 @@ mod tests {
     use rox_xmldb::Catalog;
     use std::sync::Arc;
 
-    fn setup() -> (Arc<Catalog>, Arc<Document>, Arc<Document>, ValueIndex, ValueIndex) {
+    fn setup() -> (
+        Arc<Catalog>,
+        Arc<Document>,
+        Arc<Document>,
+        ValueIndex,
+        ValueIndex,
+    ) {
         let cat = Arc::new(Catalog::new());
         let a = cat
             .load_str("a.xml", "<r><x>ann</x><x>bob</x><x>ann</x></r>")
@@ -187,7 +223,11 @@ mod tests {
     fn index_join_finds_cross_doc_matches() {
         let (_cat, da, db, _ia, ib) = setup();
         let left = text_nodes(&da);
-        let ctx: Vec<CtxTuple> = left.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        let ctx: Vec<CtxTuple> = left
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u32, p))
+            .collect();
         let mut cost = Cost::new();
         let out = index_value_join(&da, &ctx, &db, &ib, NodeKind::Text, None, None, &mut cost);
         // ann (x2 left) matches 1 right; bob matches 1 => 3 pairs.
@@ -198,7 +238,11 @@ mod tests {
     fn index_join_respects_filter() {
         let (_cat, da, db, _ia, ib) = setup();
         let left = text_nodes(&da);
-        let ctx: Vec<CtxTuple> = left.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        let ctx: Vec<CtxTuple> = left
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u32, p))
+            .collect();
         // Only allow the right "bob" text node.
         let right = text_nodes(&db);
         let bob_only: Vec<Pre> = right
@@ -208,7 +252,14 @@ mod tests {
             .collect();
         let mut cost = Cost::new();
         let out = index_value_join(
-            &da, &ctx, &db, &ib, NodeKind::Text, Some(&bob_only), None, &mut cost,
+            &da,
+            &ctx,
+            &db,
+            &ib,
+            NodeKind::Text,
+            Some(&bob_only),
+            None,
+            &mut cost,
         );
         assert_eq!(out.pairs.len(), 1);
         assert_eq!(da.value_str(ctx[out.pairs[0].0 as usize].1), "bob");
@@ -221,7 +272,11 @@ mod tests {
         let right = text_nodes(&db);
         let mut c1 = Cost::new();
         let hash = hash_value_join(&da, &left, &db, &right, &mut c1);
-        let ctx: Vec<CtxTuple> = left.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        let ctx: Vec<CtxTuple> = left
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u32, p))
+            .collect();
         let mut c2 = Cost::new();
         let idx = index_value_join(&da, &ctx, &db, &ib, NodeKind::Text, None, None, &mut c2);
         let mut hash_sorted = hash.clone();
@@ -254,9 +309,22 @@ mod tests {
     fn cutoff_on_index_join() {
         let (_cat, da, db, _ia, ib) = setup();
         let left = text_nodes(&da);
-        let ctx: Vec<CtxTuple> = left.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        let ctx: Vec<CtxTuple> = left
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u32, p))
+            .collect();
         let mut cost = Cost::new();
-        let out = index_value_join(&da, &ctx, &db, &ib, NodeKind::Text, None, Some(1), &mut cost);
+        let out = index_value_join(
+            &da,
+            &ctx,
+            &db,
+            &ib,
+            NodeKind::Text,
+            None,
+            Some(1),
+            &mut cost,
+        );
         assert!(out.truncated);
         assert_eq!(out.pairs.len(), 1);
         assert!(out.estimate() >= 1.0);
@@ -265,18 +333,34 @@ mod tests {
     #[test]
     fn attribute_value_join() {
         let cat = Arc::new(Catalog::new());
-        let a = cat.load_str("a.xml", r#"<r><e k="1"/><e k="2"/></r>"#).unwrap();
-        let b = cat.load_str("b.xml", r#"<r><f id="2"/><f id="3"/></r>"#).unwrap();
+        let a = cat
+            .load_str("a.xml", r#"<r><e k="1"/><e k="2"/></r>"#)
+            .unwrap();
+        let b = cat
+            .load_str("b.xml", r#"<r><f id="2"/><f id="3"/></r>"#)
+            .unwrap();
         let da = cat.doc(a);
         let db = cat.doc(b);
         let ib = ValueIndex::build(&db);
         let attrs: Vec<Pre> = (0..da.node_count() as Pre)
             .filter(|&p| da.kind(p) == NodeKind::Attribute)
             .collect();
-        let ctx: Vec<CtxTuple> = attrs.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        let ctx: Vec<CtxTuple> = attrs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u32, p))
+            .collect();
         let mut cost = Cost::new();
-        let out =
-            index_value_join(&da, &ctx, &db, &ib, NodeKind::Attribute, None, None, &mut cost);
+        let out = index_value_join(
+            &da,
+            &ctx,
+            &db,
+            &ib,
+            NodeKind::Attribute,
+            None,
+            None,
+            &mut cost,
+        );
         assert_eq!(out.pairs.len(), 1);
         assert_eq!(da.value_str(ctx[out.pairs[0].0 as usize].1), "2");
     }

@@ -23,6 +23,7 @@ use rand::rngs::StdRng;
 use rox_index::sample_sorted;
 use rox_joingraph::{EdgeId, VertexId};
 use rox_ops::Cost;
+use rox_par::{par_map, Parallelism};
 use rox_xmldb::Pre;
 
 /// A path segment being explored.
@@ -73,11 +74,20 @@ pub struct ChainOutcome {
 /// Run one chain-sampling phase (Algorithm 2). `weights[e]` holds the
 /// current edge weights (`None` = unweighted, treated as +∞).
 /// Sampling work is charged to `cost`.
+///
+/// `par` fans the per-round path extensions — one cut-off sampled operator
+/// run per (path, candidate edge) pair — out across worker threads. The
+/// extensions of one round are mutually independent (each reads the shared
+/// state immutably and feeds on its own path's input sample), and results
+/// are merged back in the sequential loop's (path, edge) order, so the
+/// outcome, trace, and cost charges are bit-identical to
+/// [`Parallelism::Sequential`].
 pub fn chain_sample(
     state: &EvalState<'_>,
     weights: &[Option<f64>],
     rng: &mut StdRng,
     tau: usize,
+    par: Parallelism,
     cost: &mut Cost,
 ) -> ChainOutcome {
     let unexecuted = state.unexecuted_edges();
@@ -93,18 +103,32 @@ pub fn chain_sample(
         .expect("at least one unexecuted edge");
     let edge = state.graph.edge(seed);
     let (v1, v2) = (edge.v1, edge.v2);
-    let mut trace = ChainTrace { seed_edge: seed, ..ChainTrace::default() };
+    let mut trace = ChainTrace {
+        seed_edge: seed,
+        ..ChainTrace::default()
+    };
 
     // Lines 2-5: no chain sampling when neither endpoint branches.
-    let branching = state.unexecuted_edges_of(v1).len() > 1
-        || state.unexecuted_edges_of(v2).len() > 1;
+    let branching =
+        state.unexecuted_edges_of(v1).len() > 1 || state.unexecuted_edges_of(v2).len() > 1;
     if !branching {
         trace.chosen = vec![seed];
-        trace.source = if state.card(v1) <= state.card(v2) { v1 } else { v2 };
-        return ChainOutcome { path: vec![seed], trace };
+        trace.source = if state.card(v1) <= state.card(v2) {
+            v1
+        } else {
+            v2
+        };
+        return ChainOutcome {
+            path: vec![seed],
+            trace,
+        };
     }
     // Line 3: source = smaller-cardinality endpoint.
-    let source = if state.card(v1) <= state.card(v2) { v1 } else { v2 };
+    let source = if state.card(v1) <= state.card(v2) {
+        v1
+    } else {
+        v2
+    };
     trace.source = source;
 
     // Lines 6-9: the empty path anchored at source.
@@ -138,22 +162,46 @@ pub fn chain_sample(
         // Line 12: grow the cutoff to counter front bias.
         cutoff += tau;
         // Lines 13-23: extend every extendable path by each candidate edge.
+        // All (path, edge) extensions of a round are independent sampled
+        // operator runs — execute them concurrently and merge in the
+        // deterministic (path, edge) order of the sequential loop.
+        let ext_of: Vec<Vec<EdgeId>> = paths
+            .iter()
+            .map(|p| {
+                state
+                    .unexecuted_edges_of(p.stop)
+                    .into_iter()
+                    .filter(|e| !p.edges.contains(e))
+                    .collect()
+            })
+            .collect();
+        let tasks: Vec<(usize, EdgeId)> = ext_of
+            .iter()
+            .enumerate()
+            .flat_map(|(i, exts)| exts.iter().map(move |&e| (i, e)))
+            .collect();
+        let threads = par.effective_threads(tasks.len(), 1);
+        let paths_ref = &paths;
+        let runs = par_map(threads, tasks.len(), |t| {
+            let (i, e) = tasks[t];
+            let p = &paths_ref[i];
+            let mut input = p.input.clone();
+            input.sort_unstable();
+            let mut local = Cost::new();
+            let run = sampled_edge_exec(state, e, p.stop, &input, cutoff, &mut local);
+            (run, local)
+        });
         let mut next_paths: Vec<PathSeg> = Vec::new();
-        for p in paths.into_iter() {
-            let exts: Vec<EdgeId> = state
-                .unexecuted_edges_of(p.stop)
-                .into_iter()
-                .filter(|e| !p.edges.contains(e))
-                .collect();
-            if exts.is_empty() {
+        let mut run_iter = runs.into_iter();
+        for (i, p) in paths.into_iter().enumerate() {
+            if ext_of[i].is_empty() {
                 next_paths.push(p);
                 continue;
             }
-            for e in exts {
+            for &e in &ext_of[i] {
+                let (run, local) = run_iter.next().expect("one run per task");
+                cost.add(local);
                 let to = state.graph.edge(e).other(p.stop);
-                let mut input = p.input.clone();
-                input.sort_unstable();
-                let run = sampled_edge_exec(state, e, p.stop, &input, cutoff, cost);
                 let mut edges = p.edges.clone();
                 edges.push(e);
                 let scale = state.card(source) as f64 / tau as f64;
@@ -166,11 +214,16 @@ pub fn chain_sample(
                 });
             }
         }
+        debug_assert!(run_iter.next().is_none(), "all runs consumed");
         paths = next_paths;
         trace.rounds.push(
             paths
                 .iter()
-                .map(|p| PathSnapshot { edges: p.edges.clone(), cost: p.cost, sf: p.sf })
+                .map(|p| PathSnapshot {
+                    edges: p.edges.clone(),
+                    cost: p.cost,
+                    sf: p.sf,
+                })
                 .collect(),
         );
         // Lines 24-31: the strict stopping condition.
@@ -203,9 +256,8 @@ pub fn chain_sample(
 fn strict_winner(paths: &[PathSeg]) -> Option<usize> {
     (0..paths.len()).find(|&i| {
         !paths[i].edges.is_empty()
-            && (0..paths.len()).all(|j| {
-                i == j || paths[i].cost + paths[i].sf * paths[j].cost <= paths[j].cost
-            })
+            && (0..paths.len())
+                .all(|j| i == j || paths[i].cost + paths[i].sf * paths[j].cost <= paths[j].cost)
     })
 }
 
@@ -213,14 +265,14 @@ fn strict_winner(paths: &[PathSeg]) -> Option<usize> {
 /// symmetric condition, else the one with most pairwise wins (ties broken
 /// by smaller cost).
 fn final_winner(paths: &[PathSeg]) -> usize {
-    let candidates: Vec<usize> =
-        (0..paths.len()).filter(|&i| !paths[i].edges.is_empty()).collect();
+    let candidates: Vec<usize> = (0..paths.len())
+        .filter(|&i| !paths[i].edges.is_empty())
+        .collect();
     if candidates.is_empty() {
         return 0;
     }
     let beats = |i: usize, j: usize| {
-        paths[i].cost + paths[i].sf * paths[j].cost
-            <= paths[j].cost + paths[j].sf * paths[i].cost
+        paths[i].cost + paths[i].sf * paths[j].cost <= paths[j].cost + paths[j].sf * paths[i].cost
     };
     if let Some(&winner) = candidates
         .iter()
@@ -232,10 +284,11 @@ fn final_winner(paths: &[PathSeg]) -> usize {
     let mut best = candidates[0];
     let mut best_wins = usize::MIN;
     for &i in &candidates {
-        let wins = candidates.iter().filter(|&&j| j != i && beats(i, j)).count();
-        if wins > best_wins
-            || (wins == best_wins && paths[i].cost < paths[best].cost)
-        {
+        let wins = candidates
+            .iter()
+            .filter(|&&j| j != i && beats(i, j))
+            .count();
+        if wins > best_wins || (wins == best_wins && paths[i].cost < paths[best].cost) {
             best = i;
             best_wins = wins;
         }
@@ -277,10 +330,9 @@ mod tests {
     fn setup() -> (Arc<Catalog>, rox_joingraph::JoinGraph) {
         let cat = Arc::new(Catalog::new());
         cat.load_str("d.xml", &corr_doc()).unwrap();
-        let g = compile_query(
-            r#"for $a in doc("d.xml")//auction[./cheap], $b in $a/bidder return $b"#,
-        )
-        .unwrap();
+        let g =
+            compile_query(r#"for $a in doc("d.xml")//auction[./cheap], $b in $a/bidder return $b"#)
+                .unwrap();
         (cat, g)
     }
 
@@ -298,7 +350,14 @@ mod tests {
         }
         let weights = vec![Some(1.0); g.edge_count()];
         let mut rng = StdRng::seed_from_u64(1);
-        let out = chain_sample(&st, &weights, &mut rng, 10, &mut Cost::new());
+        let out = chain_sample(
+            &st,
+            &weights,
+            &mut rng,
+            10,
+            Parallelism::Sequential,
+            &mut Cost::new(),
+        );
         assert_eq!(out.path.len(), 1);
         assert!(out.trace.rounds.is_empty());
     }
@@ -320,10 +379,16 @@ mod tests {
         let mut cost = Cost::new();
         let mut weights: Vec<Option<f64>> = vec![None; g.edge_count()];
         for e in st.unexecuted_edges() {
-            weights[e as usize] =
-                crate::estimate::estimate_card(&st, e, 20, &mut cost);
+            weights[e as usize] = crate::estimate::estimate_card(&st, e, 20, &mut cost);
         }
-        let out = chain_sample(&st, &weights, &mut rng, 20, &mut cost);
+        let out = chain_sample(
+            &st,
+            &weights,
+            &mut rng,
+            20,
+            Parallelism::Sequential,
+            &mut cost,
+        );
         assert!(!out.path.is_empty());
         // Branching exists (auction has two unexecuted edges), so rounds ran.
         assert!(!out.trace.rounds.is_empty());
@@ -350,10 +415,16 @@ mod tests {
         let mut cost = Cost::new();
         let mut weights: Vec<Option<f64>> = vec![None; g.edge_count()];
         for e in st.unexecuted_edges() {
-            weights[e as usize] =
-                crate::estimate::estimate_card(&st, e, 20, &mut cost);
+            weights[e as usize] = crate::estimate::estimate_card(&st, e, 20, &mut cost);
         }
-        let out = chain_sample(&st, &weights, &mut rng, 20, &mut cost);
+        let out = chain_sample(
+            &st,
+            &weights,
+            &mut rng,
+            20,
+            Parallelism::Sequential,
+            &mut cost,
+        );
         // A path extended across rounds never reduces its cost.
         for w in out.trace.rounds.windows(2) {
             for snap in &w[1] {

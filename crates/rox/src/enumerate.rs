@@ -120,10 +120,16 @@ pub struct JoinOrder {
 /// Enumerate all distinct join orders for `k` members (2 ≤ k ≤ 4):
 /// 1 for k=2, 3 for k=3, and the paper's 18 for k=4 (12 linear + 6 bushy).
 pub fn enumerate_join_orders(k: usize) -> Vec<JoinOrder> {
-    assert!((2..=4).contains(&k), "join-order enumeration supports 2..=4 members");
+    assert!(
+        (2..=4).contains(&k),
+        "join-order enumeration supports 2..=4 members"
+    );
     let mut out = Vec::new();
     match k {
-        2 => out.push(JoinOrder { name: "(1-2)".into(), merges: vec![(0, 1)] }),
+        2 => out.push(JoinOrder {
+            name: "(1-2)".into(),
+            merges: vec![(0, 1)],
+        }),
         3 => {
             for (i, j) in [(0, 1), (0, 2), (1, 2)] {
                 let rest = (0..3).find(|x| *x != i && *x != j).unwrap();
@@ -251,10 +257,7 @@ pub fn plan_edges(
     // trivially satisfied (value equality is transitive) and execute as
     // no-op selections at the end.
     for e in graph.edges() {
-        if !e.redundant
-            && matches!(e.kind, EdgeKind::EquiJoin { .. })
-            && !edges.contains(&e.id)
-        {
+        if !e.redundant && matches!(e.kind, EdgeKind::EquiJoin { .. }) && !edges.contains(&e.id) {
             edges.push(e.id);
         }
     }
@@ -325,7 +328,9 @@ mod tests {
     fn doc(authors: &[&str]) -> String {
         let mut s = String::from("<j>");
         for a in authors {
-            s.push_str(&format!("<article><author>{a}</author><title>t</title></article>"));
+            s.push_str(&format!(
+                "<article><author>{a}</author><title>t</title></article>"
+            ));
         }
         s.push_str("</j>");
         s
@@ -333,9 +338,11 @@ mod tests {
 
     fn setup() -> (Arc<Catalog>, JoinGraph) {
         let cat = Arc::new(Catalog::new());
-        cat.load_str("D1.xml", &doc(&["ann", "bob", "cat"])).unwrap();
+        cat.load_str("D1.xml", &doc(&["ann", "bob", "cat"]))
+            .unwrap();
         cat.load_str("D2.xml", &doc(&["ann", "bob"])).unwrap();
-        cat.load_str("D3.xml", &doc(&["ann", "dan", "eva", "fox"])).unwrap();
+        cat.load_str("D3.xml", &doc(&["ann", "dan", "eva", "fox"]))
+            .unwrap();
         cat.load_str("D4.xml", &doc(&["ann"])).unwrap();
         (cat, compile_query(DBLP_Q).unwrap())
     }

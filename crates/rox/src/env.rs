@@ -9,6 +9,7 @@
 
 use rox_index::IndexedStore;
 use rox_joingraph::{JoinGraph, VertexId, VertexLabel};
+use rox_par::Parallelism;
 use rox_xmldb::{Catalog, DocId, Document, NodeId, NodeKind, Pre};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -20,6 +21,10 @@ pub struct RoxEnv {
     vertex_doc: Vec<DocId>,
     /// vertex → cached base list (lazily built).
     base_lists: std::sync::Mutex<HashMap<VertexId, Arc<Vec<Pre>>>>,
+    /// Worker-thread budget for full edge executions: the partitioned
+    /// staircase/hash joins in [`crate::state`] split their probe inputs
+    /// into morsels when this allows more than one thread.
+    parallelism: Parallelism,
 }
 
 /// An environment construction error (unknown document, ...).
@@ -46,8 +51,19 @@ impl std::fmt::Debug for RoxEnv {
 }
 
 impl RoxEnv {
-    /// Resolve every vertex of `graph` against `catalog`.
+    /// Resolve every vertex of `graph` against `catalog` (sequential
+    /// execution; see [`RoxEnv::with_parallelism`]).
     pub fn new(catalog: Arc<Catalog>, graph: &JoinGraph) -> Result<Self, EnvError> {
+        Self::with_parallelism(catalog, graph, Parallelism::Sequential)
+    }
+
+    /// As [`RoxEnv::new`] with an explicit worker-thread budget for full
+    /// edge executions.
+    pub fn with_parallelism(
+        catalog: Arc<Catalog>,
+        graph: &JoinGraph,
+        parallelism: Parallelism,
+    ) -> Result<Self, EnvError> {
         let mut vertex_doc = Vec::with_capacity(graph.vertex_count());
         for v in graph.vertices() {
             let id = catalog.resolve(&v.doc_uri).ok_or_else(|| EnvError {
@@ -59,7 +75,20 @@ impl RoxEnv {
             store: IndexedStore::new(catalog),
             vertex_doc,
             base_lists: std::sync::Mutex::new(HashMap::new()),
+            parallelism,
         })
+    }
+
+    /// The worker-thread budget for full edge executions.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Change the worker-thread budget (index and base-list caches are
+    /// kept, so a warmed environment can be re-used across thread counts —
+    /// how the thread-scaling harness amortizes setup).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
     }
 
     /// The indexed store.
@@ -151,8 +180,7 @@ mod tests {
             r#"<site><item id="1"><quantity>1</quantity></item><item id="2"><quantity>3</quantity></item></site>"#,
         )
         .unwrap();
-        let g = compile_query(r#"for $i in doc("d.xml")//item[./quantity = 1] return $i"#)
-            .unwrap();
+        let g = compile_query(r#"for $i in doc("d.xml")//item[./quantity = 1] return $i"#).unwrap();
         (cat, g)
     }
 

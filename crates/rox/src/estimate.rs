@@ -15,6 +15,7 @@
 use crate::state::EvalState;
 use rox_joingraph::{EdgeId, EdgeKind, VertexId};
 use rox_ops::{index_value_join, step_join, Cost};
+use rox_par::{par_map, Parallelism};
 use rox_xmldb::{NodeKind, Pre};
 
 /// Output of one sampled edge execution.
@@ -39,12 +40,23 @@ pub fn sampled_edge_exec(
     cost: &mut Cost,
 ) -> SampledExec {
     let edge = state.graph.edge(e);
-    debug_assert!(edge.v1 == from || edge.v2 == from, "from must be an endpoint");
+    debug_assert!(
+        edge.v1 == from || edge.v2 == from,
+        "from must be an endpoint"
+    );
     let to = edge.other(from);
-    let ctx: Vec<(u32, Pre)> = input.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+    let ctx: Vec<(u32, Pre)> = input
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i as u32, p))
+        .collect();
     match &edge.kind {
         EdgeKind::Step(axis) => {
-            let ax = if edge.v1 == from { *axis } else { axis.inverse() };
+            let ax = if edge.v1 == from {
+                *axis
+            } else {
+                axis.inverse()
+            };
             let doc = state.env.doc(from);
             let cands = state.table_or_base(to);
             let out = step_join(&doc, ax, &ctx, &cands, Some(limit), cost);
@@ -83,12 +95,7 @@ pub fn sampled_edge_exec(
 /// node-level result cardinality on the current `T` tables. Returns `None`
 /// when neither endpoint has a sample yet (the edge "stays unweighted for
 /// now", §3 Phase 1).
-pub fn estimate_card(
-    state: &EvalState<'_>,
-    e: EdgeId,
-    tau: usize,
-    cost: &mut Cost,
-) -> Option<f64> {
+pub fn estimate_card(state: &EvalState<'_>, e: EdgeId, tau: usize, cost: &mut Cost) -> Option<f64> {
     let edge = state.graph.edge(e);
     // Choose the sampled endpoint: the smaller-cardinality one among those
     // that actually have a sample ("a sample from a smaller table provides
@@ -109,6 +116,38 @@ pub fn estimate_card(
     let run = sampled_edge_exec(state, e, from, s, tau, cost);
     let scale = state.card(from) as f64 / s.len() as f64;
     Some(run.est * scale)
+}
+
+/// Weigh a batch of candidate edges, fanning the independent sampled
+/// operator runs out across `par` worker threads (the parallel candidate
+/// sampling phase). Each edge's [`estimate_card`] reads the shared
+/// evaluation state immutably and charges a thread-local [`Cost`]; results
+/// and cost charges are merged back **in edge order**, so the returned
+/// weights and the `cost` totals are bit-identical to calling
+/// [`estimate_card`] sequentially over `edges` — regardless of thread
+/// count or scheduling. Duplicate edge ids are estimated once each, like a
+/// sequential loop would.
+pub fn estimate_cards(
+    state: &EvalState<'_>,
+    edges: &[EdgeId],
+    tau: usize,
+    par: Parallelism,
+    cost: &mut Cost,
+) -> Vec<Option<f64>> {
+    // Every task is a full sampled operator run — coarse enough that one
+    // task per thread already pays for the fan-out.
+    let threads = par.effective_threads(edges.len(), 1);
+    let runs = par_map(threads, edges.len(), |i| {
+        let mut local = Cost::new();
+        let w = estimate_card(state, edges[i], tau, &mut local);
+        (w, local)
+    });
+    runs.into_iter()
+        .map(|(w, local)| {
+            cost.add(local);
+            w
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -33,7 +33,13 @@ pub fn render_execution(graph: &JoinGraph, report: &RoxReport) -> String {
             .find(|x| x.edge == e)
             .map(|x| x.result_rows)
             .unwrap_or(0);
-        let _ = writeln!(out, "{:>3}. {}  -> {} rows", i + 1, render_edge(graph, e), rows);
+        let _ = writeln!(
+            out,
+            "{:>3}. {}  -> {} rows",
+            i + 1,
+            render_edge(graph, e),
+            rows
+        );
     }
     out
 }
@@ -61,7 +67,11 @@ pub fn render_trace(graph: &JoinGraph, trace: &ChainTrace) -> String {
         out,
         "chosen [{}] {}",
         chosen.join("·"),
-        if trace.stopped_early { "(stopping condition)" } else { "(exhausted)" }
+        if trace.stopped_early {
+            "(stopping condition)"
+        } else {
+            "(exhausted)"
+        }
     );
     out
 }
@@ -99,7 +109,16 @@ mod tests {
             r#"for $a in doc("d.xml")//auction[./cheap], $b in $a/bidder return $b"#,
         )
         .unwrap();
-        let r = run_rox(cat, &g, RoxOptions { trace: true, tau: 4, ..Default::default() }).unwrap();
+        let r = run_rox(
+            cat,
+            &g,
+            RoxOptions {
+                trace: true,
+                tau: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         (g, r)
     }
 

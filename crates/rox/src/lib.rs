@@ -12,9 +12,12 @@
 //!
 //! Modules:
 //!
-//! * [`env`] — run-time environment (documents, indices, base lists);
+//! * [`env`](mod@env) — run-time environment (documents, indices, base lists) and
+//!   the [`Parallelism`] budget for partitioned edge execution;
 //! * [`state`] — fully-materialized edge execution over components;
-//! * [`estimate`] — cut-off sampled operator execution + `EstimateCard`;
+//! * [`estimate`] — cut-off sampled operator execution + `EstimateCard`,
+//!   including the parallel candidate-sampling fan-out
+//!   ([`estimate_cards`]);
 //! * [`chain`] — chain sampling (Algorithm 2);
 //! * [`optimizer`] — the run-time optimizer (Algorithm 1);
 //! * [`plan`] — explicit plan replay ("pure plan", no sampling);
@@ -51,7 +54,9 @@ pub use enumerate::{
     Placement, StarQuery,
 };
 pub use env::{EnvError, RoxEnv};
+pub use estimate::estimate_cards;
 pub use naive::naive_evaluate;
 pub use optimizer::{run_rox, run_rox_with_env, RoxOptions, RoxReport};
-pub use plan::{run_plan, run_plan_with_env, validate_plan, PlanError, PlanRun};
+pub use plan::{run_plan, run_plan_parallel, run_plan_with_env, validate_plan, PlanError, PlanRun};
+pub use rox_par::Parallelism;
 pub use state::{EdgeExec, EvalState};

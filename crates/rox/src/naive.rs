@@ -92,7 +92,9 @@ pub fn naive_evaluate(env: &RoxEnv, graph: &JoinGraph) -> (Relation, Relation) {
             continue;
         }
         let cid = comp_of[v.id as usize].unwrap();
-        parts.entry(cid).or_insert_with(|| comps[cid].clone().unwrap());
+        parts
+            .entry(cid)
+            .or_insert_with(|| comps[cid].clone().unwrap());
     }
     let mut ids: Vec<usize> = parts.keys().copied().collect();
     ids.sort_unstable();
@@ -160,8 +162,10 @@ mod tests {
     #[test]
     fn naive_matches_rox_on_join_query() {
         let cat = Arc::new(Catalog::new());
-        cat.load_str("x.xml", "<r><a>k1</a><a>k2</a><a>k2</a><a>zz</a></r>").unwrap();
-        cat.load_str("y.xml", "<r><b>k2</b><b>k1</b><b>k1</b></r>").unwrap();
+        cat.load_str("x.xml", "<r><a>k1</a><a>k2</a><a>k2</a><a>zz</a></r>")
+            .unwrap();
+        cat.load_str("y.xml", "<r><b>k2</b><b>k1</b><b>k1</b></r>")
+            .unwrap();
         let g = compile_query(
             r#"for $x in doc("x.xml")//a, $y in doc("y.xml")//b
                where $x/text() = $y/text() return $x"#,

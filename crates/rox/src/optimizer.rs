@@ -3,7 +3,7 @@
 //!
 //! Phase 1 seeds per-vertex samples and cardinalities from the indices and
 //! weights every edge by sampled execution. Phase 2 alternates
-//! [`chain_sample`](crate::chain::chain_sample) (search-space exploration)
+//! [`chain_sample`](crate::chain::chain_sample()) (search-space exploration)
 //! with full execution of the superior path segment, re-sampling the
 //! weights of all edges incident to updated vertices after every execution
 //! — re-sampling, not scaling, is what lets ROX "detect arbitrary
@@ -11,12 +11,13 @@
 
 use crate::chain::{chain_sample, ChainTrace};
 use crate::env::{EnvError, RoxEnv};
-use crate::estimate::estimate_card;
+use crate::estimate::estimate_cards;
 use crate::state::{EdgeExec, EvalState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rox_joingraph::{EdgeId, JoinGraph};
 use rox_ops::{Cost, Relation, Tail};
+use rox_par::Parallelism;
 use rox_xmldb::Catalog;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -46,6 +47,15 @@ pub struct RoxOptions {
     /// dominates the run. `None` (default) reproduces the paper's
     /// always-explore behaviour.
     pub effort_budget: Option<f64>,
+    /// Extension: worker-thread budget. Candidate sampling (Phase 1
+    /// weighting, chain-sampling extensions, post-execution re-weighting)
+    /// fans its independent cut-off operator runs out across this many
+    /// threads, and full edge executions use the partitioned staircase /
+    /// hash joins. Results are **bit-identical** to
+    /// [`Parallelism::Sequential`] — same outputs, same chosen join order,
+    /// same cost counters (the equivalence proptest in `tests/` checks
+    /// this). The default reproduces the paper's single-threaded setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for RoxOptions {
@@ -57,6 +67,7 @@ impl Default for RoxOptions {
             chain_sampling: true,
             resample: true,
             effort_budget: None,
+            parallelism: Parallelism::Sequential,
         }
     }
 }
@@ -106,12 +117,16 @@ pub fn run_rox(
     graph: &JoinGraph,
     options: RoxOptions,
 ) -> Result<RoxReport, EnvError> {
-    let env = RoxEnv::new(catalog, graph)?;
+    let env = RoxEnv::with_parallelism(catalog, graph, options.parallelism)?;
     run_rox_with_env(&env, graph, options)
 }
 
 /// As [`run_rox`] but reusing an existing environment (index caches stay
 /// warm across runs — how the experiment harnesses amortize setup).
+/// `options.parallelism` governs the whole run — sampling fan-out *and*
+/// full edge execution — overriding whatever parallelism `env` carries
+/// (the env knob still applies to plan replays and baselines driven
+/// through [`crate::run_plan_with_env`]).
 pub fn run_rox_with_env(
     env: &RoxEnv,
     graph: &JoinGraph,
@@ -120,6 +135,10 @@ pub fn run_rox_with_env(
     let started = Instant::now();
     let mut rng = StdRng::seed_from_u64(options.seed);
     let mut state = EvalState::new(env, graph);
+    // RoxOptions is the single source of truth for a ROX run: it governs
+    // both the sampling fan-out and full edge execution, regardless of the
+    // parallelism the environment was built with.
+    state.set_parallelism(options.parallelism);
     let mut sample_cost = Cost::new();
     let mut sample_wall = Duration::ZERO;
     let mut exec_wall = Duration::ZERO;
@@ -138,9 +157,20 @@ pub fn run_rox_with_env(
     for v in graph.vertices() {
         state.seed_sample(v.id, &mut rng, options.tau);
     }
+    // Every candidate edge is weighted by an independent cut-off sampled
+    // operator run over shared immutable state — the embarrassingly
+    // parallel step `estimate_cards` fans out across the worker pool.
     let mut weights: Vec<Option<f64>> = vec![None; graph.edge_count()];
-    for e in state.unexecuted_edges() {
-        weights[e as usize] = estimate_card(&state, e, options.tau, &mut sample_cost);
+    let candidates = state.unexecuted_edges();
+    let ws = estimate_cards(
+        &state,
+        &candidates,
+        options.tau,
+        options.parallelism,
+        &mut sample_cost,
+    );
+    for (&e, w) in candidates.iter().zip(ws) {
+        weights[e as usize] = w;
     }
     sample_wall += t0.elapsed();
 
@@ -153,11 +183,17 @@ pub fn run_rox_with_env(
         let explore = options.chain_sampling
             && options.effort_budget.is_none_or(|budget| {
                 let floor = (options.tau * options.tau) as f64;
-                (sample_cost.total() as f64)
-                    <= budget * (state.exec_cost.total() as f64).max(floor)
+                (sample_cost.total() as f64) <= budget * (state.exec_cost.total() as f64).max(floor)
             });
         let outcome = if explore {
-            chain_sample(&state, &weights, &mut rng, options.tau, &mut sample_cost)
+            chain_sample(
+                &state,
+                &weights,
+                &mut rng,
+                options.tau,
+                options.parallelism,
+                &mut sample_cost,
+            )
         } else {
             // Greedy ablation: the minimum-weight edge, no lookahead.
             let e = *state
@@ -171,7 +207,10 @@ pub fn run_rox_with_env(
                 .expect("loop guard");
             crate::chain::ChainOutcome {
                 path: vec![e],
-                trace: crate::chain::ChainTrace { seed_edge: e, ..Default::default() },
+                trace: crate::chain::ChainTrace {
+                    seed_edge: e,
+                    ..Default::default()
+                },
             }
         };
         sample_wall += t_sample.elapsed();
@@ -198,14 +237,23 @@ pub fn run_rox_with_env(
             executed_order.push(e);
             remaining.retain(|&x| x != e);
             // Lines 18-19: re-sample the weights of all unexecuted edges
-            // incident to updated vertices.
+            // incident to updated vertices — one independent sampled run
+            // per edge, fanned out in parallel like Phase 1.
             if options.resample {
                 let t_rw = Instant::now();
-                for &v in &changed {
-                    for e2 in state.unexecuted_edges_of(v) {
-                        weights[e2 as usize] =
-                            estimate_card(&state, e2, options.tau, &mut sample_cost);
-                    }
+                let stale: Vec<EdgeId> = changed
+                    .iter()
+                    .flat_map(|&v| state.unexecuted_edges_of(v))
+                    .collect();
+                let ws = estimate_cards(
+                    &state,
+                    &stale,
+                    options.tau,
+                    options.parallelism,
+                    &mut sample_cost,
+                );
+                for (&e2, w) in stale.iter().zip(ws) {
+                    weights[e2 as usize] = w;
                 }
                 sample_wall += t_rw.elapsed();
             }
@@ -344,7 +392,11 @@ mod tests {
         let capped = run_rox(
             cat,
             &g,
-            RoxOptions { effort_budget: Some(0.0), tau: 10, ..Default::default() },
+            RoxOptions {
+                effort_budget: Some(0.0),
+                tau: 10,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(free.output, capped.output);
@@ -361,7 +413,15 @@ mod tests {
                 "<site><auction><cheap/><bidder/></auction><auction><bidder/><bidder/></auction></site>",
             )],
         );
-        let r = run_rox(cat, &g, RoxOptions { trace: true, ..Default::default() }).unwrap();
+        let r = run_rox(
+            cat,
+            &g,
+            RoxOptions {
+                trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(!r.traces.is_empty());
         assert_eq!(r.output.len(), 1);
     }

@@ -56,16 +56,22 @@ pub fn validate_plan(graph: &JoinGraph, order: &[EdgeId]) -> Result<(), PlanErro
     let mut seen = vec![false; graph.edge_count()];
     for &e in order {
         if e as usize >= graph.edge_count() {
-            return Err(PlanError { message: format!("edge {e} does not exist") });
+            return Err(PlanError {
+                message: format!("edge {e} does not exist"),
+            });
         }
         if seen[e as usize] {
-            return Err(PlanError { message: format!("edge {e} appears twice") });
+            return Err(PlanError {
+                message: format!("edge {e} appears twice"),
+            });
         }
         seen[e as usize] = true;
     }
     for edge in graph.edges() {
         if !edge.redundant && !seen[edge.id as usize] {
-            return Err(PlanError { message: format!("edge {} missing from plan", edge.id) });
+            return Err(PlanError {
+                message: format!("edge {} missing from plan", edge.id),
+            });
         }
     }
     Ok(())
@@ -79,6 +85,19 @@ pub fn run_plan(
     order: &[EdgeId],
 ) -> Result<PlanRun, PlanError> {
     let env = RoxEnv::new(catalog, graph)?;
+    run_plan_with_env(&env, graph, order)
+}
+
+/// As [`run_plan`] with a worker-thread budget: full edge executions use
+/// the partitioned staircase/hash joins of `rox-ops`, producing the same
+/// relations, edge log, and cost counters as the sequential replay.
+pub fn run_plan_parallel(
+    catalog: Arc<Catalog>,
+    graph: &JoinGraph,
+    order: &[EdgeId],
+    parallelism: rox_par::Parallelism,
+) -> Result<PlanRun, PlanError> {
+    let env = RoxEnv::with_parallelism(catalog, graph, parallelism)?;
     run_plan_with_env(&env, graph, order)
 }
 

@@ -20,7 +20,7 @@ use crate::env::RoxEnv;
 use rand::rngs::StdRng;
 use rox_index::sample_sorted;
 use rox_joingraph::{EdgeId, EdgeKind, JoinGraph, VertexId, VertexLabel};
-use rox_ops::{hash_value_join, naive_axis, step_join, Cost, Relation};
+use rox_ops::{hash_value_join_partitioned, naive_axis, step_join_partitioned, Cost, Relation};
 use rox_xmldb::{NodeId, NodeKind, Pre};
 use std::sync::Arc;
 
@@ -45,6 +45,11 @@ pub struct EvalState<'a> {
     card: Vec<Option<usize>>,
     sample: Vec<Option<Arc<Vec<Pre>>>>,
     executed: Vec<bool>,
+    /// Worker-thread budget for full edge executions (the partitioned
+    /// staircase/hash joins). Initialized from the environment; callers
+    /// with their own knob (e.g. `run_rox_with_env`) override it via
+    /// [`EvalState::set_parallelism`].
+    parallelism: rox_par::Parallelism,
     /// Work done by full edge executions.
     pub exec_cost: Cost,
     /// Log of executed edges with result sizes, in execution order.
@@ -52,7 +57,9 @@ pub struct EvalState<'a> {
 }
 
 impl<'a> EvalState<'a> {
-    /// Fresh state; nothing materialized, nothing executed.
+    /// Fresh state; nothing materialized, nothing executed. Full edge
+    /// execution inherits the environment's [`rox_par::Parallelism`]
+    /// budget.
     pub fn new(env: &'a RoxEnv, graph: &'a JoinGraph) -> Self {
         let nv = graph.vertex_count();
         EvalState {
@@ -64,9 +71,17 @@ impl<'a> EvalState<'a> {
             card: vec![None; nv],
             sample: vec![None; nv],
             executed: vec![false; graph.edge_count()],
+            parallelism: env.parallelism(),
             exec_cost: Cost::new(),
             edge_log: Vec::new(),
         }
+    }
+
+    /// Override the worker-thread budget for this state's full edge
+    /// executions (results are identical at any setting; only wall time
+    /// changes).
+    pub fn set_parallelism(&mut self, parallelism: rox_par::Parallelism) {
+        self.parallelism = parallelism;
     }
 
     /// Has edge `e` been executed (or skipped as redundant)?
@@ -186,7 +201,10 @@ impl<'a> EvalState<'a> {
             joined
         };
 
-        self.edge_log.push(EdgeExec { edge: e, result_rows: merged.len() });
+        self.edge_log.push(EdgeExec {
+            edge: e,
+            result_rows: merged.len(),
+        });
 
         // Refresh T(v), card(v) and S(v) for every vertex of the affected
         // component — the component join semijoin-reduces all of them. The
@@ -232,9 +250,19 @@ impl<'a> EvalState<'a> {
                 } else {
                     (v2, &t2, &t1, axis.inverse())
                 };
-                let ctx: Vec<(u32, Pre)> =
-                    from_t.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
-                let out = step_join(&doc, ax, &ctx, to_t, None, &mut self.exec_cost);
+                let ctx: Vec<(u32, Pre)> = from_t
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| (i as u32, p))
+                    .collect();
+                let out = step_join_partitioned(
+                    &doc,
+                    ax,
+                    &ctx,
+                    to_t,
+                    self.parallelism,
+                    &mut self.exec_cost,
+                );
                 let d1 = self.env.doc_id(v1);
                 out.pairs
                     .into_iter()
@@ -268,8 +296,11 @@ impl<'a> EvalState<'a> {
                     let outer_doc = self.env.doc(outer_v);
                     let inner_idx = self.env.store().indexes(self.env.doc_id(inner_v));
                     let inner_kind = self.vertex_kind(inner_v);
-                    let ctx: Vec<(u32, Pre)> =
-                        small.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+                    let ctx: Vec<(u32, Pre)> = small
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &p)| (i as u32, p))
+                        .collect();
                     let out = rox_ops::index_value_join(
                         &outer_doc,
                         &ctx,
@@ -284,11 +315,22 @@ impl<'a> EvalState<'a> {
                         .into_iter()
                         .map(|(row, s)| {
                             let c = small[row as usize];
-                            if small_is_v1 { (c, s) } else { (s, c) }
+                            if small_is_v1 {
+                                (c, s)
+                            } else {
+                                (s, c)
+                            }
                         })
                         .collect()
                 } else {
-                    hash_value_join(&d1, &t1, &d2, &t2, &mut self.exec_cost)
+                    hash_value_join_partitioned(
+                        &d1,
+                        &t1,
+                        &d2,
+                        &t2,
+                        self.parallelism,
+                        &mut self.exec_cost,
+                    )
                 };
                 pairs
                     .into_iter()
@@ -367,8 +409,7 @@ impl<'a> EvalState<'a> {
         self.edge_log
             .iter()
             .filter(|x| {
-                !joins_only
-                    || matches!(self.graph.edge(x.edge).kind, EdgeKind::EquiJoin { .. })
+                !joins_only || matches!(self.graph.edge(x.edge).kind, EdgeKind::EquiJoin { .. })
             })
             .map(|x| x.result_rows as u64)
             .sum()

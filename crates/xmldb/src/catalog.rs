@@ -9,7 +9,7 @@
 
 use crate::doc::{Document, DocumentBuilder};
 use crate::interner::Interner;
-use crate::parser::{ParseError, XmlParser, XmlEvent};
+use crate::parser::{ParseError, XmlEvent, XmlParser};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
@@ -107,7 +107,10 @@ impl Catalog {
     /// Fetch a document by URI.
     pub fn doc_by_uri(&self, uri: &str) -> Option<Arc<Document>> {
         let inner = self.inner.read();
-        inner.by_uri.get(uri).map(|id| Arc::clone(&inner.docs[id.index()]))
+        inner
+            .by_uri
+            .get(uri)
+            .map(|id| Arc::clone(&inner.docs[id.index()]))
     }
 
     /// Number of loaded documents.
@@ -125,7 +128,11 @@ impl Catalog {
         (0..self.len() as u32).map(DocId).collect()
     }
 
-    fn parse_with_shared_interner(&self, uri: &str, input: &str) -> Result<Arc<Document>, ParseError> {
+    fn parse_with_shared_interner(
+        &self,
+        uri: &str,
+        input: &str,
+    ) -> Result<Arc<Document>, ParseError> {
         let mut parser = XmlParser::new(input);
         let mut builder = self.builder(uri);
         let mut pending: Option<String> = None;
@@ -142,7 +149,11 @@ impl Catalog {
                     Some(acc) => acc.push_str(&t),
                     None => pending = Some(t),
                 },
-                XmlEvent::StartElement { name, attributes, self_closing } => {
+                XmlEvent::StartElement {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
                     flush(&mut builder, &mut pending);
                     builder.start_element(&name);
                     for (n, v) in &attributes {

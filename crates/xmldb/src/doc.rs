@@ -202,7 +202,9 @@ impl Document {
                 return Err(format!("node {pre}'s subtree escapes its parent's"));
             }
             match self.kind(pre) {
-                NodeKind::Attribute | NodeKind::Text | NodeKind::Comment
+                NodeKind::Attribute
+                | NodeKind::Text
+                | NodeKind::Comment
                 | NodeKind::ProcessingInstruction => {
                     if self.size(pre) != 0 {
                         return Err(format!("leaf node {pre} has size {}", self.size(pre)));

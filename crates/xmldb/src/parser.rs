@@ -1,8 +1,8 @@
 //! A hand-written, dependency-free XML parser.
 //!
 //! The parser is event based ([`XmlEvent`]); [`parse_document`] drives it
-//! into a [`DocumentBuilder`](crate::doc::DocumentBuilder) to produce a
-//! shredded [`Document`](crate::doc::Document).
+//! into a [`DocumentBuilder`] to produce a
+//! shredded [`Document`].
 //!
 //! Supported: elements, attributes, character data, CDATA sections,
 //! comments, processing instructions, the XML declaration, a (skipped)
@@ -320,7 +320,9 @@ impl<'a> XmlParser<'a> {
         loop {
             if self.pos >= self.input.len() {
                 if !self.open.is_empty() {
-                    return Err(self.error(format!("unclosed element <{}>", self.open.last().unwrap())));
+                    return Err(
+                        self.error(format!("unclosed element <{}>", self.open.last().unwrap()))
+                    );
                 }
                 if !self.root_seen {
                     return Err(self.error("document has no root element"));
@@ -378,7 +380,11 @@ impl<'a> XmlParser<'a> {
                             "mismatched closing tag </{name}>, expected </{expected}>"
                         )))
                     }
-                    None => return Err(self.error(format!("closing tag </{name}> with no open element"))),
+                    None => {
+                        return Err(
+                            self.error(format!("closing tag </{name}> with no open element"))
+                        )
+                    }
                 }
                 if self.open.is_empty() {
                     self.root_closed = true;
@@ -567,7 +573,10 @@ mod tests {
             XmlEvent::StartElement { attributes, .. } => {
                 assert_eq!(
                     attributes,
-                    &vec![("x".to_string(), "1".to_string()), ("y".to_string(), "2".to_string())]
+                    &vec![
+                        ("x".to_string(), "1".to_string()),
+                        ("y".to_string(), "2".to_string())
+                    ]
                 );
             }
             other => panic!("unexpected {other:?}"),

@@ -100,12 +100,18 @@ impl ValuePredicate {
     /// lookup (the paper's released MonetDB supported hash-based string
     /// equality, §2.2).
     pub fn eq_str(s: impl Into<String>) -> Self {
-        ValuePredicate { op: CmpOp::Eq, rhs: Constant::Str(s.into()) }
+        ValuePredicate {
+            op: CmpOp::Eq,
+            rhs: Constant::Str(s.into()),
+        }
     }
 
     /// A numeric comparison predicate.
     pub fn num(op: CmpOp, n: f64) -> Self {
-        ValuePredicate { op, rhs: Constant::Num(n) }
+        ValuePredicate {
+            op,
+            rhs: Constant::Num(n),
+        }
     }
 
     /// Is this a string-equality predicate (index-selectable via hash)?
@@ -180,7 +186,14 @@ mod tests {
 
     #[test]
     fn flipped_is_involutive_on_ordering() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flipped().flipped(), op);
         }
         assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);

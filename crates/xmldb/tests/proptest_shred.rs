@@ -3,8 +3,8 @@
 //! serialize ∘ parse.
 
 use proptest::prelude::*;
-use rox_xmldb::{parse_document, serialize_document, DocumentBuilder, NodeKind};
 use rox_xmldb::catalog::DocId;
+use rox_xmldb::{parse_document, serialize_document, DocumentBuilder, NodeKind};
 
 /// A recursive tree model we can drive the builder with.
 #[derive(Debug, Clone)]
@@ -25,8 +25,7 @@ fn name_strategy() -> impl Strategy<Value = String> {
 
 fn text_strategy() -> impl Strategy<Value = String> {
     // Printable, non-empty after trim so whitespace stripping keeps them.
-    "[a-zA-Z0-9 <>&'\"]{1,12}"
-        .prop_filter("keep non-whitespace", |s| !s.trim().is_empty())
+    "[a-zA-Z0-9 <>&'\"]{1,12}".prop_filter("keep non-whitespace", |s| !s.trim().is_empty())
 }
 
 fn node_strategy() -> impl Strategy<Value = Node> {
@@ -50,7 +49,11 @@ fn node_strategy() -> impl Strategy<Value = Node> {
                         attrs.push((n, v));
                     }
                 }
-                Node::Element { name, attrs, children }
+                Node::Element {
+                    name,
+                    attrs,
+                    children,
+                }
             })
     })
 }
@@ -68,13 +71,21 @@ fn root_strategy() -> impl Strategy<Value = Node> {
                     attrs.push((n, v));
                 }
             }
-            Node::Element { name, attrs, children }
+            Node::Element {
+                name,
+                attrs,
+                children,
+            }
         })
 }
 
 fn build(node: &Node, b: &mut DocumentBuilder) {
     match node {
-        Node::Element { name, attrs, children } => {
+        Node::Element {
+            name,
+            attrs,
+            children,
+        } => {
             b.start_element(name);
             for (n, v) in attrs {
                 b.attribute(n, v);

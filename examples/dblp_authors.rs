@@ -11,9 +11,7 @@ use rox_core::{
     analyze_star, classical_join_order, enumerate_join_orders, plan_edges, run_plan_with_env,
     run_rox_with_env, Placement, RoxEnv, RoxOptions,
 };
-use rox_datagen::{
-    correlation, dblp_query, generate_dblp, group_of, venue_index, DblpConfig,
-};
+use rox_datagen::{correlation, dblp_query, generate_dblp, group_of, venue_index, DblpConfig};
 use rox_xmldb::Catalog;
 use std::sync::Arc;
 
@@ -32,7 +30,10 @@ fn main() {
     ];
 
     let catalog = Arc::new(Catalog::new());
-    let cfg = DblpConfig { size_factor: 0.2, ..DblpConfig::default() };
+    let cfg = DblpConfig {
+        size_factor: 0.2,
+        ..DblpConfig::default()
+    };
     let corpus = generate_dblp(&catalog, &cfg);
     let docs: Vec<_> = combo.iter().map(|&i| corpus.docs[i]).collect();
     println!(
@@ -53,7 +54,10 @@ fn main() {
         for placement in Placement::ALL {
             let edges = plan_edges(&graph, &star, &order, placement);
             let run = run_plan_with_env(&env, &graph, &edges).unwrap();
-            let key = (format!("{} [{}]", order.name, placement.label()), run.cost.total());
+            let key = (
+                format!("{} [{}]", order.name, placement.label()),
+                run.cost.total(),
+            );
             if best.as_ref().is_none_or(|(_, c)| key.1 < *c) {
                 best = Some(key.clone());
             }
@@ -71,7 +75,10 @@ fn main() {
         .iter()
         .map(|&p| {
             let edges = plan_edges(&graph, &star, &classical, p);
-            run_plan_with_env(&env, &graph, &edges).unwrap().cost.total()
+            run_plan_with_env(&env, &graph, &edges)
+                .unwrap()
+                .cost
+                .total()
         })
         .min()
         .unwrap();
@@ -82,7 +89,10 @@ fn main() {
 
     println!("{:<44} {:>12} {:>8}", "plan", "work", "×best");
     let row = |name: &str, cost: u64| {
-        println!("{name:<44} {cost:>12} {:>8.2}", cost as f64 / best_cost as f64);
+        println!(
+            "{name:<44} {cost:>12} {:>8.2}",
+            cost as f64 / best_cost as f64
+        );
     };
     row(&format!("best enumerated: {best_name}"), best_cost);
     row(&format!("worst enumerated: {worst_name}"), worst_cost);

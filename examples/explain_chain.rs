@@ -41,7 +41,11 @@ fn main() {
     let report = run_rox(
         catalog,
         &graph,
-        RoxOptions { tau: 50, trace: true, ..Default::default() },
+        RoxOptions {
+            tau: 50,
+            trace: true,
+            ..Default::default()
+        },
     )
     .unwrap();
 
@@ -51,16 +55,17 @@ fn main() {
         for (round, snaps) in t.rounds.iter().enumerate() {
             println!("  round {}:", round + 1);
             for p in snaps {
-                println!(
-                    "    path {:?}: cost {:.1}, sf {:.3}",
-                    p.edges, p.cost, p.sf
-                );
+                println!("    path {:?}: cost {:.1}, sf {:.3}", p.edges, p.cost, p.sf);
             }
         }
         println!(
             "  chosen {:?} ({})",
             t.chosen,
-            if t.stopped_early { "stopping condition" } else { "exhausted" }
+            if t.stopped_early {
+                "stopping condition"
+            } else {
+                "exhausted"
+            }
         );
     }
     println!(

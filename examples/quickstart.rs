@@ -48,7 +48,11 @@ fn main() {
     // 4. Run the ROX run-time optimizer: it samples, picks an order,
     //    executes, and returns the result.
     let report = run_rox(Arc::clone(&catalog), &graph, RoxOptions::default()).unwrap();
-    println!("executed {} edges; result rows: {}", report.executed_order.len(), report.output.len());
+    println!(
+        "executed {} edges; result rows: {}",
+        report.executed_order.len(),
+        report.output.len()
+    );
     println!(
         "work: {} execution + {} sampling ({:.0}% overhead)",
         report.exec_cost.total(),

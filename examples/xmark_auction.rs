@@ -31,7 +31,10 @@ fn main() {
         let report = run_rox(
             Arc::clone(&catalog),
             &graph,
-            RoxOptions { trace: true, ..Default::default() },
+            RoxOptions {
+                trace: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         println!("==== {name} ====");
@@ -43,7 +46,11 @@ fn main() {
                 EdgeKind::Step(ax) => format!("◦{}", ax.label()),
                 EdgeKind::EquiJoin { .. } => "=".into(),
             };
-            let rows = report.edge_log.iter().find(|x| x.edge == e).map(|x| x.result_rows);
+            let rows = report
+                .edge_log
+                .iter()
+                .find(|x| x.edge == e)
+                .map(|x| x.result_rows);
             println!(
                 "  {:>2}. {} {} {}  -> {} rows",
                 i + 1,

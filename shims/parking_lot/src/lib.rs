@@ -1,0 +1,99 @@
+//! Offline stand-in for `parking_lot`: non-poisoning `Mutex`/`RwLock`
+//! wrappers over `std::sync`. Lock poisoning is translated into a panic
+//! propagation (matching parking_lot's behaviour of simply not poisoning).
+
+use std::sync;
+
+/// A mutual-exclusion lock whose `lock()` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock.
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// A readers-writer lock whose guards never report poisoning.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(vec![1, 2]);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(*r1, *r2);
+        }
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+}

@@ -10,8 +10,11 @@
 //!
 //! * [`xmldb`] — storage substrate (shredding, pre/size/level encoding);
 //! * [`index`] — element and value indices;
-//! * [`ops`] — staircase joins, value joins, cut-off sampling;
+//! * [`ops`] — staircase joins, value joins, cut-off sampling, and their
+//!   morsel-partitioned parallel variants;
 //! * [`joingraph`] — XQuery front end and Join Graph isolation;
+//! * [`par`] — the morsel-driven parallel execution substrate
+//!   ([`par::Parallelism`], order-preserving `par_map`);
 //! * [`rox`] — the run-time optimizer, baselines, plan enumeration;
 //! * [`datagen`] — XMark-like and DBLP-like workload generators.
 //!
@@ -31,4 +34,5 @@ pub use rox_datagen as datagen;
 pub use rox_index as index;
 pub use rox_joingraph as joingraph;
 pub use rox_ops as ops;
+pub use rox_par as par;
 pub use rox_xmldb as xmldb;

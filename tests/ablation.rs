@@ -9,7 +9,13 @@ use std::sync::Arc;
 
 fn correlated_setup() -> (Arc<Catalog>, rox_joingraph::JoinGraph) {
     let catalog = Arc::new(Catalog::new());
-    generate_dblp(&catalog, &DblpConfig { size_factor: 0.08, ..DblpConfig::default() });
+    generate_dblp(
+        &catalog,
+        &DblpConfig {
+            size_factor: 0.08,
+            ..DblpConfig::default()
+        },
+    );
     let combo = [
         venue_index("VLDB"),
         venue_index("ICDE"),
@@ -25,9 +31,19 @@ fn ablated_variants_remain_correct() {
     let (catalog, graph) = correlated_setup();
     let full = run_rox(Arc::clone(&catalog), &graph, RoxOptions::default()).unwrap();
     for opts in [
-        RoxOptions { chain_sampling: false, ..Default::default() },
-        RoxOptions { resample: false, ..Default::default() },
-        RoxOptions { chain_sampling: false, resample: false, ..Default::default() },
+        RoxOptions {
+            chain_sampling: false,
+            ..Default::default()
+        },
+        RoxOptions {
+            resample: false,
+            ..Default::default()
+        },
+        RoxOptions {
+            chain_sampling: false,
+            resample: false,
+            ..Default::default()
+        },
     ] {
         let ablated = run_rox(Arc::clone(&catalog), &graph, opts).unwrap();
         assert_eq!(ablated.output, full.output, "{opts:?}");
@@ -41,7 +57,10 @@ fn full_rox_plan_not_worse_than_no_resampling() {
     let frozen = run_rox(
         Arc::clone(&catalog),
         &graph,
-        RoxOptions { resample: false, ..Default::default() },
+        RoxOptions {
+            resample: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     // Compare the *replayed plans* (pure execution work) so sampling cost
@@ -80,7 +99,10 @@ fn greedy_without_chain_sampling_still_terminates_everywhere() {
     let greedy = run_rox(
         Arc::clone(&catalog),
         &graph,
-        RoxOptions { chain_sampling: false, ..Default::default() },
+        RoxOptions {
+            chain_sampling: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     let full = run_rox(catalog, &graph, RoxOptions::default()).unwrap();

@@ -5,7 +5,10 @@ use rox_core::{run_rox, RoxOptions};
 use rox_xmldb::{serialize_subtree_string, Catalog};
 use std::sync::Arc;
 
-fn run(query: &str, docs: &[(&str, &str)]) -> (rox_core::RoxReport, rox_joingraph::JoinGraph, Arc<Catalog>) {
+fn run(
+    query: &str,
+    docs: &[(&str, &str)],
+) -> (rox_core::RoxReport, rox_joingraph::JoinGraph, Arc<Catalog>) {
     let catalog = Arc::new(Catalog::new());
     for (uri, xml) in docs {
         catalog.load_str(uri, xml).unwrap();
@@ -40,7 +43,10 @@ fn predicate_filters_results() {
 fn range_predicate_on_text() {
     let (r, _, _) = run(
         r#"for $p in doc("d.xml")//price[./text() < 10] return $p"#,
-        &[("d.xml", "<s><price>5</price><price>15</price><price>9.5</price></s>")],
+        &[(
+            "d.xml",
+            "<s><price>5</price><price>15</price><price>9.5</price></s>",
+        )],
     );
     assert_eq!(r.output.len(), 2);
 }
@@ -110,7 +116,10 @@ fn cross_document_equi_join_e2e() {
         r#"for $x in doc("x.xml")//name, $y in doc("y.xml")//name
            where $x/text() = $y/text() return $x"#,
         &[
-            ("x.xml", "<p><name>ann</name><name>bob</name><name>ann</name></p>"),
+            (
+                "x.xml",
+                "<p><name>ann</name><name>bob</name><name>ann</name></p>",
+            ),
             ("y.xml", "<p><name>ann</name><name>zed</name></p>"),
         ],
     );
@@ -156,7 +165,10 @@ fn where_select_condition() {
 fn string_equality_predicate_via_value_index() {
     let (r, _, _) = run(
         r#"for $a in doc("d.xml")//author[./text() = "Codd"] return $a"#,
-        &[("d.xml", "<s><author>Codd</author><author>Date</author><author>Codd</author></s>")],
+        &[(
+            "d.xml",
+            "<s><author>Codd</author><author>Date</author><author>Codd</author></s>",
+        )],
     );
     assert_eq!(r.output.len(), 2);
 }

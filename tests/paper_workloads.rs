@@ -18,7 +18,12 @@ fn xmark_q1_and_qm1_match_naive() {
     generate_xmark(
         &catalog,
         "xmark.xml",
-        &XmarkConfig { persons: 120, items: 100, auctions: 100, ..XmarkConfig::default() },
+        &XmarkConfig {
+            persons: 120,
+            items: 100,
+            auctions: 100,
+            ..XmarkConfig::default()
+        },
     );
     for op in ["<", ">"] {
         let graph = rox_joingraph::compile_query(&xmark_query(op, 145.0)).unwrap();
@@ -40,7 +45,12 @@ fn xmark_correlation_shows_in_bidder_intermediates() {
     generate_xmark(
         &catalog,
         "xmark.xml",
-        &XmarkConfig { persons: 300, items: 250, auctions: 300, ..XmarkConfig::default() },
+        &XmarkConfig {
+            persons: 300,
+            items: 250,
+            auctions: 300,
+            ..XmarkConfig::default()
+        },
     );
     let mut max_rows = Vec::new();
     for op in ["<", ">"] {
@@ -67,7 +77,13 @@ fn xmark_correlation_shows_in_bidder_intermediates() {
 #[test]
 fn dblp_rox_matches_every_enumerated_plan() {
     let catalog = Arc::new(Catalog::new());
-    let corpus = generate_dblp(&catalog, &DblpConfig { size_factor: 0.02, ..DblpConfig::default() });
+    let corpus = generate_dblp(
+        &catalog,
+        &DblpConfig {
+            size_factor: 0.02,
+            ..DblpConfig::default()
+        },
+    );
     let _ = corpus;
     let combo = [
         venue_index("SIGMOD"),
@@ -84,11 +100,9 @@ fn dblp_rox_matches_every_enumerated_plan() {
             let edges = plan_edges(&graph, &star, &order, placement);
             let run = run_plan_with_env(&env, &graph, &edges).unwrap();
             assert_eq!(
-                run.output,
-                rox.output,
+                run.output, rox.output,
                 "order {} placement {:?}",
-                order.name,
-                placement
+                order.name, placement
             );
         }
     }
@@ -101,7 +115,13 @@ fn rox_beats_or_matches_classical_on_correlated_combo() {
     // correlated); ROX should find an order with fewer cumulative
     // intermediates.
     let catalog = Arc::new(Catalog::new());
-    let corpus = generate_dblp(&catalog, &DblpConfig { size_factor: 0.08, ..DblpConfig::default() });
+    let corpus = generate_dblp(
+        &catalog,
+        &DblpConfig {
+            size_factor: 0.08,
+            ..DblpConfig::default()
+        },
+    );
     let _ = corpus;
     let combo = [
         venue_index("VLDB"),
@@ -150,7 +170,11 @@ fn dblp_results_scale_linearly() {
         let catalog = Arc::new(Catalog::new());
         generate_dblp(
             &catalog,
-            &DblpConfig { scale, size_factor: 0.05, ..DblpConfig::default() },
+            &DblpConfig {
+                scale,
+                size_factor: 0.05,
+                ..DblpConfig::default()
+            },
         );
         let graph = rox_joingraph::compile_query(&dblp_query(&combo)).unwrap();
         let report = run_rox_with_env(

@@ -10,14 +10,21 @@ fn rox(query: &str, docs: &[(&str, &str)]) -> rox_core::RoxReport {
         catalog.load_str(uri, xml).unwrap();
     }
     let graph = rox_joingraph::compile_query(query).unwrap();
-    run_rox(catalog, &graph, RoxOptions { tau: 4, ..Default::default() }).unwrap()
+    run_rox(
+        catalog,
+        &graph,
+        RoxOptions {
+            tau: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap()
 }
 
 #[test]
 fn missing_document_is_reported() {
     let catalog = Arc::new(Catalog::new());
-    let graph =
-        rox_joingraph::compile_query(r#"for $a in doc("nope.xml")//a return $a"#).unwrap();
+    let graph = rox_joingraph::compile_query(r#"for $a in doc("nope.xml")//a return $a"#).unwrap();
     let err = rox_core::run_rox(catalog, &graph, RoxOptions::default()).unwrap_err();
     assert!(err.message.contains("nope.xml"));
 }
@@ -69,7 +76,10 @@ fn tiny_sample_sizes_still_correct() {
         let r = rox_core::run_rox(
             Arc::clone(&catalog),
             &graph,
-            RoxOptions { tau, ..Default::default() },
+            RoxOptions {
+                tau,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(r.output.len(), 50, "tau = {tau}");
@@ -80,7 +90,10 @@ fn tiny_sample_sizes_still_correct() {
 fn disconnected_join_graph_is_a_product() {
     let r = rox(
         r#"for $a in doc("x.xml")//a, $b in doc("y.xml")//b return $a"#,
-        &[("x.xml", "<r><a/><a/></r>"), ("y.xml", "<r><b/><b/><b/></r>")],
+        &[
+            ("x.xml", "<r><a/><a/></r>"),
+            ("y.xml", "<r><b/><b/><b/></r>"),
+        ],
     );
     assert_eq!(r.joined.len(), 6);
     assert_eq!(r.output.len(), 6);
@@ -114,7 +127,10 @@ fn duplicate_values_multiply_correctly() {
 fn unicode_content_survives_the_pipeline() {
     let r = rox(
         r#"for $a in doc("d.xml")//author[./text() = "Łukasz"] return $a"#,
-        &[("d.xml", "<s><author>Łukasz</author><author>René</author><author>何</author></s>")],
+        &[(
+            "d.xml",
+            "<s><author>Łukasz</author><author>René</author><author>何</author></s>",
+        )],
     );
     assert_eq!(r.output.len(), 1);
 }
