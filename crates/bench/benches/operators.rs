@@ -23,24 +23,13 @@ fn bench_staircase(c: &mut Criterion) {
         .lookup(doc.interner().get("open_auction").unwrap())
         .to_vec();
     let bidders: Vec<Pre> = idx.lookup(doc.interner().get("bidder").unwrap()).to_vec();
-    let ctx: Vec<(u32, Pre)> = auctions
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (i as u32, p))
-        .collect();
-    let bidder_ctx: Vec<(u32, Pre)> = bidders
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (i as u32, p))
-        .collect();
-
     let mut group = c.benchmark_group("staircase");
     for (name, axis, context, cands) in [
-        ("descendant", Axis::Descendant, &ctx, &bidders),
-        ("child", Axis::Child, &ctx, &bidders),
-        ("ancestor", Axis::Ancestor, &bidder_ctx, &auctions),
-        ("parent", Axis::Parent, &bidder_ctx, &auctions),
-        ("following", Axis::Following, &ctx, &bidders),
+        ("descendant", Axis::Descendant, &auctions, &bidders),
+        ("child", Axis::Child, &auctions, &bidders),
+        ("ancestor", Axis::Ancestor, &bidders, &auctions),
+        ("parent", Axis::Parent, &bidders, &auctions),
+        ("following", Axis::Following, &auctions, &bidders),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
@@ -65,11 +54,6 @@ fn bench_cutoff_sampling(c: &mut Criterion) {
         .lookup(doc.interner().get("open_auction").unwrap())
         .to_vec();
     let bidders: Vec<Pre> = idx.lookup(doc.interner().get("bidder").unwrap()).to_vec();
-    let ctx: Vec<(u32, Pre)> = auctions
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (i as u32, p))
-        .collect();
     let mut group = c.benchmark_group("cutoff");
     for limit in [25usize, 100, 400] {
         group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, &limit| {
@@ -78,7 +62,7 @@ fn bench_cutoff_sampling(c: &mut Criterion) {
                 black_box(step_join(
                     &doc,
                     Axis::Descendant,
-                    &ctx,
+                    &auctions,
                     &bidders,
                     Some(limit),
                     &mut cost,
@@ -105,12 +89,7 @@ fn bench_value_joins(c: &mut Criterion) {
     let lt = texts(&vldb);
     let rt = texts(&icde);
     let r_idx = DocIndexes::build(&icde);
-    let ctx: Vec<(u32, Pre)> = lt
-        .iter()
-        .take(100)
-        .enumerate()
-        .map(|(i, &p)| (i as u32, p))
-        .collect();
+    let outer: Vec<Pre> = lt.iter().take(100).copied().collect();
     let mut group = c.benchmark_group("value_join");
     group.bench_function("hash_full", |b| {
         b.iter(|| {
@@ -123,8 +102,7 @@ fn bench_value_joins(c: &mut Criterion) {
             let mut cost = Cost::new();
             black_box(index_value_join(
                 &vldb,
-                &ctx,
-                &icde,
+                &outer,
                 &r_idx.value,
                 NodeKind::Text,
                 None,

@@ -63,14 +63,15 @@ fn bench_partitioned_step_join(c: &mut Criterion) {
         .lookup(doc.interner().get("open_auction").unwrap())
         .to_vec();
     let bidders = idx.lookup(doc.interner().get("bidder").unwrap()).to_vec();
-    let ctx: Vec<(u32, u32)> = auctions
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (i as u32, p))
-        .collect();
-
     let mut seq_cost = Cost::new();
-    let seq = step_join(&doc, Axis::Descendant, &ctx, &bidders, None, &mut seq_cost);
+    let seq = step_join(
+        &doc,
+        Axis::Descendant,
+        &auctions,
+        &bidders,
+        None,
+        &mut seq_cost,
+    );
 
     let mut group = c.benchmark_group("partitioned_step_join");
     group.sample_size(10);
@@ -79,7 +80,7 @@ fn bench_partitioned_step_join(c: &mut Criterion) {
             black_box(step_join(
                 &doc,
                 Axis::Descendant,
-                &ctx,
+                &auctions,
                 &bidders,
                 None,
                 &mut Cost::new(),
@@ -91,7 +92,7 @@ fn bench_partitioned_step_join(c: &mut Criterion) {
         let got = step_join_partitioned(
             &doc,
             Axis::Descendant,
-            &ctx,
+            &auctions,
             &bidders,
             Parallelism::Threads(threads),
             &mut cost,
@@ -108,7 +109,7 @@ fn bench_partitioned_step_join(c: &mut Criterion) {
                     black_box(step_join_partitioned(
                         &doc,
                         Axis::Descendant,
-                        &ctx,
+                        &auctions,
                         &bidders,
                         Parallelism::Threads(threads),
                         &mut Cost::new(),

@@ -6,7 +6,7 @@
 use crate::setup::xmark_catalog;
 use rox_core::{run_rox, ChainTrace, RoxOptions, RoxReport};
 use rox_datagen::{xmark_query, XmarkConfig};
-use rox_joingraph::{EdgeKind, JoinGraph};
+use rox_joingraph::JoinGraph;
 use std::sync::Arc;
 
 /// Configuration.
@@ -61,17 +61,7 @@ impl VariantResult {
     }
 }
 
-/// Human-readable edge description.
-pub fn render_edge(graph: &JoinGraph, e: rox_joingraph::EdgeId) -> String {
-    let edge = graph.edge(e);
-    let v1 = graph.vertex(edge.v1);
-    let v2 = graph.vertex(edge.v2);
-    let op = match &edge.kind {
-        EdgeKind::Step(ax) => format!("◦{}", ax.label()),
-        EdgeKind::EquiJoin { .. } => "=".into(),
-    };
-    format!("{} {} {}", v1.label, op, v2.label)
-}
+pub use rox_core::explain::render_edge;
 
 /// Run both variants.
 pub fn run(cfg: &Table2Config) -> (VariantResult, VariantResult) {

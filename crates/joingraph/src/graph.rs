@@ -66,6 +66,28 @@ pub enum EdgeKind {
     },
 }
 
+impl EdgeKind {
+    /// The physical classification consumed by the edge-operator kernel
+    /// ([`rox_ops::edgeop`]) — the single place edge kinds are mapped to
+    /// physical operators.
+    pub fn class(&self) -> rox_ops::EdgeClass {
+        match self {
+            EdgeKind::Step(ax) => rox_ops::EdgeClass::Step(*ax),
+            EdgeKind::EquiJoin { .. } => rox_ops::EdgeClass::ValueJoin,
+        }
+    }
+
+    /// Short operator symbol for rendering: `◦axis` for steps, `=` for
+    /// equi-joins, `=·` for inferred (dotted) join-equivalence edges.
+    pub fn symbol(&self) -> String {
+        match self {
+            EdgeKind::Step(ax) => format!("◦{}", ax.label()),
+            EdgeKind::EquiJoin { inferred: false } => "=".into(),
+            EdgeKind::EquiJoin { inferred: true } => "=·".into(),
+        }
+    }
+}
+
 /// A Join Graph edge.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Edge {

@@ -5,6 +5,10 @@
 //! The physical algebra of the paper's Table 1, reimplemented over the
 //! pre/size/level store of [`rox_xmldb`]:
 //!
+//! * [`edgeop`] — the **physical edge-operator kernel**: the single
+//!   dispatch layer mapping a Join Graph edge (+ mode) to one of the
+//!   operators below, consumed by sampling, chain-sampling, full
+//!   execution, replay, enumeration, and the naive oracle alike;
 //! * [`staircase`] — structural joins for all XPath axes, pair-producing
 //!   and zero-investment in the context input;
 //! * [`valjoin`] — value equi-joins (index nested-loop, hash, merge);
@@ -15,11 +19,14 @@
 //!   extrapolation (§2.3);
 //! * [`relation`] — the columnar fully-joined intermediate relations;
 //! * [`tail`] — projection / distinct / sort tail operators;
-//! * [`cost`] — deterministic work accounting following Table 1.
+//! * [`cost`] — deterministic work accounting following Table 1, plus the
+//!   explicit per-edge operator cost function
+//!   [`choose_op`](cost::choose_op()).
 
 pub mod axis;
 pub mod cost;
 pub mod cutoff;
+pub mod edgeop;
 pub mod partition;
 pub mod relation;
 pub mod staircase;
@@ -27,8 +34,12 @@ pub mod tail;
 pub mod valjoin;
 
 pub use axis::{Axis, NodeTest};
-pub use cost::Cost;
+pub use cost::{choose_op, nl_cheaper, Cost, NL_VS_HASH_FACTOR};
 pub use cutoff::JoinOut;
+pub use edgeop::{
+    edge_predicate, execute_edge_op, EdgeClass, EdgeOpChoice, EdgeOpCtx, EdgeOpKind, EdgeOpOut,
+    EdgeOpResult, ExecMode,
+};
 pub use partition::{hash_value_join_partitioned, step_join_partitioned, MIN_PARTITION_INPUT};
 pub use relation::{Relation, VarId};
 pub use rox_par::Parallelism;

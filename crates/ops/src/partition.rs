@@ -21,7 +21,7 @@
 use crate::axis::Axis;
 use crate::cost::Cost;
 use crate::cutoff::JoinOut;
-use crate::staircase::{step_join, CtxTuple};
+use crate::staircase::step_join;
 use crate::valjoin::hash_value_join;
 use rox_par::{chunk_ranges, par_map, Parallelism};
 use rox_xmldb::{Document, Pre};
@@ -40,7 +40,7 @@ pub const MIN_PARTITION_INPUT: usize = 2048;
 pub fn step_join_partitioned(
     doc: &Document,
     axis: Axis,
-    ctx: &[CtxTuple],
+    ctx: &[Pre],
     cands: &[Pre],
     par: Parallelism,
     cost: &mut Cost,
@@ -52,7 +52,13 @@ pub fn step_join_partitioned(
     let morsels = chunk_ranges(ctx.len(), threads * 4);
     let runs = par_map(threads, morsels.len(), |i| {
         let mut local = Cost::new();
-        let out = step_join(doc, axis, &ctx[morsels[i].clone()], cands, None, &mut local);
+        let mut out = step_join(doc, axis, &ctx[morsels[i].clone()], cands, None, &mut local);
+        // Row ids are positions within the morsel slice; shift them back
+        // into the full context's row space before merging.
+        let base = morsels[i].start as u32;
+        for p in &mut out.pairs {
+            p.0 += base;
+        }
         (out, local)
     });
     merge_runs(ctx.len(), runs, cost)
@@ -156,20 +162,15 @@ mod tests {
         let doc = big_doc(9000, 2);
         let secs = elements_named(&doc, "sec");
         let items = elements_named(&doc, "item");
-        let ctx: Vec<CtxTuple> = secs
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (i as u32, p))
-            .collect();
         let mut c_seq = Cost::new();
-        let seq = step_join(&doc, Axis::Descendant, &ctx, &items, None, &mut c_seq);
+        let seq = step_join(&doc, Axis::Descendant, &secs, &items, None, &mut c_seq);
         for par in [
             Parallelism::Threads(2),
             Parallelism::Threads(4),
             Parallelism::Auto,
         ] {
             let mut c_par = Cost::new();
-            let got = step_join_partitioned(&doc, Axis::Descendant, &ctx, &items, par, &mut c_par);
+            let got = step_join_partitioned(&doc, Axis::Descendant, &secs, &items, par, &mut c_par);
             assert_eq!(got.pairs, seq.pairs);
             assert_eq!(c_par, c_seq);
         }
@@ -180,22 +181,17 @@ mod tests {
         let doc = big_doc(3, 2);
         let secs = elements_named(&doc, "sec");
         let items = elements_named(&doc, "item");
-        let ctx: Vec<CtxTuple> = secs
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (i as u32, p))
-            .collect();
         let mut c1 = Cost::new();
         let a = step_join_partitioned(
             &doc,
             Axis::Child,
-            &ctx,
+            &secs,
             &items,
             Parallelism::Threads(8),
             &mut c1,
         );
         let mut c2 = Cost::new();
-        let b = step_join(&doc, Axis::Child, &ctx, &items, None, &mut c2);
+        let b = step_join(&doc, Axis::Child, &secs, &items, None, &mut c2);
         assert_eq!(a.pairs, b.pairs);
         assert_eq!(c1, c2);
     }
@@ -236,22 +232,17 @@ mod tests {
         let doc = big_doc(80, 30);
         let secs = elements_named(&doc, "sec");
         let items = elements_named(&doc, "item");
-        let ctx: Vec<CtxTuple> = secs
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (i as u32, p))
-            .collect();
         let mut c1 = Cost::new();
         let a = step_join_partitioned(
             &doc,
             Axis::Descendant,
-            &ctx,
+            &secs,
             &items,
             Parallelism::Sequential,
             &mut c1,
         );
         let mut c2 = Cost::new();
-        let b = step_join(&doc, Axis::Descendant, &ctx, &items, None, &mut c2);
+        let b = step_join(&doc, Axis::Descendant, &secs, &items, None, &mut c2);
         assert_eq!(a.pairs, b.pairs);
         assert_eq!(c1, c2);
     }

@@ -16,26 +16,23 @@ use crate::cost::Cost;
 use crate::cutoff::JoinOut;
 use rox_xmldb::{Document, NodeKind, Pre};
 
-/// Context tuple: `(row id, node pre)`. Row ids are dense indexes into the
-/// relation (or sample) the context was drawn from, the paper's
-/// "row-identifier densely increasing" used for the reduction factor.
-pub type CtxTuple = (u32, Pre);
-
-/// Evaluate `axis::S` for every context tuple, stopping once `limit` pairs
-/// have been produced (cut-off execution, §2.3). `ctx` must be sorted on
-/// pre; `cands` must be sorted, duplicate-free, and pre-filtered by the
-/// step's node test (element-index / value-index lookups produce exactly
-/// this shape).
+/// Evaluate `axis::S` for every context node, stopping once `limit` pairs
+/// have been produced (cut-off execution, §2.3). Produced pairs carry the
+/// context node's *position* in `ctx` as their row id — the densely
+/// increasing row identifier the reduction factor relies on. `ctx` must be
+/// sorted on pre (duplicates allowed); `cands` must be sorted,
+/// duplicate-free, and pre-filtered by the step's node test
+/// (element-index / value-index lookups produce exactly this shape).
 pub fn step_join(
     doc: &Document,
     axis: Axis,
-    ctx: &[CtxTuple],
+    ctx: &[Pre],
     cands: &[Pre],
     limit: Option<usize>,
     cost: &mut Cost,
 ) -> JoinOut<Pre> {
     debug_assert!(
-        ctx.windows(2).all(|w| w[0].1 <= w[1].1),
+        ctx.windows(2).all(|w| w[0] <= w[1]),
         "context not sorted on pre"
     );
     debug_assert!(
@@ -44,7 +41,8 @@ pub fn step_join(
     );
     let mut out = JoinOut::new(ctx.len());
     let limit = limit.unwrap_or(usize::MAX);
-    'outer: for &(row, c) in ctx {
+    'outer: for (row, &c) in ctx.iter().enumerate() {
+        let row = row as u32;
         cost.charge_in(1);
         match axis {
             Axis::Descendant | Axis::DescendantOrSelf => {
@@ -212,16 +210,9 @@ mod tests {
         (d, idx)
     }
 
-    fn ctx_of(pres: &[Pre]) -> Vec<CtxTuple> {
-        pres.iter()
-            .enumerate()
-            .map(|(i, &p)| (i as u32, p))
-            .collect()
-    }
-
     fn run(d: &rox_xmldb::Document, axis: Axis, ctx: &[Pre], cands: &[Pre]) -> Vec<(u32, Pre)> {
         let mut cost = Cost::new();
-        step_join(d, axis, &ctx_of(ctx), cands, None, &mut cost).pairs
+        step_join(d, axis, ctx, cands, None, &mut cost).pairs
     }
 
     #[test]
@@ -315,14 +306,7 @@ mod tests {
         // Context: the two auction elements -> 3 bidder pairs total.
         let auction = idx.lookup(d.interner().get("auction").unwrap()).to_vec();
         let mut cost = Cost::new();
-        let out = step_join(
-            &d,
-            Axis::Descendant,
-            &ctx_of(&auction),
-            &bidder,
-            Some(2),
-            &mut cost,
-        );
+        let out = step_join(&d, Axis::Descendant, &auction, &bidder, Some(2), &mut cost);
         assert!(out.truncated);
         assert_eq!(out.pairs.len(), 2);
         // First auction (row 0) produced both pairs before the cut-off:

@@ -19,9 +19,6 @@ use rox_index::ValueIndex;
 use rox_xmldb::{Document, NodeKind, Pre, Symbol};
 use std::collections::HashMap;
 
-/// Context tuple for value joins: `(row id, node pre)` in the outer doc.
-pub type CtxTuple = (u32, Pre);
-
 fn join_value(doc: &Document, pre: Pre) -> Symbol {
     debug_assert!(
         matches!(doc.kind(pre), NodeKind::Text | NodeKind::Attribute),
@@ -30,14 +27,13 @@ fn join_value(doc: &Document, pre: Pre) -> Symbol {
     doc.value(pre)
 }
 
-/// Nested-loop index-lookup join: probe `inner_index` for each outer tuple
+/// Nested-loop index-lookup join: probe `inner_index` for each outer node
 /// and keep hits that appear in `inner_filter` (the materialized `T(v′)`),
-/// or all hits when `inner_filter` is `None`.
-#[allow(clippy::too_many_arguments)]
+/// or all hits when `inner_filter` is `None`. Produced pairs carry the
+/// outer node's position in `outer` as their row id.
 pub fn index_value_join(
     outer_doc: &Document,
-    outer: &[CtxTuple],
-    inner_doc: &Document,
+    outer: &[Pre],
     inner_index: &ValueIndex,
     inner_kind: NodeKind,
     inner_filter: Option<&[Pre]>,
@@ -46,7 +42,8 @@ pub fn index_value_join(
 ) -> JoinOut<Pre> {
     let mut out = JoinOut::new(outer.len());
     let limit = limit.unwrap_or(usize::MAX);
-    'outer: for &(row, c) in outer {
+    'outer: for (row, &c) in outer.iter().enumerate() {
+        let row = row as u32;
         cost.charge_in(1);
         cost.charge_probe(1);
         let v = join_value(outer_doc, c);
@@ -55,7 +52,6 @@ pub fn index_value_join(
             NodeKind::Attribute => inner_index.attr_eq(v),
             _ => unreachable!("value index covers text and attribute nodes"),
         };
-        let _ = inner_doc;
         for &s in hits {
             if let Some(filter) = inner_filter {
                 cost.charge_probe(1);
@@ -221,15 +217,10 @@ mod tests {
 
     #[test]
     fn index_join_finds_cross_doc_matches() {
-        let (_cat, da, db, _ia, ib) = setup();
+        let (_cat, da, _db, _ia, ib) = setup();
         let left = text_nodes(&da);
-        let ctx: Vec<CtxTuple> = left
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (i as u32, p))
-            .collect();
         let mut cost = Cost::new();
-        let out = index_value_join(&da, &ctx, &db, &ib, NodeKind::Text, None, None, &mut cost);
+        let out = index_value_join(&da, &left, &ib, NodeKind::Text, None, None, &mut cost);
         // ann (x2 left) matches 1 right; bob matches 1 => 3 pairs.
         assert_eq!(out.pairs.len(), 3);
     }
@@ -238,11 +229,6 @@ mod tests {
     fn index_join_respects_filter() {
         let (_cat, da, db, _ia, ib) = setup();
         let left = text_nodes(&da);
-        let ctx: Vec<CtxTuple> = left
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (i as u32, p))
-            .collect();
         // Only allow the right "bob" text node.
         let right = text_nodes(&db);
         let bob_only: Vec<Pre> = right
@@ -253,8 +239,7 @@ mod tests {
         let mut cost = Cost::new();
         let out = index_value_join(
             &da,
-            &ctx,
-            &db,
+            &left,
             &ib,
             NodeKind::Text,
             Some(&bob_only),
@@ -262,7 +247,7 @@ mod tests {
             &mut cost,
         );
         assert_eq!(out.pairs.len(), 1);
-        assert_eq!(da.value_str(ctx[out.pairs[0].0 as usize].1), "bob");
+        assert_eq!(da.value_str(left[out.pairs[0].0 as usize]), "bob");
     }
 
     #[test]
@@ -272,19 +257,14 @@ mod tests {
         let right = text_nodes(&db);
         let mut c1 = Cost::new();
         let hash = hash_value_join(&da, &left, &db, &right, &mut c1);
-        let ctx: Vec<CtxTuple> = left
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (i as u32, p))
-            .collect();
         let mut c2 = Cost::new();
-        let idx = index_value_join(&da, &ctx, &db, &ib, NodeKind::Text, None, None, &mut c2);
+        let idx = index_value_join(&da, &left, &ib, NodeKind::Text, None, None, &mut c2);
         let mut hash_sorted = hash.clone();
         hash_sorted.sort_unstable();
         let mut idx_pairs: Vec<(Pre, Pre)> = idx
             .pairs
             .iter()
-            .map(|&(r, s)| (ctx[r as usize].1, s))
+            .map(|&(r, s)| (left[r as usize], s))
             .collect();
         idx_pairs.sort_unstable();
         assert_eq!(hash_sorted, idx_pairs);
@@ -307,24 +287,10 @@ mod tests {
 
     #[test]
     fn cutoff_on_index_join() {
-        let (_cat, da, db, _ia, ib) = setup();
+        let (_cat, da, _db, _ia, ib) = setup();
         let left = text_nodes(&da);
-        let ctx: Vec<CtxTuple> = left
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (i as u32, p))
-            .collect();
         let mut cost = Cost::new();
-        let out = index_value_join(
-            &da,
-            &ctx,
-            &db,
-            &ib,
-            NodeKind::Text,
-            None,
-            Some(1),
-            &mut cost,
-        );
+        let out = index_value_join(&da, &left, &ib, NodeKind::Text, None, Some(1), &mut cost);
         assert!(out.truncated);
         assert_eq!(out.pairs.len(), 1);
         assert!(out.estimate() >= 1.0);
@@ -345,23 +311,9 @@ mod tests {
         let attrs: Vec<Pre> = (0..da.node_count() as Pre)
             .filter(|&p| da.kind(p) == NodeKind::Attribute)
             .collect();
-        let ctx: Vec<CtxTuple> = attrs
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (i as u32, p))
-            .collect();
         let mut cost = Cost::new();
-        let out = index_value_join(
-            &da,
-            &ctx,
-            &db,
-            &ib,
-            NodeKind::Attribute,
-            None,
-            None,
-            &mut cost,
-        );
+        let out = index_value_join(&da, &attrs, &ib, NodeKind::Attribute, None, None, &mut cost);
         assert_eq!(out.pairs.len(), 1);
-        assert_eq!(da.value_str(ctx[out.pairs[0].0 as usize].1), "2");
+        assert_eq!(da.value_str(attrs[out.pairs[0].0 as usize]), "2");
     }
 }

@@ -100,9 +100,8 @@ proptest! {
                 .collect()
         };
         cands.sort_unstable();
-        let ctx: Vec<(u32, Pre)> = ctx_nodes.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
         let mut cost = Cost::new();
-        let out = step_join(&doc, axis, &ctx, &cands, None, &mut cost);
+        let out = step_join(&doc, axis, &ctx_nodes, &cands, None, &mut cost);
         // Build the expected pair set naively.
         let mut expected: Vec<(u32, Pre)> = Vec::new();
         for (i, &c) in ctx_nodes.iter().enumerate() {
@@ -121,8 +120,7 @@ proptest! {
     #[test]
     fn cutoff_is_prefix_of_full(doc in doc_strategy(), axis in axis_strategy(), limit in 1usize..20) {
         let idx = ElementIndex::build(&doc);
-        let ctx_nodes: Vec<Pre> = idx.elements().to_vec();
-        let ctx: Vec<(u32, Pre)> = ctx_nodes.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        let ctx: Vec<Pre> = idx.elements().to_vec();
         let cands: Vec<Pre> = if axis == Axis::Attribute {
             idx.attributes().to_vec()
         } else {

@@ -85,12 +85,11 @@ proptest! {
         let (da, db) = build(&l, &r);
         let (la, lb) = (text_nodes(&da), text_nodes(&db));
         let idx = ValueIndex::build(&db);
-        let ctx: Vec<(u32, Pre)> = la.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
-        let out = index_value_join(&da, &ctx, &db, &idx, NodeKind::Text, Some(&lb), None, &mut Cost::new());
+        let out = index_value_join(&da, &la, &idx, NodeKind::Text, Some(&lb), None, &mut Cost::new());
         let mut got: Vec<(Pre, Pre)> = out
             .pairs
             .iter()
-            .map(|&(row, s)| (ctx[row as usize].1, s))
+            .map(|&(row, s)| (la[row as usize], s))
             .collect();
         got.sort_unstable();
         prop_assert_eq!(got, reference(&da, &la, &db, &lb));
@@ -101,9 +100,8 @@ proptest! {
         let (da, db) = build(&l, &r);
         let la = text_nodes(&da);
         let idx = ValueIndex::build(&db);
-        let ctx: Vec<(u32, Pre)> = la.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
-        let full = index_value_join(&da, &ctx, &db, &idx, NodeKind::Text, None, None, &mut Cost::new());
-        let cut = index_value_join(&da, &ctx, &db, &idx, NodeKind::Text, None, Some(limit), &mut Cost::new());
+        let full = index_value_join(&da, &la, &idx, NodeKind::Text, None, None, &mut Cost::new());
+        let cut = index_value_join(&da, &la, &idx, NodeKind::Text, None, Some(limit), &mut Cost::new());
         prop_assert!(cut.pairs.len() <= limit.max(1));
         prop_assert_eq!(&full.pairs[..cut.pairs.len()], &cut.pairs[..]);
         if cut.truncated {

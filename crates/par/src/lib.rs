@@ -29,21 +29,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Degree of intra-query parallelism.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum Parallelism {
     /// Everything on the calling thread (the paper's original setting).
+    #[default]
     Sequential,
     /// A fixed worker count. `Threads(0)` and `Threads(1)` are equivalent
     /// to [`Parallelism::Sequential`].
     Threads(usize),
     /// Use [`std::thread::available_parallelism`].
     Auto,
-}
-
-impl Default for Parallelism {
-    fn default() -> Self {
-        Parallelism::Sequential
-    }
 }
 
 impl Parallelism {

@@ -22,7 +22,7 @@ use crate::state::EvalState;
 use rand::rngs::StdRng;
 use rox_index::sample_sorted;
 use rox_joingraph::{EdgeId, VertexId};
-use rox_ops::Cost;
+use rox_ops::{Cost, EdgeOpKind};
 use rox_par::{par_map, Parallelism};
 use rox_xmldb::Pre;
 
@@ -30,6 +30,8 @@ use rox_xmldb::Pre;
 #[derive(Debug, Clone)]
 struct PathSeg {
     edges: Vec<EdgeId>,
+    /// Physical operator the kernel chose per edge of `edges`.
+    ops: Vec<EdgeOpKind>,
     stop: VertexId,
     input: Vec<Pre>,
     cost: f64,
@@ -41,6 +43,10 @@ struct PathSeg {
 pub struct PathSnapshot {
     /// Edges of the segment so far.
     pub edges: Vec<EdgeId>,
+    /// The physical operator the kernel sampled each edge with (parallel
+    /// to `edges`) — lets Table-2-style traces distinguish steps from
+    /// index-NL value joins.
+    pub ops: Vec<EdgeOpKind>,
     /// `cost(p)` after this round.
     pub cost: f64,
     /// `sf(p)` after this round.
@@ -141,6 +147,7 @@ pub fn chain_sample(
     };
     let mut paths = vec![PathSeg {
         edges: Vec::new(),
+        ops: Vec::new(),
         stop: source,
         input: initial_input,
         cost: 0.0,
@@ -204,9 +211,12 @@ pub fn chain_sample(
                 let to = state.graph.edge(e).other(p.stop);
                 let mut edges = p.edges.clone();
                 edges.push(e);
+                let mut ops = p.ops.clone();
+                ops.push(run.op);
                 let scale = state.card(source) as f64 / tau as f64;
                 next_paths.push(PathSeg {
                     edges,
+                    ops,
                     stop: to,
                     input: run.output,
                     cost: p.cost + run.est * scale,
@@ -221,6 +231,7 @@ pub fn chain_sample(
                 .iter()
                 .map(|p| PathSnapshot {
                     edges: p.edges.clone(),
+                    ops: p.ops.clone(),
                     cost: p.cost,
                     sf: p.sf,
                 })

@@ -268,7 +268,9 @@ pub fn plan_edges(
 /// each document (it "can correctly estimate the result size of an
 /// operator executed in the context of a single document"), and a
 /// smallest-input-first linear order across documents, where cross-
-/// document join selectivities are unknown.
+/// document join selectivities are unknown. The isolated prep-chain
+/// executions run through [`EvalState::execute_edge`] and hence the same
+/// edge-operator kernel as every other phase.
 pub fn classical_join_order(env: &RoxEnv, graph: &JoinGraph, star: &StarQuery) -> JoinOrder {
     // Exact per-document constrained cardinality of each value vertex:
     // execute the member's prep chain in isolation (single-document work a

@@ -10,13 +10,16 @@
 //!
 //! Only zero-investment operators are sampled: staircase steps and the
 //! index nested-loop value join. The inner side is the materialized `T(v′)`
-//! when available, else the vertex's index base list.
+//! when available, else the vertex's index base list. Dispatch goes
+//! through the edge-operator kernel ([`rox_ops::edgeop`]) in
+//! [`ExecMode::Sampled`], so the operator sampled here is chosen by the
+//! same cost function that full execution consults.
 
 use crate::state::EvalState;
-use rox_joingraph::{EdgeId, EdgeKind, VertexId};
-use rox_ops::{index_value_join, step_join, Cost};
+use rox_joingraph::{EdgeId, VertexId};
+use rox_ops::{execute_edge_op, Cost, EdgeOpCtx, EdgeOpKind, ExecMode};
 use rox_par::{par_map, Parallelism};
-use rox_xmldb::{NodeKind, Pre};
+use rox_xmldb::Pre;
 
 /// Output of one sampled edge execution.
 #[derive(Debug, Clone)]
@@ -26,6 +29,8 @@ pub struct SampledExec {
     pub output: Vec<Pre>,
     /// Extrapolated full cardinality of the operator on this input.
     pub est: f64,
+    /// The physical operator the kernel chose (recorded in chain traces).
+    pub op: EdgeOpKind,
 }
 
 /// Execute edge `e` on a *sample* of nodes of `from` (the outer side),
@@ -45,49 +50,52 @@ pub fn sampled_edge_exec(
         "from must be an endpoint"
     );
     let to = edge.other(from);
-    let ctx: Vec<(u32, Pre)> = input
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (i as u32, p))
-        .collect();
-    match &edge.kind {
-        EdgeKind::Step(axis) => {
-            let ax = if edge.v1 == from {
-                *axis
-            } else {
-                axis.inverse()
-            };
-            let doc = state.env.doc(from);
-            let cands = state.table_or_base(to);
-            let out = step_join(&doc, ax, &ctx, &cands, Some(limit), cost);
-            SampledExec {
-                est: out.estimate(),
-                output: out.pairs.into_iter().map(|(_, s)| s).collect(),
-            }
+    let outer_is_v1 = edge.v1 == from;
+    let from_doc = state.env.doc(from);
+    let to_doc = state.env.doc(to);
+    let inner = state.table_or_base(to);
+    // The inner value index (value joins only; steps need no index).
+    let to_indexes = (!edge.is_step()).then(|| state.env.store().indexes(state.env.doc_id(to)));
+    let to_index = to_indexes.as_ref().map(|i| &i.value);
+    let (from_kind, to_kind) = (state.vertex_kind(from), state.vertex_kind(to));
+    let mode = ExecMode::Sampled { limit, outer_is_v1 };
+    let ctx = if outer_is_v1 {
+        EdgeOpCtx {
+            class: edge.kind.class(),
+            mode,
+            doc1: &from_doc,
+            doc2: &to_doc,
+            input1: input,
+            input2: &inner,
+            index1: None,
+            index2: to_index,
+            kind1: from_kind,
+            kind2: to_kind,
+            // Cut-off execution is inherently sequential (§2.3); sampling
+            // parallelizes one level up, across candidate edges.
+            par: Parallelism::Sequential,
         }
-        EdgeKind::EquiJoin { .. } => {
-            let outer_doc = state.env.doc(from);
-            let inner_doc_id = state.env.doc_id(to);
-            let inner_doc = state.env.store().doc(inner_doc_id);
-            let inner_idx = state.env.store().indexes(inner_doc_id);
-            let inner_kind = state.vertex_kind(to);
-            debug_assert!(matches!(inner_kind, NodeKind::Text | NodeKind::Attribute));
-            let filter = state.table_or_base(to);
-            let out = index_value_join(
-                &outer_doc,
-                &ctx,
-                &inner_doc,
-                &inner_idx.value,
-                inner_kind,
-                Some(&filter),
-                Some(limit),
-                cost,
-            );
-            SampledExec {
-                est: out.estimate(),
-                output: out.pairs.into_iter().map(|(_, s)| s).collect(),
-            }
+    } else {
+        EdgeOpCtx {
+            class: edge.kind.class(),
+            mode,
+            doc1: &to_doc,
+            doc2: &from_doc,
+            input1: &inner,
+            input2: input,
+            index1: to_index,
+            index2: None,
+            kind1: to_kind,
+            kind2: from_kind,
+            par: Parallelism::Sequential,
         }
+    };
+    let out = execute_edge_op(ctx, cost);
+    let run = out.result.into_sampled();
+    SampledExec {
+        est: run.estimate(),
+        output: run.pairs.into_iter().map(|(_, s)| s).collect(),
+        op: out.choice.kind,
     }
 }
 
@@ -156,7 +164,7 @@ mod tests {
     use crate::env::RoxEnv;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use rox_joingraph::{compile_query, JoinGraph};
+    use rox_joingraph::{compile_query, EdgeKind, JoinGraph};
     use rox_xmldb::Catalog;
     use std::sync::Arc;
 

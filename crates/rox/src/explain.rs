@@ -3,41 +3,36 @@
 
 use crate::chain::ChainTrace;
 use crate::optimizer::RoxReport;
-use rox_joingraph::{EdgeId, EdgeKind, JoinGraph};
+use rox_joingraph::{EdgeId, JoinGraph};
 use std::fmt::Write as _;
 
 /// Render one edge as `label <op> label`.
 pub fn render_edge(graph: &JoinGraph, e: EdgeId) -> String {
     let edge = graph.edge(e);
-    let op = match &edge.kind {
-        EdgeKind::Step(ax) => format!("◦{}", ax.label()),
-        EdgeKind::EquiJoin { inferred: false } => "=".into(),
-        EdgeKind::EquiJoin { inferred: true } => "=·".into(),
-    };
     format!(
         "{} {} {}",
         graph.vertex(edge.v1).label,
-        op,
+        edge.kind.symbol(),
         graph.vertex(edge.v2).label
     )
 }
 
-/// Render the executed order with per-edge result sizes (the Fig. 3.3/3.4
-/// presentation).
+/// Render the executed order with per-edge result sizes and the physical
+/// operator the kernel chose (the Fig. 3.3/3.4 presentation, extended with
+/// the plan-class information of Fig. 6 — NL vs. hash executions are
+/// distinguishable per edge).
 pub fn render_execution(graph: &JoinGraph, report: &RoxReport) -> String {
     let mut out = String::new();
     for (i, &e) in report.executed_order.iter().enumerate() {
-        let rows = report
-            .edge_log
-            .iter()
-            .find(|x| x.edge == e)
-            .map(|x| x.result_rows)
-            .unwrap_or(0);
+        let exec = report.edge_log.iter().find(|x| x.edge == e);
+        let rows = exec.map(|x| x.result_rows).unwrap_or(0);
+        let op = exec.map(|x| x.op.label()).unwrap_or("?");
         let _ = writeln!(
             out,
-            "{:>3}. {}  -> {} rows",
+            "{:>3}. {} [{}]  -> {} rows",
             i + 1,
             render_edge(graph, e),
+            op,
             rows
         );
     }
@@ -57,7 +52,12 @@ pub fn render_trace(graph: &JoinGraph, trace: &ChainTrace) -> String {
     for (round, snaps) in trace.rounds.iter().enumerate() {
         let _ = write!(out, "round {:>2}:", round + 1);
         for p in snaps {
-            let edges: Vec<String> = p.edges.iter().map(|e| format!("e{e}")).collect();
+            let edges: Vec<String> = p
+                .edges
+                .iter()
+                .zip(&p.ops)
+                .map(|(e, op)| format!("e{e}[{}]", op.label()))
+                .collect();
             let _ = write!(out, "  ({}: {:.1}, {:.2})", edges.join("·"), p.cost, p.sf);
         }
         let _ = writeln!(out);
@@ -138,6 +138,42 @@ mod tests {
             assert!(s.contains("seed"));
             assert!(s.contains("chosen"));
         }
+    }
+
+    /// Snapshot: the rendered execution lines carry the kernel's chosen
+    /// operator per edge, in a stable format.
+    #[test]
+    fn execution_rendering_snapshot_with_operators() {
+        let cat = Arc::new(Catalog::new());
+        cat.load_str(
+            "d.xml",
+            "<site><auction><bidder/><bidder/></auction><auction><bidder/></auction></site>",
+        )
+        .unwrap();
+        let g = rox_joingraph::compile_query(
+            r#"for $a in doc("d.xml")//auction, $b in $a/bidder return $b"#,
+        )
+        .unwrap();
+        let r = run_rox(cat, &g, RoxOptions::default()).unwrap();
+        let s = render_execution(&g, &r);
+        // One non-redundant edge: auction ◦child bidder, executed as a
+        // staircase step producing 3 rows.
+        assert_eq!(s, "  1. auction ◦/ bidder [step]  -> 3 rows\n");
+    }
+
+    /// Chain traces tag each sampled edge with the operator the kernel
+    /// chose for it.
+    #[test]
+    fn trace_rendering_tags_ops() {
+        let (g, r) = setup();
+        let mut saw_tag = false;
+        for t in &r.traces {
+            let s = render_trace(&g, t);
+            if s.contains("[step]") || s.contains("[idx-nl]") {
+                saw_tag = true;
+            }
+        }
+        assert!(saw_tag, "no operator tag rendered in any trace");
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!
 //! * [`env`](mod@env) — run-time environment (documents, indices, base lists) and
 //!   the [`Parallelism`] budget for partitioned edge execution;
-//! * [`state`] — fully-materialized edge execution over components;
+//! * [`state`] — fully-materialized edge execution over components, routed
+//!   through the physical edge-operator kernel (`rox_ops::edgeop`), which
+//!   records the chosen [`EdgeOpKind`] per executed edge;
 //! * [`estimate`] — cut-off sampled operator execution + `EstimateCard`,
 //!   including the parallel candidate-sampling fan-out
 //!   ([`estimate_cards`]);
@@ -58,5 +60,6 @@ pub use estimate::estimate_cards;
 pub use naive::naive_evaluate;
 pub use optimizer::{run_rox, run_rox_with_env, RoxOptions, RoxReport};
 pub use plan::{run_plan, run_plan_parallel, run_plan_with_env, validate_plan, PlanError, PlanRun};
+pub use rox_ops::EdgeOpKind;
 pub use rox_par::Parallelism;
 pub use state::{EdgeExec, EvalState};

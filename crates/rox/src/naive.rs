@@ -1,11 +1,13 @@
 //! A deliberately naive reference evaluator used as a differential-testing
 //! oracle: it evaluates the Join Graph with nested-loop node joins and
 //! per-row predicate checks, sharing no staircase/index/hash code with the
-//! engine under test (only base lists and the columnar relation type).
+//! engine under test (only base lists, the columnar relation type, and the
+//! kernel's row-at-a-time [`edge_predicate`] face — which is itself
+//! index-free by construction).
 
 use crate::env::RoxEnv;
-use rox_joingraph::{EdgeKind, JoinGraph, VertexLabel};
-use rox_ops::{naive_axis, Cost, Relation, Tail};
+use rox_joingraph::{JoinGraph, VertexLabel};
+use rox_ops::{edge_predicate, Cost, Relation, Tail};
 use rox_xmldb::NodeId;
 use std::collections::HashMap;
 
@@ -34,18 +36,12 @@ pub fn naive_evaluate(env: &RoxEnv, graph: &JoinGraph) -> (Relation, Relation) {
         ensure(v2, &mut comp_of, &mut comps);
         let c1 = comp_of[v1 as usize].unwrap();
         let c2 = comp_of[v2 as usize].unwrap();
+        let class = edge.kind.class();
         let holds = |a: NodeId, b: NodeId| -> bool {
-            match &edge.kind {
-                EdgeKind::Step(ax) => {
-                    let doc = env.doc(v1);
-                    a.doc == b.doc && naive_axis(&doc, *ax, a.pre, b.pre)
-                }
-                EdgeKind::EquiJoin { .. } => {
-                    let d1 = env.doc(v1);
-                    let d2 = env.doc(v2);
-                    d1.value(a.pre) == d2.value(b.pre)
-                }
+            if edge.is_step() && a.doc != b.doc {
+                return false;
             }
+            edge_predicate(class, &env.doc(v1), &env.doc(v2), a.pre, b.pre)
         };
         if c1 == c2 {
             let rel = comps[c1].take().unwrap();

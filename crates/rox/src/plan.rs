@@ -2,6 +2,12 @@
 //! Graph edges. Replaying a plan executes exactly those edges in that
 //! order with **no sampling** — the "pure plan (excl. sampling)" runs of
 //! Figs. 6–8, and the executor behind the enumeration tool of §4.2.
+//!
+//! Replay routes every edge through the same edge-operator kernel
+//! (`rox_ops::edgeop`) as the sampled run it replays, so the per-edge
+//! operator choices recorded in [`PlanRun::edge_log`] (`EdgeExec::op`)
+//! reproduce the original run's exactly — the property the
+//! kernel-equivalence proptest pins.
 
 use crate::env::{EnvError, RoxEnv};
 use crate::state::{EdgeExec, EvalState};

@@ -20,17 +20,22 @@ use crate::env::RoxEnv;
 use rand::rngs::StdRng;
 use rox_index::sample_sorted;
 use rox_joingraph::{EdgeId, EdgeKind, JoinGraph, VertexId, VertexLabel};
-use rox_ops::{hash_value_join_partitioned, naive_axis, step_join_partitioned, Cost, Relation};
+use rox_ops::{edge_predicate, execute_edge_op, Cost, EdgeOpCtx, EdgeOpKind, ExecMode, Relation};
 use rox_xmldb::{NodeId, NodeKind, Pre};
 use std::sync::Arc;
 
-/// One executed edge and the size of the component relation it produced.
+/// One executed edge: the size of the component relation it produced and
+/// the physical operator the kernel chose for it (the per-edge record
+/// behind Fig-6-style plan-class analysis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EdgeExec {
     /// The edge.
     pub edge: EdgeId,
     /// Rows of the (merged or filtered) component relation afterwards.
     pub result_rows: usize,
+    /// The physical operator that executed the edge
+    /// ([`EdgeOpKind::Select`] for intra-component selections).
+    pub op: EdgeOpKind,
 }
 
 /// Mutable evaluation state over one graph and environment.
@@ -179,16 +184,16 @@ impl<'a> EvalState<'a> {
         let c1 = self.comp_of[v1 as usize].unwrap();
         let c2 = self.comp_of[v2 as usize].unwrap();
 
-        let merged: Relation = if c1 == c2 {
+        let (merged, op): (Relation, EdgeOpKind) = if c1 == c2 {
             // Selection within one component.
             let rel = self.components[c1].take().expect("live component");
             let filtered = self.filter_component(&edge, rel);
             self.components[c1] = Some(filtered);
-            self.components[c1].clone().unwrap()
+            (self.components[c1].clone().unwrap(), EdgeOpKind::Select)
         } else {
             let left = self.components[c1].take().expect("live component");
             let right = self.components[c2].take().expect("live component");
-            let pairs = self.node_pairs(&edge);
+            let (pairs, op) = self.node_pairs(&edge);
             let joined = Relation::compose(&left, v1, &right, v2, &pairs);
             self.exec_cost.charge_out(joined.len());
             // Re-point all vertices of the absorbed component.
@@ -198,12 +203,13 @@ impl<'a> EvalState<'a> {
                 }
             }
             self.components[c1] = Some(joined.clone());
-            joined
+            (joined, op)
         };
 
         self.edge_log.push(EdgeExec {
             edge: e,
             result_rows: merged.len(),
+            op,
         });
 
         // Refresh T(v), card(v) and S(v) for every vertex of the affected
@@ -232,137 +238,64 @@ impl<'a> EvalState<'a> {
     }
 
     /// Node-level pairs `(v1 node, v2 node)` for a cross-component edge,
-    /// computed over the *distinct* vertex tables via the structural or
-    /// value join.
-    fn node_pairs(&mut self, edge: &rox_joingraph::Edge) -> Vec<(NodeId, NodeId)> {
+    /// computed over the *distinct* vertex tables by the edge-operator
+    /// kernel ([`rox_ops::edgeop`]) — the same dispatch layer the sampling
+    /// phases consult, so the operator executed here is by construction
+    /// the one the weights were sampled with.
+    fn node_pairs(&mut self, edge: &rox_joingraph::Edge) -> (Vec<(NodeId, NodeId)>, EdgeOpKind) {
         let (v1, v2) = (edge.v1, edge.v2);
         let t1 = Arc::clone(self.t[v1 as usize].as_ref().expect("materialized"));
         let t2 = Arc::clone(self.t[v2 as usize].as_ref().expect("materialized"));
-        match &edge.kind {
-            EdgeKind::Step(axis) => {
-                // Both vertices of a step edge live in the same document.
-                let doc = self.env.doc(v1);
-                debug_assert_eq!(self.env.doc_id(v1), self.env.doc_id(v2));
-                // Execute from the smaller side (the direction in the graph
-                // is representational only, §2.1).
-                let (from, from_t, to_t, ax) = if t1.len() <= t2.len() {
-                    (v1, &t1, &t2, *axis)
-                } else {
-                    (v2, &t2, &t1, axis.inverse())
-                };
-                let ctx: Vec<(u32, Pre)> = from_t
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &p)| (i as u32, p))
-                    .collect();
-                let out = step_join_partitioned(
-                    &doc,
-                    ax,
-                    &ctx,
-                    to_t,
-                    self.parallelism,
-                    &mut self.exec_cost,
-                );
-                let d1 = self.env.doc_id(v1);
-                out.pairs
-                    .into_iter()
-                    .map(|(row, s)| {
-                        let c = from_t[row as usize];
-                        if from == v1 {
-                            (NodeId::new(d1, c), NodeId::new(d1, s))
-                        } else {
-                            (NodeId::new(d1, s), NodeId::new(d1, c))
-                        }
-                    })
-                    .collect()
-            }
-            EdgeKind::EquiJoin { .. } => {
-                let d1 = self.env.doc(v1);
-                let d2 = self.env.doc(v2);
-                let (id1, id2) = (self.env.doc_id(v1), self.env.doc_id(v2));
-                // Physical operator choice by the Table 1 cost formulas
-                // (the ROX prototype picks the cheapest applicable variant
-                // per edge, §6): when one side is much smaller, an index
-                // nested-loop over the value index beats building a hash
-                // table over both inputs.
-                let (small, large, small_is_v1) = if t1.len() <= t2.len() {
-                    (&t1, &t2, true)
-                } else {
-                    (&t2, &t1, false)
-                };
-                let nl_cheaper = small.len() * 8 < large.len();
-                let pairs: Vec<(Pre, Pre)> = if nl_cheaper {
-                    let (outer_v, inner_v) = if small_is_v1 { (v1, v2) } else { (v2, v1) };
-                    let outer_doc = self.env.doc(outer_v);
-                    let inner_idx = self.env.store().indexes(self.env.doc_id(inner_v));
-                    let inner_kind = self.vertex_kind(inner_v);
-                    let ctx: Vec<(u32, Pre)> = small
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &p)| (i as u32, p))
-                        .collect();
-                    let out = rox_ops::index_value_join(
-                        &outer_doc,
-                        &ctx,
-                        &self.env.doc(inner_v),
-                        &inner_idx.value,
-                        inner_kind,
-                        Some(large),
-                        None,
-                        &mut self.exec_cost,
-                    );
-                    out.pairs
-                        .into_iter()
-                        .map(|(row, s)| {
-                            let c = small[row as usize];
-                            if small_is_v1 {
-                                (c, s)
-                            } else {
-                                (s, c)
-                            }
-                        })
-                        .collect()
-                } else {
-                    hash_value_join_partitioned(
-                        &d1,
-                        &t1,
-                        &d2,
-                        &t2,
-                        self.parallelism,
-                        &mut self.exec_cost,
-                    )
-                };
-                pairs
-                    .into_iter()
-                    .map(|(a, b)| (NodeId::new(id1, a), NodeId::new(id2, b)))
-                    .collect()
-            }
-        }
+        let (id1, id2) = (self.env.doc_id(v1), self.env.doc_id(v2));
+        debug_assert!(!edge.is_step() || id1 == id2, "step spans documents");
+        let d1 = self.env.doc(v1);
+        let d2 = self.env.doc(v2);
+        // Value indexes only matter for value joins; both documents'
+        // indexes are already cached from base-list materialization.
+        let indexes = (!edge.is_step())
+            .then(|| (self.env.store().indexes(id1), self.env.store().indexes(id2)));
+        let (kind1, kind2) = (self.vertex_kind(v1), self.vertex_kind(v2));
+        let out = execute_edge_op(
+            EdgeOpCtx {
+                class: edge.kind.class(),
+                mode: ExecMode::Full,
+                doc1: &d1,
+                doc2: &d2,
+                input1: &t1,
+                input2: &t2,
+                index1: indexes.as_ref().map(|(i1, _)| &i1.value),
+                index2: indexes.as_ref().map(|(_, i2)| &i2.value),
+                kind1,
+                kind2,
+                par: self.parallelism,
+            },
+            &mut self.exec_cost,
+        );
+        let op = out.choice.kind;
+        let pairs = out
+            .result
+            .into_full()
+            .into_iter()
+            .map(|(a, b)| (NodeId::new(id1, a), NodeId::new(id2, b)))
+            .collect();
+        (pairs, op)
     }
 
-    /// Filter a component's rows by an intra-component edge predicate.
+    /// Filter a component's rows by an intra-component edge predicate (the
+    /// kernel's [`EdgeOpKind::Select`] path).
     fn filter_component(&mut self, edge: &rox_joingraph::Edge, rel: Relation) -> Relation {
         let (v1, v2) = (edge.v1, edge.v2);
         let col1 = rel.col(v1).to_vec();
         let col2 = rel.col(v2).to_vec();
         self.exec_cost.charge_in(rel.len());
-        let keep: Vec<bool> = match &edge.kind {
-            EdgeKind::Step(axis) => {
-                let doc = self.env.doc(v1);
-                col1.iter()
-                    .zip(&col2)
-                    .map(|(a, b)| naive_axis(&doc, *axis, a.pre, b.pre))
-                    .collect()
-            }
-            EdgeKind::EquiJoin { .. } => {
-                let d1 = self.env.doc(v1);
-                let d2 = self.env.doc(v2);
-                col1.iter()
-                    .zip(&col2)
-                    .map(|(a, b)| d1.value(a.pre) == d2.value(b.pre))
-                    .collect()
-            }
-        };
+        let class = edge.kind.class();
+        let d1 = self.env.doc(v1);
+        let d2 = self.env.doc(v2);
+        let keep: Vec<bool> = col1
+            .iter()
+            .zip(&col2)
+            .map(|(a, b)| edge_predicate(class, &d1, &d2, a.pre, b.pre))
+            .collect();
         let mut rel = rel;
         rel.retain_rows(&keep);
         self.exec_cost.charge_out(rel.len());

@@ -13,7 +13,6 @@
 
 use rox_core::{run_rox, RoxOptions};
 use rox_datagen::{generate_xmark, xmark_query, XmarkConfig};
-use rox_joingraph::EdgeKind;
 use rox_xmldb::Catalog;
 use std::sync::Arc;
 
@@ -42,22 +41,15 @@ fn main() {
         println!("execution order:");
         for (i, &e) in report.executed_order.iter().enumerate() {
             let edge = graph.edge(e);
-            let op = match &edge.kind {
-                EdgeKind::Step(ax) => format!("◦{}", ax.label()),
-                EdgeKind::EquiJoin { .. } => "=".into(),
-            };
-            let rows = report
-                .edge_log
-                .iter()
-                .find(|x| x.edge == e)
-                .map(|x| x.result_rows);
+            let exec = report.edge_log.iter().find(|x| x.edge == e);
             println!(
-                "  {:>2}. {} {} {}  -> {} rows",
+                "  {:>2}. {} {} {} [{}]  -> {} rows",
                 i + 1,
                 graph.vertex(edge.v1).label,
-                op,
+                edge.kind.symbol(),
                 graph.vertex(edge.v2).label,
-                rows.unwrap_or(0),
+                exec.map(|x| x.op.label()).unwrap_or("?"),
+                exec.map(|x| x.result_rows).unwrap_or(0),
             );
         }
         println!(
