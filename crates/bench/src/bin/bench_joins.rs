@@ -1,0 +1,59 @@
+//! Dense-join microbenchmarks: CSR/bitset layouts vs the hash-map and
+//! binary-search structures they replaced, plus an end-to-end Q1 anchor.
+//! Writes the machine-readable `BENCH_joins.json` consumed by CI.
+//!
+//! ```text
+//! cargo run --release -p rox-bench --bin bench_joins -- \
+//!     [--smoke] [--out BENCH_joins.json] [--persons 3000] [--items 2500] \
+//!     [--auctions 2500] [--probe-rounds 20] [--sampling-rounds 200] \
+//!     [--tau 256] [--repeats 3]
+//! ```
+
+use rox_bench::args::Args;
+use rox_bench::joins::{self, JoinsBenchConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = if args.has("smoke") {
+        JoinsBenchConfig::smoke()
+    } else {
+        JoinsBenchConfig::default()
+    };
+    cfg.xmark.persons = args.get("persons", cfg.xmark.persons);
+    cfg.xmark.items = args.get("items", cfg.xmark.items);
+    cfg.xmark.auctions = args.get("auctions", cfg.xmark.auctions);
+    cfg.probe_rounds = args.get("probe-rounds", cfg.probe_rounds);
+    cfg.sampling_rounds = args.get("sampling-rounds", cfg.sampling_rounds);
+    cfg.tau = args.get("tau", cfg.tau);
+    cfg.repeats = args.get("repeats", cfg.repeats);
+    let out_path = args.get("out", "BENCH_joins.json".to_string());
+
+    println!(
+        "join microbench — XMark persons={} items={} auctions={}, τ={}",
+        cfg.xmark.persons, cfg.xmark.items, cfg.xmark.auctions, cfg.tau
+    );
+    let r = joins::run(&cfg);
+    println!(
+        "document: {} text nodes, {} interned symbols\n",
+        r.text_nodes, r.symbols
+    );
+    println!(
+        "probe kernel     hash {:>12?}  csr    {:>12?}  speedup {:>5.2}x  ({} probes)",
+        r.probe.before, r.probe.after, r.probe.speedup, r.probe.work_items
+    );
+    println!(
+        "sampling loop    bsearch {:>9?}  bitset {:>12?}  speedup {:>5.2}x  ({} rounds)",
+        r.sampling_loop.before,
+        r.sampling_loop.after,
+        r.sampling_loop.speedup,
+        r.sampling_loop.work_items
+    );
+    println!(
+        "end-to-end Q1    total {:?}  sampling {:?}  ({} output rows)",
+        r.end_to_end_total, r.end_to_end_sampling, r.end_to_end_rows
+    );
+
+    let json = joins::to_json(&cfg, &r);
+    std::fs::write(&out_path, &json).expect("write BENCH_joins.json");
+    println!("\nwrote {out_path}");
+}

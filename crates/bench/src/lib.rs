@@ -16,12 +16,14 @@
 //! | Fig. 7 (document-size scaling)          | [`fig7`]   | `fig7_scaling` |
 //! | Fig. 8 (sample-size overhead)           | [`fig8`]   | `fig8_sample_size` |
 //! | Thread scaling (extension)              | [`scaling_threads`] | `fig_scaling_threads` |
+//! | Dense-join layouts (extension)          | [`joins`]  | `bench_joins` |
 
 pub mod args;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod joins;
 pub mod scaling_threads;
 pub mod setup;
 pub mod table2;

@@ -17,12 +17,18 @@
 //! [`sampling`] provides uniform index sampling (the paper cites
 //! partial-sum trees \[26\]; over our in-memory sorted pre lists a direct
 //! uniform draw of positions is exact and O(τ log τ)).
+//!
+//! [`dense`] hosts the hash-free data layouts — the CSR
+//! [`SymbolTable`] and the [`PreSet`] bitset — that both the value index
+//! and the `rox-ops` join operators build their hot paths on.
 
+pub mod dense;
 pub mod element;
 pub mod sampling;
 pub mod store;
 pub mod value;
 
+pub use dense::{PreSet, SymbolTable};
 pub use element::ElementIndex;
 pub use sampling::{sample_sorted, sample_values};
 pub use store::{DocIndexes, IndexedStore};

@@ -1,48 +1,84 @@
 //! The value index: equality and numeric-range access to text and
 //! attribute node values.
 
+use crate::dense::SymbolTable;
 use rox_xmldb::value::parse_number;
 use rox_xmldb::{CmpOp, Constant, Document, NodeKind, Pre, Symbol, ValuePredicate};
-use std::collections::HashMap;
 
 /// Value index of one document, conceptually an ordered store of
 /// `(val, qelt, qattr, pre)` tuples (§2.2 of the paper).
 ///
-/// String equality is answered by hash lookup (the shared interner already
-/// hash-consed the values, so the key is a [`Symbol`]); numeric range
-/// predicates are answered over per-kind projections sorted by numeric
-/// value.
+/// String equality is answered **without hashing**: the shared interner
+/// already hash-consed every value to a dense [`Symbol`], so the per-kind
+/// maps are CSR [`SymbolTable`]s indexed directly by `Symbol.0` — an
+/// equality probe is two array reads. Numeric range predicates are
+/// answered over per-kind projections sorted by numeric value.
 pub struct ValueIndex {
-    /// text value symbol → text node pres (document order).
-    text_by_value: HashMap<Symbol, Vec<Pre>>,
-    /// attribute value symbol → attribute node pres (document order).
-    attr_by_value: HashMap<Symbol, Vec<Pre>>,
+    /// text value symbol → text node pres (document order), CSR layout.
+    text_by_value: SymbolTable,
+    /// attribute value symbol → attribute node pres (document order), CSR.
+    attr_by_value: SymbolTable,
     /// Text nodes whose value casts to a double, sorted by (value, pre).
     numeric_text: Vec<(f64, Pre)>,
     /// Attribute nodes whose value casts to a double, sorted by (value, pre).
     numeric_attr: Vec<(f64, Pre)>,
 }
 
+/// Per-symbol memo of [`parse_number`] results: repeated values (dense
+/// symbol ids) parse once instead of once per node.
+struct NumericMemo {
+    parsed: Vec<Option<Option<f64>>>,
+}
+
+impl NumericMemo {
+    fn new(symbol_count: usize) -> Self {
+        NumericMemo {
+            parsed: vec![None; symbol_count],
+        }
+    }
+
+    fn get(&mut self, doc: &Document, sym: Symbol, pre: Pre) -> Option<f64> {
+        if sym.index() >= self.parsed.len() {
+            self.parsed.resize(sym.index() + 1, None);
+        }
+        match self.parsed[sym.index()] {
+            Some(cached) => cached,
+            None => {
+                let n = parse_number(&doc.value_str(pre));
+                self.parsed[sym.index()] = Some(n);
+                n
+            }
+        }
+    }
+}
+
 impl ValueIndex {
-    /// Build the index with a single scan of the node table.
+    /// Build the index with a single scan of the node table. Node values
+    /// are grouped per symbol in CSR layout (a counting sort — no
+    /// hashing), and numeric parsing is memoized per distinct symbol.
     pub fn build(doc: &Document) -> Self {
-        let mut text_by_value: HashMap<Symbol, Vec<Pre>> = HashMap::new();
-        let mut attr_by_value: HashMap<Symbol, Vec<Pre>> = HashMap::new();
+        let mut text_syms: Vec<Symbol> = Vec::new();
+        let mut text_pres: Vec<Pre> = Vec::new();
+        let mut attr_syms: Vec<Symbol> = Vec::new();
+        let mut attr_pres: Vec<Pre> = Vec::new();
         let mut numeric_text = Vec::new();
         let mut numeric_attr = Vec::new();
+        let mut memo = NumericMemo::new(doc.symbol_count());
         for pre in 0..doc.node_count() as Pre {
             match doc.kind(pre) {
                 NodeKind::Text => {
                     let v = doc.value(pre);
-                    text_by_value.entry(v).or_default().push(pre);
-                    if let Some(n) = parse_number(&doc.value_str(pre)) {
+                    text_syms.push(v);
+                    text_pres.push(pre);
+                    if let Some(n) = memo.get(doc, v, pre) {
                         numeric_text.push((n, pre));
                     }
                 }
                 NodeKind::Attribute => {
                     let v = doc.value(pre);
-                    attr_by_value.entry(v).or_default().push(pre);
-                    if let Some(n) = parse_number(&doc.value_str(pre)) {
+                    attr_syms.push(v);
+                    attr_pres.push(pre);
+                    if let Some(n) = memo.get(doc, v, pre) {
                         numeric_attr.push((n, pre));
                     }
                 }
@@ -52,28 +88,23 @@ impl ValueIndex {
         numeric_text.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         numeric_attr.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         ValueIndex {
-            text_by_value,
-            attr_by_value,
+            text_by_value: SymbolTable::from_pairs(&text_syms, &text_pres),
+            attr_by_value: SymbolTable::from_pairs(&attr_syms, &attr_pres),
             numeric_text,
             numeric_attr,
         }
     }
 
     /// `D³ₜₑₓₜ(v)`: text nodes with exactly value `v` (interned symbol),
-    /// sorted on pre.
+    /// sorted on pre. Two array reads, no hashing.
     pub fn text_eq(&self, value: Symbol) -> &[Pre] {
-        self.text_by_value
-            .get(&value)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.text_by_value.get(value)
     }
 
-    /// Attribute nodes with exactly value `v`, sorted on pre.
+    /// Attribute nodes with exactly value `v`, sorted on pre. Two array
+    /// reads, no hashing.
     pub fn attr_eq(&self, value: Symbol) -> &[Pre] {
-        self.attr_by_value
-            .get(&value)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.attr_by_value.get(value)
     }
 
     /// `D³ₐₜₜᵣ(v, qelt, qattr)`: the *owner elements* (paper semantics) of
@@ -119,10 +150,12 @@ impl ValueIndex {
         };
         match (&pred.op, &pred.rhs) {
             (CmpOp::Eq, Constant::Str(s)) => {
-                // Hash path: resolve the literal to a symbol; if it was
-                // never interned the document cannot contain it.
+                // Symbol path: resolve the literal through the interner
+                // (its hash was paid at load time); if it was never
+                // interned the document cannot contain it. The lookup
+                // itself is two array reads.
                 match doc.interner().get(s) {
-                    Some(sym) => by_value.get(&sym).cloned().unwrap_or_default(),
+                    Some(sym) => by_value.get(sym).to_vec(),
                     None => Vec::new(),
                 }
             }
@@ -143,11 +176,12 @@ impl ValueIndex {
                 out
             }
             (_, Constant::Str(_)) => {
-                // Non-equality string comparison: scan (not index-selectable;
-                // ROX never seeds from these, matching the paper).
+                // Non-equality string comparison: scan the distinct value
+                // groups (not index-selectable; ROX never seeds from
+                // these, matching the paper).
                 let mut out: Vec<Pre> = by_value
-                    .iter()
-                    .filter(|(sym, _)| pred.matches(&doc.interner().resolve(**sym)))
+                    .groups()
+                    .filter(|(sym, _)| pred.matches(&doc.interner().resolve(*sym)))
                     .flat_map(|(_, pres)| pres.iter().copied())
                     .collect();
                 out.sort_unstable();
@@ -158,7 +192,7 @@ impl ValueIndex {
 
     /// Number of distinct text values.
     pub fn distinct_text_values(&self) -> usize {
-        self.text_by_value.len()
+        self.text_by_value.distinct_symbols()
     }
 }
 

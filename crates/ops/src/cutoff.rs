@@ -21,15 +21,31 @@ pub struct JoinOut<T> {
     fully_processed: Option<u32>,
 }
 
+/// Upper bound on the speculative pair pre-allocation of
+/// [`JoinOut::with_limit`] when no cut-off bounds the output — keeps a
+/// huge context from reserving a huge buffer it may never fill.
+const MAX_PREALLOC_PAIRS: usize = 4096;
+
 impl<T> JoinOut<T> {
-    /// Fresh output for a context of `ctx_len` tuples.
-    pub fn new(ctx_len: usize) -> Self {
+    /// Fresh output for a context of `ctx_len` tuples, with pair capacity
+    /// reserved up front: `min(limit, ctx_len)` when a cut-off is known
+    /// (a heuristic — output is bounded by `limit`, not `ctx_len`, so a
+    /// high-fan-out context can still grow the buffer), else `ctx_len`
+    /// capped at a sane default.
+    pub fn with_limit(ctx_len: usize, limit: Option<usize>) -> Self {
+        let cap = limit.unwrap_or(MAX_PREALLOC_PAIRS).min(ctx_len);
         JoinOut {
-            pairs: Vec::new(),
+            pairs: Vec::with_capacity(cap),
             truncated: false,
             ctx_len,
             fully_processed: None,
         }
+    }
+
+    /// Fresh output for a context of `ctx_len` tuples (no cut-off known;
+    /// see [`JoinOut::with_limit`]).
+    pub fn new(ctx_len: usize) -> Self {
+        JoinOut::with_limit(ctx_len, None)
     }
 
     /// Emit one pair, charging it to `cost`; returns `true` when the limit
@@ -141,5 +157,18 @@ mod tests {
         let out: JoinOut<u32> = JoinOut::new(0);
         assert_eq!(out.estimate(), 0.0);
         assert_eq!(out.reduction_factor(), 1.0);
+    }
+
+    #[test]
+    fn capacity_reserved_up_front() {
+        // Cut-off known: reserve min(limit, ctx_len) so the sampling path
+        // never reallocates.
+        let out: JoinOut<u32> = JoinOut::with_limit(1000, Some(64));
+        assert!(out.pairs.capacity() >= 64);
+        let small: JoinOut<u32> = JoinOut::with_limit(3, Some(64));
+        assert!(small.pairs.capacity() >= 3);
+        // No cut-off: ctx_len capped at the pre-allocation bound.
+        let unbounded: JoinOut<u32> = JoinOut::new(1 << 24);
+        assert!(unbounded.pairs.capacity() <= MAX_PREALLOC_PAIRS * 2);
     }
 }

@@ -19,9 +19,9 @@
 //! |------------|---------|--------------------------------------------------|
 //! | step       | sampled | [`step_join`] with cut-off, caller-fixed outer   |
 //! | step       | full    | [`step_join_partitioned`], smaller side outer    |
-//! | value join | sampled | [`index_value_join`] with cut-off (zero-invest)  |
-//! | value join | full, skewed | [`index_value_join`], smaller side outer    |
-//! | value join | full, balanced | [`hash_value_join_partitioned`]           |
+//! | value join | sampled | [`index_value_join_set`] with cut-off (0-invest) |
+//! | value join | full, skewed | [`index_value_join_set`], smaller side outer |
+//! | value join | full, balanced | [`hash_value_join_partitioned_with`]       |
 //!
 //! New operators (staircase variants, semijoin reducers, new axes) plug in
 //! here once and every phase — sampling included — picks them up.
@@ -29,10 +29,10 @@
 use crate::axis::Axis;
 use crate::cost::{choose_op, Cost};
 use crate::cutoff::JoinOut;
-use crate::partition::{hash_value_join_partitioned, step_join_partitioned};
+use crate::partition::{hash_value_join_partitioned_with, step_join_partitioned};
 use crate::staircase::{naive_axis, step_join};
-use crate::valjoin::index_value_join;
-use rox_index::ValueIndex;
+use crate::valjoin::{filter_set, index_value_join_set};
+use rox_index::{PreSet, SymbolTable, ValueIndex};
 use rox_par::Parallelism;
 use rox_xmldb::{Document, NodeKind, Pre};
 
@@ -180,12 +180,43 @@ pub struct EdgeOpOut {
     pub result: EdgeOpResult,
 }
 
+/// Prebuilt dense join state for one kernel invocation, mirroring the two
+/// inputs of [`EdgeOpCtx`]: membership bitsets over each input and CSR
+/// join tables built over each input's value symbols. All fields are
+/// optional — the kernel builds whatever it needs on the fly when a field
+/// is `None` — and results and cost charges are identical either way; a
+/// caller with a scratch arena (the evaluation state) passes cached
+/// structures here purely to skip the rebuild.
+#[derive(Default, Clone, Copy)]
+pub struct DenseState<'a> {
+    /// Membership bitset over `input1` (value joins: the inner filter when
+    /// `v1` is the inner side).
+    pub set1: Option<&'a PreSet>,
+    /// Membership bitset over `input2`.
+    pub set2: Option<&'a PreSet>,
+    /// CSR join table over `input1`'s value symbols (hash value joins).
+    pub table1: Option<&'a SymbolTable>,
+    /// CSR join table over `input2`'s value symbols.
+    pub table2: Option<&'a SymbolTable>,
+}
+
 /// Execute one edge through the kernel: consult
 /// [`choose_op`](crate::cost::choose_op()) for the `(operator, direction)`
 /// decision, run the operator, and — in full mode — orient the produced
 /// pairs back into `(v1, v2)` order. All operator work is charged to
 /// `cost`, exactly as the underlying operator charges it.
 pub fn execute_edge_op(ctx: EdgeOpCtx<'_>, cost: &mut Cost) -> EdgeOpOut {
+    execute_edge_op_with(ctx, DenseState::default(), cost)
+}
+
+/// As [`execute_edge_op`] with prebuilt [`DenseState`] (cached bitsets /
+/// CSR tables from the caller's scratch arena). Bit-identical to the plain
+/// entry point in output, operator choice, and cost charges.
+pub fn execute_edge_op_with(
+    ctx: EdgeOpCtx<'_>,
+    dense: DenseState<'_>,
+    cost: &mut Cost,
+) -> EdgeOpOut {
     let choice = choose_op(ctx.class, ctx.input1.len(), ctx.input2.len(), ctx.mode);
     let (outer_doc, outer, inner, inner_index, inner_kind) = if choice.outer_is_v1 {
         (ctx.doc1, ctx.input1, ctx.input2, ctx.index2, ctx.kind2)
@@ -216,12 +247,27 @@ pub fn execute_edge_op(ctx: EdgeOpCtx<'_>, cost: &mut Cost) -> EdgeOpOut {
                 ExecMode::Sampled { limit, .. } => Some(limit),
                 ExecMode::Full => None,
             };
-            index_value_join(
+            // The inner filter as a bitset: the caller's cached set when
+            // provided, else built here from the (sorted) inner input.
+            let inner_set = if choice.outer_is_v1 {
+                dense.set2
+            } else {
+                dense.set1
+            };
+            let built_set;
+            let inner_set = match inner_set {
+                Some(s) => s,
+                None => {
+                    built_set = filter_set(inner);
+                    &built_set
+                }
+            };
+            index_value_join_set(
                 outer_doc,
                 outer,
                 index,
                 inner_kind,
-                Some(inner),
+                Some(inner_set),
                 limit,
                 cost,
             )
@@ -229,8 +275,15 @@ pub fn execute_edge_op(ctx: EdgeOpCtx<'_>, cost: &mut Cost) -> EdgeOpOut {
         EdgeOpKind::HashValueJoin => {
             // Emits (v1, v2)-oriented node pairs directly; the internal
             // build-side choice is independent of the outer/inner framing.
-            let pairs = hash_value_join_partitioned(
-                ctx.doc1, ctx.input1, ctx.doc2, ctx.input2, ctx.par, cost,
+            let pairs = hash_value_join_partitioned_with(
+                ctx.doc1,
+                ctx.input1,
+                ctx.doc2,
+                ctx.input2,
+                dense.table1,
+                dense.table2,
+                ctx.par,
+                cost,
             );
             return EdgeOpOut {
                 choice,

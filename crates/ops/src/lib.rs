@@ -37,12 +37,19 @@ pub use axis::{Axis, NodeTest};
 pub use cost::{choose_op, nl_cheaper, Cost, NL_VS_HASH_FACTOR};
 pub use cutoff::JoinOut;
 pub use edgeop::{
-    edge_predicate, execute_edge_op, EdgeClass, EdgeOpChoice, EdgeOpCtx, EdgeOpKind, EdgeOpOut,
-    EdgeOpResult, ExecMode,
+    edge_predicate, execute_edge_op, execute_edge_op_with, DenseState, EdgeClass, EdgeOpChoice,
+    EdgeOpCtx, EdgeOpKind, EdgeOpOut, EdgeOpResult, ExecMode,
 };
-pub use partition::{hash_value_join_partitioned, step_join_partitioned, MIN_PARTITION_INPUT};
+pub use partition::{
+    hash_value_join_partitioned, hash_value_join_partitioned_with, step_join_partitioned,
+    MIN_PARTITION_INPUT,
+};
 pub use relation::{Relation, VarId};
+pub use rox_index::{PreSet, SymbolTable};
 pub use rox_par::Parallelism;
 pub use staircase::{naive_axis, step_join};
 pub use tail::Tail;
-pub use valjoin::{hash_value_join, index_value_join, merge_value_join, sorted_by_value};
+pub use valjoin::{
+    hash_value_join, hash_value_join_with, index_value_join, index_value_join_set,
+    merge_value_join, sorted_by_value,
+};

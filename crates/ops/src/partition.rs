@@ -22,7 +22,7 @@ use crate::axis::Axis;
 use crate::cost::Cost;
 use crate::cutoff::JoinOut;
 use crate::staircase::step_join;
-use crate::valjoin::hash_value_join;
+use rox_index::SymbolTable;
 use rox_par::{chunk_ranges, par_map, Parallelism};
 use rox_xmldb::{Document, Pre};
 
@@ -64,10 +64,11 @@ pub fn step_join_partitioned(
     merge_runs(ctx.len(), runs, cost)
 }
 
-/// Partitioned [`hash_value_join`]: builds the hash table on the smaller
-/// side once (sequentially — an investment either way), then probes the
-/// larger side in parallel morsels. Pair list, orientation, order, and
-/// cost charges match `hash_value_join` exactly.
+/// Partitioned [`hash_value_join`](crate::valjoin::hash_value_join()):
+/// builds the CSR join table on the
+/// smaller side once (sequentially — an investment either way), then
+/// probes the larger side in parallel morsels. Pair list, orientation,
+/// order, and cost charges match `hash_value_join` exactly.
 pub fn hash_value_join_partitioned(
     left_doc: &Document,
     left: &[Pre],
@@ -76,27 +77,64 @@ pub fn hash_value_join_partitioned(
     par: Parallelism,
     cost: &mut Cost,
 ) -> Vec<(Pre, Pre)> {
+    hash_value_join_partitioned_with(left_doc, left, right_doc, right, None, None, par, cost)
+}
+
+/// As [`hash_value_join_partitioned`] with optional prebuilt CSR tables
+/// per side (the evaluation state's scratch arena). A prebuilt table must
+/// cover exactly the side's current input; the build investment is charged
+/// either way, so cost counters stay bit-identical to an uncached run.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_value_join_partitioned_with(
+    left_doc: &Document,
+    left: &[Pre],
+    right_doc: &Document,
+    right: &[Pre],
+    left_table: Option<&SymbolTable>,
+    right_table: Option<&SymbolTable>,
+    par: Parallelism,
+    cost: &mut Cost,
+) -> Vec<(Pre, Pre)> {
     let probe_len = left.len().max(right.len());
     let threads = par.effective_threads(probe_len, MIN_PARTITION_INPUT);
     if threads <= 1 {
-        return hash_value_join(left_doc, left, right_doc, right, cost);
+        return crate::valjoin::hash_value_join_with(
+            left_doc,
+            left,
+            right_doc,
+            right,
+            left_table,
+            right_table,
+            cost,
+        );
     }
     // The build/probe choice, build loop, and probe kernel are shared with
     // the sequential operator, so orientation, order, and charges cannot
     // drift apart.
     let build_left = crate::valjoin::hash_builds_left(left, right);
-    let (build_doc, build, probe_doc, probe) = if build_left {
-        (left_doc, left, right_doc, right)
+    let (build_doc, build, probe_doc, probe, prebuilt) = if build_left {
+        (left_doc, left, right_doc, right, left_table)
     } else {
-        (right_doc, right, left_doc, left)
+        (right_doc, right, left_doc, left, right_table)
     };
-    let table = crate::valjoin::build_hash_table(build_doc, build, cost);
+    let built;
+    let table = match prebuilt {
+        Some(t) => {
+            debug_assert_eq!(t.build_len(), build.len(), "stale cached join table");
+            crate::valjoin::charge_cached_build(t, cost);
+            t
+        }
+        None => {
+            built = crate::valjoin::build_join_table(build_doc, build, cost);
+            &built
+        }
+    };
     let morsels = chunk_ranges(probe.len(), threads * 4);
     let runs = par_map(threads, morsels.len(), |i| {
         let mut local = Cost::new();
         let mut out = Vec::new();
-        crate::valjoin::probe_hash_table(
-            &table,
+        crate::valjoin::probe_join_table(
+            table,
             probe_doc,
             &probe[morsels[i].clone()],
             build_left,
@@ -127,6 +165,7 @@ fn merge_runs(ctx_len: usize, runs: Vec<(JoinOut<Pre>, Cost)>, cost: &mut Cost) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::valjoin::hash_value_join;
     use rox_xmldb::{parse_document, NodeKind};
 
     fn big_doc(sections: usize, items_per: usize) -> std::sync::Arc<Document> {

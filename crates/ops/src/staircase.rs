@@ -39,7 +39,7 @@ pub fn step_join(
         cands.windows(2).all(|w| w[0] < w[1]),
         "candidates not sorted/unique"
     );
-    let mut out = JoinOut::new(ctx.len());
+    let mut out = JoinOut::with_limit(ctx.len(), limit);
     let limit = limit.unwrap_or(usize::MAX);
     'outer: for (row, &c) in ctx.iter().enumerate() {
         let row = row as u32;

@@ -12,12 +12,20 @@
 //!
 //! Cross-document joins compare interned [`Symbol`]s, which is sound
 //! because all documents of one catalog share an interner.
+//!
+//! **Zero-hash layout.** Because symbols are dense interner ids and pres
+//! are dense node ids, the build side of the hash join is a CSR
+//! [`SymbolTable`] (probe = two array reads) and `inner_filter` membership
+//! is a [`PreSet`] bitset probe — no SipHash, no per-hit binary search.
+//! The slice-based entry points remain as thin wrappers that build the
+//! dense structures on the fly; callers holding a reusable workspace (the
+//! evaluation state's scratch arena) pass prebuilt ones through the
+//! `*_set`/`*_with` variants instead.
 
 use crate::cost::Cost;
 use crate::cutoff::JoinOut;
-use rox_index::ValueIndex;
+use rox_index::{PreSet, SymbolTable, ValueIndex};
 use rox_xmldb::{Document, NodeKind, Pre, Symbol};
-use std::collections::HashMap;
 
 fn join_value(doc: &Document, pre: Pre) -> Symbol {
     debug_assert!(
@@ -27,20 +35,22 @@ fn join_value(doc: &Document, pre: Pre) -> Symbol {
     doc.value(pre)
 }
 
-/// Nested-loop index-lookup join: probe `inner_index` for each outer node
-/// and keep hits that appear in `inner_filter` (the materialized `T(v′)`),
-/// or all hits when `inner_filter` is `None`. Produced pairs carry the
-/// outer node's position in `outer` as their row id.
-pub fn index_value_join(
+/// Nested-loop index-lookup join against a dense [`PreSet`] filter: probe
+/// `inner_index` for each outer node and keep hits in `inner_filter` (the
+/// materialized `T(v′)` as a bitset), or all hits when `inner_filter` is
+/// `None`. Produced pairs carry the outer node's position in `outer` as
+/// their row id. This is the hot entry point the edge-operator kernel and
+/// the evaluation state's scratch arena feed.
+pub fn index_value_join_set(
     outer_doc: &Document,
     outer: &[Pre],
     inner_index: &ValueIndex,
     inner_kind: NodeKind,
-    inner_filter: Option<&[Pre]>,
+    inner_filter: Option<&PreSet>,
     limit: Option<usize>,
     cost: &mut Cost,
 ) -> JoinOut<Pre> {
-    let mut out = JoinOut::new(outer.len());
+    let mut out = JoinOut::with_limit(outer.len(), limit);
     let limit = limit.unwrap_or(usize::MAX);
     'outer: for (row, &c) in outer.iter().enumerate() {
         let row = row as u32;
@@ -55,7 +65,7 @@ pub fn index_value_join(
         for &s in hits {
             if let Some(filter) = inner_filter {
                 cost.charge_probe(1);
-                if filter.binary_search(&s).is_err() {
+                if !filter.contains(s) {
                     continue;
                 }
             }
@@ -68,6 +78,38 @@ pub fn index_value_join(
     out
 }
 
+/// As [`index_value_join_set`] with the filter given as a sorted slice:
+/// builds the [`PreSet`] on the fly (an allocation the evaluation state's
+/// scratch arena avoids by caching the set per vertex).
+pub fn index_value_join(
+    outer_doc: &Document,
+    outer: &[Pre],
+    inner_index: &ValueIndex,
+    inner_kind: NodeKind,
+    inner_filter: Option<&[Pre]>,
+    limit: Option<usize>,
+    cost: &mut Cost,
+) -> JoinOut<Pre> {
+    let set = inner_filter.map(filter_set);
+    index_value_join_set(
+        outer_doc,
+        outer,
+        inner_index,
+        inner_kind,
+        set.as_ref(),
+        limit,
+        cost,
+    )
+}
+
+/// Build the membership bitset for a sorted filter slice, sized by its
+/// largest member (probes beyond it answer `false`).
+pub(crate) fn filter_set(filter: &[Pre]) -> PreSet {
+    debug_assert!(filter.windows(2).all(|w| w[0] <= w[1]));
+    let universe = filter.last().map(|&p| p as usize + 1).unwrap_or(0);
+    PreSet::from_nodes(universe, filter)
+}
+
 /// Build-side choice shared by the sequential and partitioned hash joins:
 /// build on the smaller input, probe with the larger. Keeping this in one
 /// place locks the two variants' orientation together.
@@ -75,26 +117,32 @@ pub(crate) fn hash_builds_left(left: &[Pre], right: &[Pre]) -> bool {
     left.len() <= right.len()
 }
 
-/// Build the hash table over the build side (an investment charged per
-/// input tuple).
-pub(crate) fn build_hash_table(
+/// Build the CSR join table over the build side (an investment charged per
+/// input tuple, exactly like the hash build it replaces).
+pub(crate) fn build_join_table(
     build_doc: &Document,
     build: &[Pre],
     cost: &mut Cost,
-) -> HashMap<Symbol, Vec<Pre>> {
-    let mut table: HashMap<Symbol, Vec<Pre>> = HashMap::with_capacity(build.len());
-    for &p in build {
-        cost.charge_in(1);
-        table.entry(join_value(build_doc, p)).or_default().push(p);
-    }
-    table
+) -> SymbolTable {
+    cost.charge_in(build.len());
+    let symbols: Vec<Symbol> = build.iter().map(|&p| join_value(build_doc, p)).collect();
+    SymbolTable::from_pairs(&symbols, build)
 }
 
-/// Probe a slice of the probe side against the table, appending matches to
-/// `out` in probe order, oriented `(left, right)` per `build_left`. The
-/// probe kernel of both [`hash_value_join`] and its partitioned variant.
-pub(crate) fn probe_hash_table(
-    table: &HashMap<Symbol, Vec<Pre>>,
+/// Charge the build-side investment for a *cached* join table: the cost
+/// model bills the build per execution whether or not the scratch arena
+/// already holds the table, keeping counters bit-identical to an uncached
+/// run.
+pub(crate) fn charge_cached_build(table: &SymbolTable, cost: &mut Cost) {
+    cost.charge_in(table.build_len());
+}
+
+/// Probe a slice of the probe side against the CSR table, appending
+/// matches to `out` in probe order, oriented `(left, right)` per
+/// `build_left`. The probe kernel of both [`hash_value_join`] and its
+/// partitioned variant — two array reads per probe, no hashing.
+pub(crate) fn probe_join_table(
+    table: &SymbolTable,
     probe_doc: &Document,
     probe: &[Pre],
     build_left: bool,
@@ -104,21 +152,21 @@ pub(crate) fn probe_hash_table(
     for &p in probe {
         cost.charge_in(1);
         cost.charge_probe(1);
-        if let Some(matches) = table.get(&join_value(probe_doc, p)) {
-            for &m in matches {
-                cost.charge_out(1);
-                if build_left {
-                    out.push((m, p));
-                } else {
-                    out.push((p, m));
-                }
+        for &m in table.get(join_value(probe_doc, p)) {
+            cost.charge_out(1);
+            if build_left {
+                out.push((m, p));
+            } else {
+                out.push((p, m));
             }
         }
     }
 }
 
 /// Hash join at the node level: all `(left, right)` pre pairs with equal
-/// values. Builds on the smaller side.
+/// values. Builds on the smaller side. (The "hash" is the interner's
+/// already-paid hash-consing: at join time the build side is a CSR table
+/// and probes are array reads.)
 pub fn hash_value_join(
     left_doc: &Document,
     left: &[Pre],
@@ -126,15 +174,40 @@ pub fn hash_value_join(
     right: &[Pre],
     cost: &mut Cost,
 ) -> Vec<(Pre, Pre)> {
+    hash_value_join_with(left_doc, left, right_doc, right, None, None, cost)
+}
+
+/// As [`hash_value_join`] with optional prebuilt CSR tables per side (from
+/// the evaluation state's scratch arena). A prebuilt table must have been
+/// built over exactly the side's current input; the build investment is
+/// charged either way.
+pub fn hash_value_join_with(
+    left_doc: &Document,
+    left: &[Pre],
+    right_doc: &Document,
+    right: &[Pre],
+    left_table: Option<&SymbolTable>,
+    right_table: Option<&SymbolTable>,
+    cost: &mut Cost,
+) -> Vec<(Pre, Pre)> {
     let build_left = hash_builds_left(left, right);
-    let (build_doc, build, probe_doc, probe) = if build_left {
-        (left_doc, left, right_doc, right)
+    let (build_doc, build, probe_doc, probe, prebuilt) = if build_left {
+        (left_doc, left, right_doc, right, left_table)
     } else {
-        (right_doc, right, left_doc, left)
+        (right_doc, right, left_doc, left, right_table)
     };
-    let table = build_hash_table(build_doc, build, cost);
     let mut out = Vec::new();
-    probe_hash_table(&table, probe_doc, probe, build_left, cost, &mut out);
+    match prebuilt {
+        Some(table) => {
+            debug_assert_eq!(table.build_len(), build.len(), "stale cached join table");
+            charge_cached_build(table, cost);
+            probe_join_table(table, probe_doc, probe, build_left, cost, &mut out);
+        }
+        None => {
+            let table = build_join_table(build_doc, build, cost);
+            probe_join_table(&table, probe_doc, probe, build_left, cost, &mut out);
+        }
+    }
     out
 }
 

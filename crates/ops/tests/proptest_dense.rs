@@ -1,0 +1,319 @@
+//! Dense-layout equivalence property tests: the CSR [`SymbolTable`] and
+//! the [`PreSet`] bitset must be **bit-identical** — pairs, order, and
+//! cost counters — to the `HashMap<Symbol, Vec<Pre>>` build/probe loop and
+//! the per-hit `binary_search` filter they replaced. The `hash_*` /
+//! `bsearch_*` functions below reimplement that original logic verbatim on
+//! top of the raw document API, mirroring the kernel-equivalence suite in
+//! `proptest_edgeop.rs`.
+//!
+//! Edge cases pinned explicitly: the empty symbol universe (no build
+//! input at all) and the maximum interned symbol sitting exactly at the
+//! CSR boundary.
+
+use proptest::prelude::*;
+use rox_index::{PreSet, SymbolTable, ValueIndex};
+use rox_ops::{hash_value_join, index_value_join, Cost};
+use rox_xmldb::{Catalog, Document, NodeKind, Pre, Symbol};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Pre-refactor reference implementations (the logic formerly inlined in
+// valjoin.rs).
+// ---------------------------------------------------------------------
+
+/// The original hash-join build loop: `HashMap<Symbol, Vec<Pre>>` with one
+/// `charge_in` per build tuple.
+fn hash_build(build_doc: &Document, build: &[Pre], cost: &mut Cost) -> HashMap<Symbol, Vec<Pre>> {
+    let mut table: HashMap<Symbol, Vec<Pre>> = HashMap::with_capacity(build.len());
+    for &p in build {
+        cost.charge_in(1);
+        table.entry(build_doc.value(p)).or_default().push(p);
+    }
+    table
+}
+
+/// The original probe loop over the hash table.
+fn hash_probe(
+    table: &HashMap<Symbol, Vec<Pre>>,
+    probe_doc: &Document,
+    probe: &[Pre],
+    build_left: bool,
+    cost: &mut Cost,
+    out: &mut Vec<(Pre, Pre)>,
+) {
+    for &p in probe {
+        cost.charge_in(1);
+        cost.charge_probe(1);
+        if let Some(matches) = table.get(&probe_doc.value(p)) {
+            for &m in matches {
+                cost.charge_out(1);
+                if build_left {
+                    out.push((m, p));
+                } else {
+                    out.push((p, m));
+                }
+            }
+        }
+    }
+}
+
+/// The original `hash_value_join`: build on the smaller side, probe with
+/// the larger, orient pairs `(left, right)`.
+fn hash_value_join_reference(
+    left_doc: &Document,
+    left: &[Pre],
+    right_doc: &Document,
+    right: &[Pre],
+    cost: &mut Cost,
+) -> Vec<(Pre, Pre)> {
+    let build_left = left.len() <= right.len();
+    let (build_doc, build, probe_doc, probe) = if build_left {
+        (left_doc, left, right_doc, right)
+    } else {
+        (right_doc, right, left_doc, left)
+    };
+    let table = hash_build(build_doc, build, cost);
+    let mut out = Vec::new();
+    hash_probe(&table, probe_doc, probe, build_left, cost, &mut out);
+    out
+}
+
+/// The original `index_value_join` with the per-hit `binary_search`
+/// membership filter.
+fn index_value_join_reference(
+    outer_doc: &Document,
+    outer: &[Pre],
+    inner_index: &ValueIndex,
+    inner_filter: Option<&[Pre]>,
+    limit: Option<usize>,
+    cost: &mut Cost,
+) -> (Vec<(u32, Pre)>, bool) {
+    let limit = limit.unwrap_or(usize::MAX);
+    let mut pairs: Vec<(u32, Pre)> = Vec::new();
+    let mut truncated = false;
+    'outer: for (row, &c) in outer.iter().enumerate() {
+        let row = row as u32;
+        cost.charge_in(1);
+        cost.charge_probe(1);
+        for &s in inner_index.text_eq(outer_doc.value(c)) {
+            if let Some(filter) = inner_filter {
+                cost.charge_probe(1);
+                if filter.binary_search(&s).is_err() {
+                    continue;
+                }
+            }
+            pairs.push((row, s));
+            cost.charge_out(1);
+            if pairs.len() >= limit {
+                truncated = true;
+                break 'outer;
+            }
+        }
+    }
+    (pairs, truncated)
+}
+
+// ---------------------------------------------------------------------
+// Input generators.
+// ---------------------------------------------------------------------
+
+fn value_doc(vals: &[u8]) -> String {
+    let mut s = String::from("<r>");
+    for &v in vals {
+        s.push_str(&format!("<t>k{}</t>", v % 16));
+    }
+    s.push_str("</r>");
+    s
+}
+
+fn texts(doc: &Document) -> Vec<Pre> {
+    (0..doc.node_count() as Pre)
+        .filter(|&p| doc.kind(p) == NodeKind::Text)
+        .collect()
+}
+
+fn subset(nodes: &[Pre], mask: u64) -> Vec<Pre> {
+    nodes
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(i, _)| (mask >> (i % 64)) & 1 == 1 || *i >= 64)
+        .map(|(_, p)| p)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The CSR table groups exactly like the hash map: same members per
+    /// symbol, same within-group order, same distinct-symbol count.
+    #[test]
+    fn csr_table_matches_hash_map_grouping(
+        vals in prop::collection::vec(any::<u8>(), 0..60),
+        mask in any::<u64>(),
+    ) {
+        let cat = Arc::new(Catalog::new());
+        let id = cat.load_str("d.xml", &value_doc(&vals)).unwrap();
+        let doc = cat.doc(id);
+        let nodes = subset(&texts(&doc), mask);
+        let symbols: Vec<Symbol> = nodes.iter().map(|&p| doc.value(p)).collect();
+        let csr = SymbolTable::from_pairs(&symbols, &nodes);
+        let mut reference: HashMap<Symbol, Vec<Pre>> = HashMap::new();
+        for (&s, &p) in symbols.iter().zip(&nodes) {
+            reference.entry(s).or_default().push(p);
+        }
+        prop_assert_eq!(csr.build_len(), nodes.len());
+        prop_assert_eq!(csr.distinct_symbols(), reference.len());
+        for (&sym, group) in &reference {
+            prop_assert_eq!(csr.get(sym), group.as_slice());
+        }
+        // Symbols outside the build input resolve to the empty group, even
+        // far beyond the built universe.
+        let max_sym = symbols.iter().map(|s| s.0).max().unwrap_or(0);
+        prop_assert_eq!(csr.get(Symbol(max_sym + 1)), &[] as &[Pre]);
+        prop_assert_eq!(csr.get(Symbol(u32::MAX)), &[] as &[Pre]);
+    }
+
+    /// The bitset answers every membership probe exactly like
+    /// `binary_search` over the sorted slice — including probes beyond the
+    /// largest member.
+    #[test]
+    fn bitset_matches_binary_search(
+        members in prop::collection::vec(0u32..512, 0..64),
+        probes in prop::collection::vec(0u32..600, 0..80),
+    ) {
+        let mut sorted: Vec<Pre> = members;
+        sorted.sort_unstable();
+        sorted.dedup();
+        let universe = sorted.last().map(|&p| p as usize + 1).unwrap_or(0);
+        let set = PreSet::from_nodes(universe, &sorted);
+        prop_assert_eq!(set.len(), sorted.len());
+        for &p in &probes {
+            prop_assert_eq!(set.contains(p), sorted.binary_search(&p).is_ok(), "probe {}", p);
+        }
+    }
+
+    /// Production `hash_value_join` (CSR build + probe) is bit-identical —
+    /// pairs, order, and cost counters — to the hash-map reference.
+    #[test]
+    fn csr_join_matches_hash_join_reference(
+        l in prop::collection::vec(any::<u8>(), 0..50),
+        r in prop::collection::vec(any::<u8>(), 0..50),
+        m1 in any::<u64>(),
+        m2 in any::<u64>(),
+    ) {
+        let cat = Arc::new(Catalog::new());
+        let a = cat.load_str("a.xml", &value_doc(&l)).unwrap();
+        let b = cat.load_str("b.xml", &value_doc(&r)).unwrap();
+        let (da, db) = (cat.doc(a), cat.doc(b));
+        let t1 = subset(&texts(&da), m1);
+        let t2 = subset(&texts(&db), m2);
+        let mut ref_cost = Cost::new();
+        let expected = hash_value_join_reference(&da, &t1, &db, &t2, &mut ref_cost);
+        let mut csr_cost = Cost::new();
+        let got = hash_value_join(&da, &t1, &db, &t2, &mut csr_cost);
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(csr_cost, ref_cost);
+    }
+
+    /// Production `index_value_join` (bitset filter) is bit-identical —
+    /// pairs, order, truncation, and cost counters — to the binary-search
+    /// reference, with and without a cut-off.
+    #[test]
+    fn bitset_filter_matches_binary_search_reference(
+        l in prop::collection::vec(any::<u8>(), 0..50),
+        r in prop::collection::vec(any::<u8>(), 0..50),
+        m1 in any::<u64>(),
+        m2 in any::<u64>(),
+        limit_raw in 0usize..25,
+        filtered in any::<bool>(),
+    ) {
+        // 0 encodes "no cut-off" (the shimmed proptest has no option::of).
+        let limit = (limit_raw > 0).then_some(limit_raw);
+        let cat = Arc::new(Catalog::new());
+        let a = cat.load_str("a.xml", &value_doc(&l)).unwrap();
+        let b = cat.load_str("b.xml", &value_doc(&r)).unwrap();
+        let (da, db) = (cat.doc(a), cat.doc(b));
+        let ib = ValueIndex::build(&db);
+        let outer = subset(&texts(&da), m1);
+        let filter = subset(&texts(&db), m2);
+        let filter = filtered.then_some(filter.as_slice());
+        let mut ref_cost = Cost::new();
+        let (expected, expected_trunc) =
+            index_value_join_reference(&da, &outer, &ib, filter, limit, &mut ref_cost);
+        let mut set_cost = Cost::new();
+        let got = index_value_join(&da, &outer, &ib, NodeKind::Text, filter, limit, &mut set_cost);
+        prop_assert_eq!(got.pairs, expected);
+        prop_assert_eq!(got.truncated, expected_trunc);
+        prop_assert_eq!(set_cost, ref_cost);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic edge cases.
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_symbol_universe_join() {
+    // Documents whose selected inputs are empty: no symbols are ever fed
+    // to the CSR build, and every probe must come back empty with the
+    // reference's exact cost charges.
+    let cat = Arc::new(Catalog::new());
+    let a = cat.load_str("a.xml", "<r><t>x</t></r>").unwrap();
+    let b = cat.load_str("b.xml", "<r><t>y</t></r>").unwrap();
+    let (da, db) = (cat.doc(a), cat.doc(b));
+    let probe = texts(&da);
+    let mut ref_cost = Cost::new();
+    let expected = hash_value_join_reference(&da, &probe, &db, &[], &mut ref_cost);
+    let mut csr_cost = Cost::new();
+    let got = hash_value_join(&da, &probe, &db, &[], &mut csr_cost);
+    assert!(got.is_empty());
+    assert_eq!(got, expected);
+    assert_eq!(csr_cost, ref_cost);
+}
+
+#[test]
+fn max_symbol_probe_is_safe() {
+    // Probing with the interner's largest symbol (and beyond) must answer
+    // the empty group on a table built from a smaller universe.
+    let cat = Arc::new(Catalog::new());
+    let a = cat.load_str("a.xml", "<r><t>lo</t></r>").unwrap();
+    let da = cat.doc(a);
+    let nodes = texts(&da);
+    let symbols: Vec<Symbol> = nodes.iter().map(|&p| da.value(p)).collect();
+    let table = SymbolTable::from_pairs(&symbols, &nodes);
+    // Intern a new, strictly larger symbol after the build.
+    let late = da.interner().intern("zz-late-symbol");
+    assert!(late.0 > symbols.iter().map(|s| s.0).max().unwrap());
+    assert_eq!(table.get(late), &[] as &[Pre]);
+    assert_eq!(table.get(symbols[0]), &[nodes[0]]);
+}
+
+#[test]
+fn empty_filter_set_blocks_everything() {
+    // An empty (zero-universe) filter set: charges per hit still accrue,
+    // pairs never materialize — exactly like binary_search on &[].
+    let cat = Arc::new(Catalog::new());
+    let a = cat.load_str("a.xml", "<r><t>k</t></r>").unwrap();
+    let b = cat.load_str("b.xml", "<r><t>k</t></r>").unwrap();
+    let (da, db) = (cat.doc(a), cat.doc(b));
+    let ib = ValueIndex::build(&db);
+    let outer = texts(&da);
+    let mut ref_cost = Cost::new();
+    let (expected, _) =
+        index_value_join_reference(&da, &outer, &ib, Some(&[]), None, &mut ref_cost);
+    let mut set_cost = Cost::new();
+    let got = index_value_join(
+        &da,
+        &outer,
+        &ib,
+        NodeKind::Text,
+        Some(&[]),
+        None,
+        &mut set_cost,
+    );
+    assert!(got.pairs.is_empty());
+    assert_eq!(got.pairs, expected);
+    assert_eq!(set_cost, ref_cost);
+}

@@ -17,7 +17,7 @@
 
 use crate::state::EvalState;
 use rox_joingraph::{EdgeId, VertexId};
-use rox_ops::{execute_edge_op, Cost, EdgeOpCtx, EdgeOpKind, ExecMode};
+use rox_ops::{execute_edge_op_with, Cost, DenseState, EdgeOpCtx, EdgeOpKind, ExecMode};
 use rox_par::{par_map, Parallelism};
 use rox_xmldb::Pre;
 
@@ -54,43 +54,60 @@ pub fn sampled_edge_exec(
     let from_doc = state.env.doc(from);
     let to_doc = state.env.doc(to);
     let inner = state.table_or_base(to);
-    // The inner value index (value joins only; steps need no index).
+    // The inner value index and membership bitset (value joins only;
+    // steps need neither). The bitset comes from the evaluation state's
+    // scratch arena, so repeated rounds over an unchanged `T(v′)` probe
+    // the same buffer instead of rebuilding it per sampled run.
     let to_indexes = (!edge.is_step()).then(|| state.env.store().indexes(state.env.doc_id(to)));
     let to_index = to_indexes.as_ref().map(|i| &i.value);
+    let to_set = (!edge.is_step()).then(|| state.vertex_set(to));
     let (from_kind, to_kind) = (state.vertex_kind(from), state.vertex_kind(to));
     let mode = ExecMode::Sampled { limit, outer_is_v1 };
-    let ctx = if outer_is_v1 {
-        EdgeOpCtx {
-            class: edge.kind.class(),
-            mode,
-            doc1: &from_doc,
-            doc2: &to_doc,
-            input1: input,
-            input2: &inner,
-            index1: None,
-            index2: to_index,
-            kind1: from_kind,
-            kind2: to_kind,
-            // Cut-off execution is inherently sequential (§2.3); sampling
-            // parallelizes one level up, across candidate edges.
-            par: Parallelism::Sequential,
-        }
+    let (ctx, dense) = if outer_is_v1 {
+        (
+            EdgeOpCtx {
+                class: edge.kind.class(),
+                mode,
+                doc1: &from_doc,
+                doc2: &to_doc,
+                input1: input,
+                input2: &inner,
+                index1: None,
+                index2: to_index,
+                kind1: from_kind,
+                kind2: to_kind,
+                // Cut-off execution is inherently sequential (§2.3);
+                // sampling parallelizes one level up, across candidate
+                // edges.
+                par: Parallelism::Sequential,
+            },
+            DenseState {
+                set2: to_set.as_deref(),
+                ..DenseState::default()
+            },
+        )
     } else {
-        EdgeOpCtx {
-            class: edge.kind.class(),
-            mode,
-            doc1: &to_doc,
-            doc2: &from_doc,
-            input1: &inner,
-            input2: input,
-            index1: to_index,
-            index2: None,
-            kind1: to_kind,
-            kind2: from_kind,
-            par: Parallelism::Sequential,
-        }
+        (
+            EdgeOpCtx {
+                class: edge.kind.class(),
+                mode,
+                doc1: &to_doc,
+                doc2: &from_doc,
+                input1: &inner,
+                input2: input,
+                index1: to_index,
+                index2: None,
+                kind1: to_kind,
+                kind2: from_kind,
+                par: Parallelism::Sequential,
+            },
+            DenseState {
+                set1: to_set.as_deref(),
+                ..DenseState::default()
+            },
+        )
     };
-    let out = execute_edge_op(ctx, cost);
+    let out = execute_edge_op_with(ctx, dense, cost);
     let run = out.result.into_sampled();
     SampledExec {
         est: run.estimate(),

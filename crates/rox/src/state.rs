@@ -18,11 +18,14 @@
 
 use crate::env::RoxEnv;
 use rand::rngs::StdRng;
-use rox_index::sample_sorted;
+use rox_index::{sample_sorted, PreSet, SymbolTable};
 use rox_joingraph::{EdgeId, EdgeKind, JoinGraph, VertexId, VertexLabel};
-use rox_ops::{edge_predicate, execute_edge_op, Cost, EdgeOpCtx, EdgeOpKind, ExecMode, Relation};
+use rox_ops::{
+    choose_op, edge_predicate, execute_edge_op_with, Cost, DenseState, EdgeClass, EdgeOpCtx,
+    EdgeOpKind, ExecMode, Relation,
+};
 use rox_xmldb::{NodeId, NodeKind, Pre};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// One executed edge: the size of the component relation it produced and
 /// the physical operator the kernel chose for it (the per-edge record
@@ -36,6 +39,41 @@ pub struct EdgeExec {
     /// The physical operator that executed the edge
     /// ([`EdgeOpKind::Select`] for intra-component selections).
     pub op: EdgeOpKind,
+}
+
+/// Per-vertex scratch arena: the dense join state (membership bitsets and
+/// CSR join tables over `T(v)`-or-base) that the estimate → chain →
+/// execute loop would otherwise rebuild for every sampled or full
+/// operator run on the same unchanged vertex table.
+///
+/// Entries are built lazily behind shared locks (the parallel candidate
+/// sampling fan-out reads the state concurrently) and **invalidated on
+/// every write to `T(v)`** — the one rule that keeps a cached structure
+/// interchangeable with a fresh build. Reuse never changes results *or*
+/// cost counters: bitset membership is uncharged (as the binary search it
+/// replaced was), and a cached join table still bills its build
+/// investment per execution (see `rox_ops::hash_value_join_with`).
+struct Scratch {
+    /// vertex → membership bitset over `table_or_base(v)`.
+    sets: RwLock<Vec<Option<Arc<PreSet>>>>,
+    /// vertex → CSR join table over `table_or_base(v)`'s value symbols
+    /// (only ever built for value-join endpoints).
+    tables: RwLock<Vec<Option<Arc<SymbolTable>>>>,
+}
+
+impl Scratch {
+    fn new(vertices: usize) -> Self {
+        Scratch {
+            sets: RwLock::new(vec![None; vertices]),
+            tables: RwLock::new(vec![None; vertices]),
+        }
+    }
+
+    /// Drop both cached structures of `v` (call on every `T(v)` write).
+    fn invalidate(&self, v: VertexId) {
+        self.sets.write().expect("scratch sets")[v as usize] = None;
+        self.tables.write().expect("scratch tables")[v as usize] = None;
+    }
 }
 
 /// Mutable evaluation state over one graph and environment.
@@ -55,6 +93,9 @@ pub struct EvalState<'a> {
     /// with their own knob (e.g. `run_rox_with_env`) override it via
     /// [`EvalState::set_parallelism`].
     parallelism: rox_par::Parallelism,
+    /// Reusable dense join state per vertex (bitsets + CSR tables),
+    /// invalidated whenever `T(v)` changes.
+    scratch: Scratch,
     /// Work done by full edge executions.
     pub exec_cost: Cost,
     /// Log of executed edges with result sizes, in execution order.
@@ -77,6 +118,7 @@ impl<'a> EvalState<'a> {
             sample: vec![None; nv],
             executed: vec![false; graph.edge_count()],
             parallelism: env.parallelism(),
+            scratch: Scratch::new(nv),
             exec_cost: Cost::new(),
             edge_log: Vec::new(),
         }
@@ -144,6 +186,37 @@ impl<'a> EvalState<'a> {
         self.sample[v as usize].as_ref()
     }
 
+    /// The membership bitset over [`EvalState::table_or_base`]`(v)`, built
+    /// once per `T(v)` version and shared across every sampled and full
+    /// operator run until the table changes — the scratch-arena
+    /// counterpart of the inner filter every index nested-loop value join
+    /// probes.
+    pub fn vertex_set(&self, v: VertexId) -> Arc<PreSet> {
+        if let Some(set) = self.scratch.sets.read().expect("scratch sets")[v as usize].as_ref() {
+            return Arc::clone(set);
+        }
+        let nodes = self.table_or_base(v);
+        let set = Arc::new(PreSet::from_nodes(self.env.doc(v).node_count(), &nodes));
+        self.scratch.sets.write().expect("scratch sets")[v as usize] = Some(Arc::clone(&set));
+        set
+    }
+
+    /// The CSR join table over [`EvalState::table_or_base`]`(v)`'s value
+    /// symbols (value-join endpoints only), built once per `T(v)` version.
+    /// Consumers still charge the build investment per execution, so cost
+    /// counters are identical to rebuilding every time.
+    pub fn vertex_join_table(&self, v: VertexId) -> Arc<SymbolTable> {
+        if let Some(t) = self.scratch.tables.read().expect("scratch tables")[v as usize].as_ref() {
+            return Arc::clone(t);
+        }
+        let nodes = self.table_or_base(v);
+        let doc = self.env.doc(v);
+        let symbols: Vec<rox_xmldb::Symbol> = nodes.iter().map(|&p| doc.value(p)).collect();
+        let table = Arc::new(SymbolTable::from_pairs(&symbols, &nodes));
+        self.scratch.tables.write().expect("scratch tables")[v as usize] = Some(Arc::clone(&table));
+        table
+    }
+
     /// Seed `S(v)` from the base list (Phase 1 of Algorithm 1).
     pub fn seed_sample(&mut self, v: VertexId, rng: &mut StdRng, tau: usize) {
         let base = self.env.base_list(self.graph, v);
@@ -162,6 +235,7 @@ impl<'a> EvalState<'a> {
         self.components.push(Some(rel));
         self.comp_of[v as usize] = Some(cid);
         self.t[v as usize] = Some(base);
+        self.scratch.invalidate(v);
         self.card[v as usize] = Some(self.t[v as usize].as_ref().unwrap().len());
     }
 
@@ -233,6 +307,7 @@ impl<'a> EvalState<'a> {
                 self.sample[v as usize] = Some(Arc::new(sample_sorted(*rng, &t, *tau)));
             }
             self.t[v as usize] = Some(t);
+            self.scratch.invalidate(v);
         }
         changed
     }
@@ -255,9 +330,50 @@ impl<'a> EvalState<'a> {
         let indexes = (!edge.is_step())
             .then(|| (self.env.store().indexes(id1), self.env.store().indexes(id2)));
         let (kind1, kind2) = (self.vertex_kind(v1), self.vertex_kind(v2));
-        let out = execute_edge_op(
+        let class = edge.kind.class();
+        // Hand the kernel the scratch arena's dense join state for exactly
+        // the operator it is about to choose (`choose_op` is the same cost
+        // function the kernel consults, so the prediction cannot drift):
+        // the inner membership bitset for an index nested loop, the
+        // build-side CSR table for a hash join. Cached or rebuilt, results
+        // and cost charges are identical — this only skips the rebuild.
+        let mut set1 = None;
+        let mut set2 = None;
+        let mut table1 = None;
+        let mut table2 = None;
+        if let EdgeClass::ValueJoin = class {
+            let choice = choose_op(class, t1.len(), t2.len(), ExecMode::Full);
+            match choice.kind {
+                EdgeOpKind::IndexNLValueJoin => {
+                    // The *inner* (non-outer) endpoint's set is the filter
+                    // the nested loop probes.
+                    if choice.outer_is_v1 {
+                        set2 = Some(self.vertex_set(v2));
+                    } else {
+                        set1 = Some(self.vertex_set(v1));
+                    }
+                }
+                EdgeOpKind::HashValueJoin => {
+                    // The hash join builds on the outer (smaller) side —
+                    // `choose_op` and `hash_builds_left` share the rule.
+                    if choice.outer_is_v1 {
+                        table1 = Some(self.vertex_join_table(v1));
+                    } else {
+                        table2 = Some(self.vertex_join_table(v2));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let dense = DenseState {
+            set1: set1.as_deref(),
+            set2: set2.as_deref(),
+            table1: table1.as_deref(),
+            table2: table2.as_deref(),
+        };
+        let out = execute_edge_op_with(
             EdgeOpCtx {
-                class: edge.kind.class(),
+                class,
                 mode: ExecMode::Full,
                 doc1: &d1,
                 doc2: &d2,
@@ -269,6 +385,7 @@ impl<'a> EvalState<'a> {
                 kind2,
                 par: self.parallelism,
             },
+            dense,
             &mut self.exec_cost,
         );
         let op = out.choice.kind;

@@ -52,6 +52,15 @@ impl Document {
         &self.interner
     }
 
+    /// Number of distinct symbols in the shared interner — the upper bound
+    /// of this document's symbol universe, and therefore the safe size for
+    /// dense symbol-keyed tables (every `name`/`value` symbol of every
+    /// node lies below it).
+    #[inline]
+    pub fn symbol_count(&self) -> usize {
+        self.interner.len()
+    }
+
     /// Subtree size (number of descendants) of `pre`.
     #[inline]
     pub fn size(&self, pre: Pre) -> u32 {
