@@ -1,0 +1,53 @@
+//! Engine-serving benchmark binary: cold vs warm query latency,
+//! multi-threaded QPS against one shared `RoxEngine`, and the plan-cache
+//! hit rate. Writes the machine-readable `BENCH_engine.json` consumed by
+//! CI.
+//!
+//! ```text
+//! cargo run --release -p rox-bench --bin bench_engine -- \
+//!     [--smoke] [--out BENCH_engine.json] [--persons 3000] [--items 2500] \
+//!     [--auctions 2500] [--queries 6] [--tau 100] [--repeats 3] \
+//!     [--threads 2,4] [--rounds 8]
+//! ```
+
+use rox_bench::args::Args;
+use rox_bench::engine::{self, EngineBenchConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = if args.has("smoke") {
+        EngineBenchConfig::smoke()
+    } else {
+        EngineBenchConfig::default()
+    };
+    cfg.xmark.persons = args.get("persons", cfg.xmark.persons);
+    cfg.xmark.items = args.get("items", cfg.xmark.items);
+    cfg.xmark.auctions = args.get("auctions", cfg.xmark.auctions);
+    cfg.queries = args.get("queries", cfg.queries);
+    cfg.tau = args.get("tau", cfg.tau);
+    cfg.repeats = args.get("repeats", cfg.repeats);
+    cfg.rounds = args.get("rounds", cfg.rounds);
+    let threads: String = args.get("threads", String::new());
+    if !threads.is_empty() {
+        cfg.threads = threads
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .expect("--threads wants a comma-separated list")
+            })
+            .collect();
+    }
+    let out_path = args.get("out", "BENCH_engine.json".to_string());
+
+    println!(
+        "engine serving bench — XMark persons={} items={} auctions={}, {} query shapes, τ={}, {} rounds",
+        cfg.xmark.persons, cfg.xmark.items, cfg.xmark.auctions, cfg.queries, cfg.tau, cfg.rounds
+    );
+    let r = engine::run(&cfg);
+    print!("{}", engine::render(&r));
+
+    let json = engine::to_json(&cfg, &r);
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+    println!("\nwrote {out_path}");
+}

@@ -1,0 +1,357 @@
+//! Engine-serving benchmarks: what the [`RoxEngine`] layer amortizes
+//! (the `bench_engine` binary, which emits the machine-readable
+//! `BENCH_engine.json` consumed by CI).
+//!
+//! Three measured units, all against one XMark catalog:
+//!
+//! 1. **Cold vs warm latency** — the same query served by a *fresh*
+//!    engine (index build + base lists + sampling all inside the call),
+//!    by a warm engine re-optimizing (`AlwaysOptimize`: caches hot,
+//!    sampling still paid), and by a warm engine replaying its cached
+//!    plan (`ReuseValidated`: no sampling at all). The warm/cold gap is
+//!    the per-query setup the shared engine deletes from the serving
+//!    path.
+//! 2. **Multi-threaded QPS** — a shuffled mix of distinct query shapes,
+//!    `rounds` repeats each, fanned out with [`RoxEngine::run_many`] at
+//!    increasing worker counts against the *same* engine. Every output is
+//!    checked against a fresh standalone reference run before any timing
+//!    is reported.
+//! 3. **Plan-cache hit rate** — engine counters after the QPS runs: all
+//!    but each shape's first-touch optimization should replay.
+//!
+//! Wall-clock QPS scaling tracks the machine's core count (a single-core
+//! container reports ~1× by construction); the correctness of >1 query
+//! in flight per run is asserted regardless.
+
+use crate::xmark_catalog;
+use rox_core::{Parallelism, PlanReuse, RoxEngine, RoxOptions};
+use rox_datagen::{xmark_query, XmarkConfig};
+use rox_joingraph::JoinGraph;
+use rox_ops::Relation;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of the engine benchmarks.
+#[derive(Debug, Clone)]
+pub struct EngineBenchConfig {
+    /// XMark document shape.
+    pub xmark: XmarkConfig,
+    /// Distinct query shapes (Q1 variants with distinct range constants —
+    /// distinct join-graph fingerprints, so each seeds its own plan).
+    pub queries: usize,
+    /// Sample size τ for optimizing runs.
+    pub tau: usize,
+    /// Timed repetitions per latency measurement (the minimum is
+    /// reported).
+    pub repeats: usize,
+    /// Worker counts for the QPS measurement.
+    pub threads: Vec<usize>,
+    /// Repeats of the full query mix per QPS run (total jobs per run =
+    /// `queries × rounds`).
+    pub rounds: usize,
+}
+
+impl Default for EngineBenchConfig {
+    fn default() -> Self {
+        EngineBenchConfig {
+            xmark: XmarkConfig {
+                persons: 3000,
+                items: 2500,
+                auctions: 2500,
+                ..XmarkConfig::default()
+            },
+            queries: 6,
+            tau: 100,
+            repeats: 3,
+            threads: vec![2, 4],
+            rounds: 8,
+        }
+    }
+}
+
+impl EngineBenchConfig {
+    /// A seconds-scale configuration for CI smoke runs.
+    pub fn smoke() -> Self {
+        EngineBenchConfig {
+            xmark: XmarkConfig {
+                persons: 300,
+                items: 250,
+                auctions: 250,
+                ..XmarkConfig::default()
+            },
+            queries: 3,
+            tau: 64,
+            repeats: 2,
+            threads: vec![2, 4],
+            rounds: 4,
+        }
+    }
+
+    /// The benchmark's query shapes: Q1 with per-shape range constants.
+    pub fn graphs(&self) -> Vec<JoinGraph> {
+        (0..self.queries.max(1))
+            .map(|i| {
+                let threshold = 100.0 + 15.0 * i as f64;
+                rox_joingraph::compile_query(&xmark_query("<", threshold)).unwrap()
+            })
+            .collect()
+    }
+}
+
+/// One QPS measurement point.
+#[derive(Debug, Clone)]
+pub struct QpsPoint {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Jobs served in the run (`queries × rounds`).
+    pub jobs: usize,
+    /// Wall time of the whole batch.
+    pub wall: Duration,
+    /// `jobs / wall` in queries per second.
+    pub qps: f64,
+    /// Queries served per thread in this run (the >1-per-thread
+    /// concurrency check).
+    pub jobs_per_thread: f64,
+}
+
+/// Everything the `bench_engine` binary reports.
+#[derive(Debug, Clone)]
+pub struct EngineBenchResult {
+    /// Cold latency: fresh engine, first query (index + base lists +
+    /// sampling inside the call).
+    pub cold: Duration,
+    /// Warm engine, full re-optimization (`AlwaysOptimize`).
+    pub warm_optimize: Duration,
+    /// Warm engine, plan-cache replay (`ReuseValidated`).
+    pub warm_replay: Duration,
+    /// Per-thread-count QPS measurements.
+    pub qps: Vec<QpsPoint>,
+    /// Plan-cache hits across the serving phase.
+    pub plan_hits: u64,
+    /// Plan-cache misses (first-touch optimizations).
+    pub plan_misses: u64,
+    /// `plan_hits / (plan_hits + plan_misses)`.
+    pub plan_hit_rate: f64,
+    /// Document index builds over the whole serving phase (should equal
+    /// the number of documents).
+    pub index_builds: usize,
+    /// Base lists built (should stay at the distinct vertex-shape count).
+    pub base_list_builds: usize,
+    /// Output rows of the first query shape (sanity anchor).
+    pub anchor_rows: usize,
+}
+
+fn best_of(repeats: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    (0..repeats.max(1))
+        .map(|_| f())
+        .min()
+        .expect("at least one repeat")
+}
+
+/// Run the engine benchmarks.
+pub fn run(cfg: &EngineBenchConfig) -> EngineBenchResult {
+    let catalog = xmark_catalog(&cfg.xmark);
+    let graphs = cfg.graphs();
+    let reuse = RoxOptions {
+        tau: cfg.tau,
+        plan_reuse: PlanReuse::ReuseValidated,
+        ..Default::default()
+    };
+    let optimize = RoxOptions {
+        plan_reuse: PlanReuse::AlwaysOptimize,
+        ..reuse
+    };
+
+    // Reference outputs: fresh standalone run per shape, nothing shared.
+    let reference: Vec<Relation> = graphs
+        .iter()
+        .map(|g| {
+            rox_core::run_rox(Arc::clone(&catalog), g, optimize)
+                .unwrap()
+                .output
+        })
+        .collect();
+
+    // ---- 1a. Cold latency: a fresh engine per repeat, first call pays
+    // index construction, base lists, and sampling.
+    let cold = best_of(cfg.repeats, || {
+        let fresh = RoxEngine::new(Arc::clone(&catalog));
+        let t = Instant::now();
+        let run = fresh.run(&graphs[0], reuse).unwrap();
+        let wall = t.elapsed();
+        assert_eq!(run.output, reference[0], "cold run output diverged");
+        wall
+    });
+
+    // The serving engine for everything below.
+    let engine = RoxEngine::new(Arc::clone(&catalog));
+    let first = engine.run(&graphs[0], reuse).unwrap();
+    let anchor_rows = first.output.len();
+
+    // ---- 1b. Warm latencies against the seeded engine.
+    let warm_optimize = best_of(cfg.repeats, || {
+        let t = Instant::now();
+        let run = engine.run(&graphs[0], optimize).unwrap();
+        let wall = t.elapsed();
+        assert_eq!(run.output, reference[0], "warm optimize output diverged");
+        wall
+    });
+    let warm_replay = best_of(cfg.repeats, || {
+        let t = Instant::now();
+        let run = engine.run(&graphs[0], reuse).unwrap();
+        let wall = t.elapsed();
+        assert!(run.plan_cache_hit, "warm replay missed the plan cache");
+        assert_eq!(run.output, reference[0], "warm replay output diverged");
+        wall
+    });
+
+    // ---- 2. Multi-threaded QPS over the full mix (plan cache allowed —
+    // this measures the serving path, not the optimizer).
+    let jobs: Vec<(&JoinGraph, RoxOptions)> = (0..cfg.rounds)
+        .flat_map(|_| graphs.iter().map(|g| (g, reuse)))
+        .collect();
+    let mut qps = Vec::new();
+    for &n in &cfg.threads {
+        let wall = best_of(cfg.repeats, || {
+            let t = Instant::now();
+            let served = engine.run_many(&jobs, Parallelism::Threads(n));
+            let wall = t.elapsed();
+            for (i, run) in served.into_iter().enumerate() {
+                let run = run.unwrap();
+                assert_eq!(
+                    run.output,
+                    reference[i % graphs.len()],
+                    "served job {i} diverged at {n} threads"
+                );
+            }
+            wall
+        });
+        qps.push(QpsPoint {
+            threads: n,
+            jobs: jobs.len(),
+            wall,
+            qps: jobs.len() as f64 / wall.as_secs_f64().max(f64::EPSILON),
+            jobs_per_thread: jobs.len() as f64 / n as f64,
+        });
+    }
+
+    let stats = engine.stats();
+    EngineBenchResult {
+        cold,
+        warm_optimize,
+        warm_replay,
+        qps,
+        plan_hits: stats.plan_hits,
+        plan_misses: stats.plan_misses,
+        plan_hit_rate: stats.plan_hit_rate(),
+        index_builds: stats.index_builds,
+        base_list_builds: stats.base_list_builds,
+        anchor_rows,
+    }
+}
+
+/// Render the result as the `BENCH_engine.json` document (hand-rolled —
+/// the workspace is dependency-free by policy).
+pub fn to_json(cfg: &EngineBenchConfig, r: &EngineBenchResult) -> String {
+    let qps_points: Vec<String> = r
+        .qps
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"threads\": {}, \"jobs\": {}, \"wall_ms\": {:.2}, \"qps\": {:.1}, \"jobs_per_thread\": {:.1}}}",
+                p.threads,
+                p.jobs,
+                p.wall.as_secs_f64() * 1e3,
+                p.qps,
+                p.jobs_per_thread
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"config\": {{\"persons\": {}, \"items\": {}, \"auctions\": {}, \"queries\": {}, \"tau\": {}, \"repeats\": {}, \"rounds\": {}}},\n  \"latency\": {{\"cold_ms\": {:.2}, \"warm_optimize_ms\": {:.2}, \"warm_replay_ms\": {:.2}, \"warm_replay_over_cold\": {:.3}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}},\n  \"engine\": {{\"index_builds\": {}, \"base_list_builds\": {}}},\n  \"qps\": [{}],\n  \"anchor_rows\": {}\n}}\n",
+        cfg.xmark.persons,
+        cfg.xmark.items,
+        cfg.xmark.auctions,
+        cfg.queries,
+        cfg.tau,
+        cfg.repeats,
+        cfg.rounds,
+        r.cold.as_secs_f64() * 1e3,
+        r.warm_optimize.as_secs_f64() * 1e3,
+        r.warm_replay.as_secs_f64() * 1e3,
+        r.warm_replay.as_secs_f64() / r.cold.as_secs_f64().max(f64::EPSILON),
+        r.plan_hits,
+        r.plan_misses,
+        r.plan_hit_rate,
+        r.index_builds,
+        r.base_list_builds,
+        qps_points.join(", "),
+        r.anchor_rows,
+    )
+}
+
+/// Render a human-readable summary table.
+pub fn render(r: &EngineBenchResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "latency    cold {:>10.3?}  warm-optimize {:>10.3?}  warm-replay {:>10.3?}",
+        r.cold, r.warm_optimize, r.warm_replay
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "plan cache {} hits / {} misses ({:.1}% hit rate); {} index builds, {} base lists",
+        r.plan_hits,
+        r.plan_misses,
+        100.0 * r.plan_hit_rate,
+        r.index_builds,
+        r.base_list_builds
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>8}  {:>6}  {:>12}  {:>10}",
+        "threads", "jobs", "wall", "qps"
+    )
+    .unwrap();
+    for p in &r.qps {
+        writeln!(
+            out,
+            "{:>8}  {:>6}  {:>12.3?}  {:>10.1}",
+            p.threads, p.jobs, p.wall, p.qps
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_consistent() {
+        let cfg = EngineBenchConfig {
+            xmark: XmarkConfig::tiny(),
+            queries: 2,
+            tau: 16,
+            repeats: 1,
+            threads: vec![2],
+            rounds: 2,
+        };
+        let r = run(&cfg);
+        // Each shape optimizes at least once; all repeats replay.
+        assert!(r.plan_hits > 0, "serving phase never hit the plan cache");
+        assert!(r.plan_hit_rate > 0.0 && r.plan_hit_rate <= 1.0);
+        assert_eq!(r.qps.len(), 1);
+        assert!(r.qps[0].jobs_per_thread > 1.0, ">1 query per thread");
+        let json = to_json(&cfg, &r);
+        assert!(json.contains("\"latency\""));
+        assert!(json.contains("\"plan_cache\""));
+        assert!(json.contains("\"qps\""));
+        let table = render(&r);
+        assert!(table.contains("plan cache"));
+    }
+}

@@ -10,10 +10,9 @@
 use crate::setup::{dblp_catalog, extract_join_order, DblpSetup};
 use rox_core::{
     analyze_star, classical_join_order, enumerate_join_orders, plan_edges, run_plan_with_env,
-    run_rox_with_env, JoinOrder, Placement, RoxEnv, RoxOptions,
+    run_rox_with_env, JoinOrder, Placement, RoxOptions,
 };
 use rox_datagen::{dblp_query, venue_index};
-use std::sync::Arc;
 
 /// Configuration for the Fig. 5 reproduction.
 #[derive(Debug, Clone)]
@@ -74,7 +73,7 @@ pub fn run(cfg: &Fig5Config) -> Fig5Output {
     ];
     let graph = rox_joingraph::compile_query(&dblp_query(&combo)).unwrap();
     let star = analyze_star(&graph).expect("DBLP query is a star");
-    let env = RoxEnv::new(Arc::clone(&setup.catalog), &graph).unwrap();
+    let env = setup.engine.session(&graph).unwrap();
 
     let classical = classical_join_order(&env, &graph, &star);
     let rox_report = run_rox_with_env(

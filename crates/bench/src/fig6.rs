@@ -23,10 +23,9 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 use rox_core::{
     analyze_star, classical_join_order, enumerate_join_orders, plan_edges, run_plan_with_env,
-    run_rox_with_env, Placement, RoxEnv, RoxOptions,
+    run_rox_with_env, Placement, RoxOptions,
 };
 use rox_datagen::{correlation, dblp_query, grouped_combinations};
-use std::sync::Arc;
 
 /// Configuration.
 #[derive(Debug, Clone)]
@@ -112,7 +111,7 @@ pub fn measure_combo(setup: &DblpSetup, combo: [usize; 4], tau: usize, seed: u64
     let group = rox_datagen::group_of(&combo);
     let graph = rox_joingraph::compile_query(&dblp_query(&combo)).unwrap();
     let star = analyze_star(&graph).expect("star query");
-    let env = RoxEnv::new(Arc::clone(&setup.catalog), &graph).unwrap();
+    let env = setup.engine.session(&graph).unwrap();
     let docs: Vec<_> = combo.iter().map(|&i| setup.corpus.docs[i]).collect();
     let corr = correlation(&setup.catalog, &docs);
 

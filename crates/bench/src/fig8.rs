@@ -11,7 +11,6 @@ use rand::rngs::StdRng;
 use rox_core::{run_plan_with_env, run_rox_with_env, RoxEnv, RoxOptions};
 use rox_datagen::{dblp_query, grouped_combinations};
 use rox_joingraph::{EdgeId, JoinGraph};
-use std::sync::Arc;
 use std::time::Instant;
 
 /// Replay an executed order, returning `(work, wall seconds)`.
@@ -91,7 +90,7 @@ pub fn run(cfg: &Fig8Config) -> Fig8Output {
         }
         for combo in combos {
             let graph = rox_joingraph::compile_query(&dblp_query(&combo)).unwrap();
-            let env = RoxEnv::new(Arc::clone(&setup.catalog), &graph).unwrap();
+            let env = setup.engine.session(&graph).unwrap();
             for &tau in &cfg.taus {
                 let t = Instant::now();
                 let report = run_rox_with_env(

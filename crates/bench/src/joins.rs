@@ -24,7 +24,7 @@
 use crate::xmark_catalog;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rox_core::{run_rox_with_env, RoxEnv, RoxOptions};
+use rox_core::{run_rox_with_env, RoxEngine, RoxOptions};
 use rox_datagen::{xmark_query, XmarkConfig};
 use rox_index::{sample_sorted, PreSet, SymbolTable, ValueIndex};
 use rox_xmldb::{Document, NodeKind, Pre, Symbol};
@@ -304,7 +304,8 @@ pub fn run(cfg: &JoinsBenchConfig) -> JoinsBenchResult {
 
     // ---- 3. End-to-end anchor: Q1 through the production dense paths.
     let graph = rox_joingraph::compile_query(&xmark_query("<", 145.0)).unwrap();
-    let env = RoxEnv::new(std::sync::Arc::clone(&catalog), &graph).unwrap();
+    let engine = RoxEngine::new(std::sync::Arc::clone(&catalog));
+    let env = engine.session(&graph).unwrap();
     let report = run_rox_with_env(&env, &graph, RoxOptions::default()).unwrap();
 
     JoinsBenchResult {

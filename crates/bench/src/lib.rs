@@ -17,8 +17,10 @@
 //! | Fig. 8 (sample-size overhead)           | [`fig8`]   | `fig8_sample_size` |
 //! | Thread scaling (extension)              | [`scaling_threads`] | `fig_scaling_threads` |
 //! | Dense-join layouts (extension)          | [`joins`]  | `bench_joins` |
+//! | Engine serving layer (extension)        | [`engine`] | `bench_engine` |
 
 pub mod args;
+pub mod engine;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

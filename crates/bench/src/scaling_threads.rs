@@ -18,7 +18,7 @@
 use crate::xmark_catalog;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rox_core::{estimate_cards, EvalState, Parallelism, RoxEnv, RoxOptions};
+use rox_core::{estimate_cards, EvalState, Parallelism, RoxEngine, RoxEnv, RoxOptions};
 use rox_datagen::{xmark_query, XmarkConfig};
 use rox_joingraph::JoinGraph;
 use rox_ops::Cost;
@@ -128,7 +128,8 @@ fn best_of(repeats: usize, mut f: impl FnMut() -> Duration) -> Duration {
 pub fn run(cfg: &ThreadScalingConfig) -> ThreadScalingResult {
     let catalog = xmark_catalog(&cfg.xmark);
     let graph = rox_joingraph::compile_query(&xmark_query("<", 145.0)).unwrap();
-    let env = RoxEnv::new(std::sync::Arc::clone(&catalog), &graph).unwrap();
+    let engine = RoxEngine::new(std::sync::Arc::clone(&catalog));
+    let env = engine.session(&graph).unwrap();
     let workload = SamplingWorkload::prepare(&env, &graph, cfg.tau, 42);
 
     let (baseline_weights, baseline_cost) = workload.weigh(Parallelism::Sequential);

@@ -1,10 +1,12 @@
 //! Shared corpus setup for the experiment harnesses.
 
+use rox_core::RoxEngine;
 use rox_datagen::{generate_dblp, generate_xmark, DblpConfig, DblpCorpus, XmarkConfig};
 use rox_xmldb::Catalog;
 use std::sync::Arc;
 
-/// A generated DBLP corpus with its catalog.
+/// A generated DBLP corpus with its catalog and a long-lived serving
+/// engine over it.
 pub struct DblpSetup {
     /// Catalog holding all 23 venue documents.
     pub catalog: Arc<Catalog>,
@@ -12,6 +14,10 @@ pub struct DblpSetup {
     pub corpus: DblpCorpus,
     /// The configuration used.
     pub config: DblpConfig,
+    /// The shared query-serving engine: every harness query runs in an
+    /// `engine.session(..)`, so document indexes and base lists are built
+    /// once per corpus instead of once per measured combination.
+    pub engine: RoxEngine,
 }
 
 /// Generate the 23-venue DBLP corpus at the given replication scale and
@@ -25,10 +31,12 @@ pub fn dblp_catalog(scale: usize, size_factor: f64, seed: u64) -> DblpSetup {
     };
     let catalog = Arc::new(Catalog::new());
     let corpus = generate_dblp(&catalog, &config);
+    let engine = RoxEngine::new(Arc::clone(&catalog));
     DblpSetup {
         catalog,
         corpus,
         config,
+        engine,
     }
 }
 

@@ -2,12 +2,19 @@
 //! value indices — the complete "execution environment" of the paper
 //! (storage + structural/value indices) that ROX's run-time optimizer
 //! probes.
+//!
+//! The store is built to be shared across concurrent queries: index
+//! lookups take a read lock only, and a first-touch build runs inside a
+//! per-document [`OnceLock`] cell, so two queries racing to index
+//! *different* documents build concurrently while racers on the *same*
+//! document build it exactly once.
 
 use crate::element::ElementIndex;
 use crate::value::ValueIndex;
 use rox_xmldb::{Catalog, DocId, Document};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Both indices of one document.
 pub struct DocIndexes {
@@ -30,12 +37,14 @@ impl DocIndexes {
 /// A document catalog plus lazily built per-document indices.
 pub struct IndexedStore {
     catalog: Arc<Catalog>,
-    indexes: parking_lot_free::Mutex<HashMap<DocId, Arc<DocIndexes>>>,
-}
-
-/// Minimal std-based mutex alias so this crate does not need parking_lot.
-mod parking_lot_free {
-    pub use std::sync::Mutex;
+    /// doc → once-cell holding its built indices. The outer map is only
+    /// ever locked to fetch/insert a (cheap) cell; the expensive
+    /// [`DocIndexes::build`] happens inside the cell, outside both locks'
+    /// critical paths for other documents.
+    indexes: RwLock<HashMap<DocId, Arc<OnceLock<Arc<DocIndexes>>>>>,
+    /// How many times [`DocIndexes::build`] ran — the "warm queries do
+    /// zero redundant index work" observable the engine tests assert on.
+    builds: AtomicUsize,
 }
 
 impl IndexedStore {
@@ -43,7 +52,8 @@ impl IndexedStore {
     pub fn new(catalog: Arc<Catalog>) -> Self {
         IndexedStore {
             catalog,
-            indexes: parking_lot_free::Mutex::new(HashMap::new()),
+            indexes: RwLock::new(HashMap::new()),
+            builds: AtomicUsize::new(0),
         }
     }
 
@@ -58,20 +68,42 @@ impl IndexedStore {
     }
 
     /// The indices of document `id`, building them on first access.
+    ///
+    /// Warm calls take the read lock only. A cold call inserts an empty
+    /// per-document cell under the write lock (cheap) and then builds
+    /// inside the cell — so concurrent first touches of *different*
+    /// documents index in parallel, and concurrent first touches of the
+    /// *same* document build it once (the losers block on that one cell,
+    /// not on a store-wide lock).
     pub fn indexes(&self, id: DocId) -> Arc<DocIndexes> {
-        let mut map = self.indexes.lock().expect("index cache poisoned");
-        if let Some(idx) = map.get(&id) {
-            return Arc::clone(idx);
-        }
-        let idx = Arc::new(DocIndexes::build(&self.catalog.doc(id)));
-        map.insert(id, Arc::clone(&idx));
-        idx
+        let cell = {
+            let map = self.indexes.read().expect("index cache poisoned");
+            map.get(&id).cloned()
+        };
+        let cell = match cell {
+            Some(cell) => cell,
+            None => {
+                let mut map = self.indexes.write().expect("index cache poisoned");
+                Arc::clone(map.entry(id).or_default())
+            }
+        };
+        Arc::clone(cell.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(DocIndexes::build(&self.catalog.doc(id)))
+        }))
     }
 
-    /// Drop cached indices (used after re-loading a document in tests).
+    /// How many index builds have run so far. A shared store serving warm
+    /// traffic must not advance this — see the engine's
+    /// zero-redundant-work tests.
+    pub fn build_count(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Drop cached indices (used after re-loading a document).
     pub fn invalidate(&self, id: DocId) {
         self.indexes
-            .lock()
+            .write()
             .expect("index cache poisoned")
             .remove(&id);
     }
@@ -89,6 +121,7 @@ mod tests {
         let i1 = store.indexes(id);
         let i2 = store.indexes(id);
         assert!(Arc::ptr_eq(&i1, &i2));
+        assert_eq!(store.build_count(), 1);
     }
 
     #[test]
@@ -110,5 +143,29 @@ mod tests {
         cat.load_str("a.xml", "<a><b/><b/></a>").unwrap();
         store.invalidate(id);
         assert_eq!(store.indexes(id).element.count(b), 2);
+        assert_eq!(store.build_count(), 2);
+    }
+
+    #[test]
+    fn concurrent_first_touch_builds_each_document_once() {
+        let cat = Arc::new(Catalog::new());
+        let mut ids = Vec::new();
+        for i in 0..8 {
+            let xml = format!("<r>{}</r>", "<x/>".repeat(i + 1));
+            ids.push(cat.load_str(&format!("{i}.xml"), &xml).unwrap());
+        }
+        let store = IndexedStore::new(cat);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for &id in &ids {
+                        let idx = store.indexes(id);
+                        assert!(idx.element.text_nodes().is_empty());
+                    }
+                });
+            }
+        });
+        // Every document indexed exactly once despite 4 racing threads.
+        assert_eq!(store.build_count(), ids.len());
     }
 }

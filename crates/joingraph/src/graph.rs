@@ -40,6 +40,45 @@ impl fmt::Display for VertexLabel {
     }
 }
 
+impl VertexLabel {
+    /// An injective canonical key for this label: equal keys ⇔ equal
+    /// labels. Free-form fragments (names, string literals) are
+    /// length-prefixed so no crafted name can collide with the structural
+    /// separators, and numeric predicate constants are keyed by their IEEE
+    /// bit pattern (`f64::to_bits`), not their lossy decimal rendering.
+    ///
+    /// This is the label half of the cross-query cache keys: the engine's
+    /// base-list cache is keyed by `(DocId, cache_key)` — a vertex's base
+    /// list depends on nothing else — and [`JoinGraph::canonical_form`]
+    /// embeds the same key per vertex.
+    pub fn cache_key(&self) -> String {
+        fn pred(out: &mut String, p: &ValuePredicate) {
+            use rox_xmldb::Constant;
+            out.push_str(&format!("{}", p.op));
+            match &p.rhs {
+                Constant::Str(s) => out.push_str(&format!("s{}:{s}", s.len())),
+                Constant::Num(n) => out.push_str(&format!("n{:016x}", n.to_bits())),
+            }
+        }
+        let mut out = String::new();
+        match self {
+            VertexLabel::Root => out.push('R'),
+            VertexLabel::Element(n) => out.push_str(&format!("E{}:{n}", n.len())),
+            VertexLabel::Text(None) => out.push('T'),
+            VertexLabel::Text(Some(p)) => {
+                out.push('T');
+                pred(&mut out, p);
+            }
+            VertexLabel::Attribute(n, None) => out.push_str(&format!("A{}:{n}", n.len())),
+            VertexLabel::Attribute(n, Some(p)) => {
+                out.push_str(&format!("A{}:{n}", n.len()));
+                pred(&mut out, p);
+            }
+        }
+        out
+    }
+}
+
 /// A Join Graph vertex.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Vertex {
@@ -314,6 +353,67 @@ impl JoinGraph {
         out
     }
 
+    /// The canonical serialization behind [`JoinGraph::fingerprint`]:
+    /// vertices in id order (`doc_uri` length-prefixed +
+    /// [`VertexLabel::cache_key`]), edges in id order (endpoints, operator,
+    /// redundancy), and the plan tail. Two graphs have equal canonical
+    /// forms iff they are the same query shape over the same documents —
+    /// exactly the condition under which a cached plan (an edge order over
+    /// these edge ids) can be replayed. Variable *names* are deliberately
+    /// excluded: the compiler numbers vertices by clause order, so
+    /// α-renamed queries canonicalize identically.
+    pub fn canonical_form(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for v in &self.vertices {
+            write!(
+                out,
+                "v{}:{}:{}|{};",
+                v.id,
+                v.doc_uri.len(),
+                v.doc_uri,
+                v.label.cache_key()
+            )
+            .unwrap();
+        }
+        for e in &self.edges {
+            let kind = match &e.kind {
+                EdgeKind::Step(ax) => format!("s{}", ax.label()),
+                EdgeKind::EquiJoin { inferred: false } => "j".to_string(),
+                EdgeKind::EquiJoin { inferred: true } => "ji".to_string(),
+            };
+            write!(
+                out,
+                "e{}:{}-{}:{}:{};",
+                e.id,
+                e.v1,
+                e.v2,
+                kind,
+                u8::from(e.redundant)
+            )
+            .unwrap();
+        }
+        write!(
+            out,
+            "t:d{:?}:s{:?}:o{}",
+            self.tail.dedup, self.tail.sort, self.tail.output
+        )
+        .unwrap();
+        out
+    }
+
+    /// A 64-bit fingerprint of [`JoinGraph::canonical_form`] (FNV-1a; the
+    /// workspace is dependency-free by policy). This is the plan-cache
+    /// key: a repeat of the same query shape fingerprints identically, so
+    /// the engine can replay the previously discovered edge order without
+    /// re-optimizing. Collisions are guarded one level up — the cache
+    /// stores the canonical form and compares it on every hit. Callers
+    /// that already hold the canonical form should hash it directly via
+    /// [`fingerprint_of`].
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_of(&self.canonical_form())
+    }
+
     /// Human-readable dump (used by `--explain` harness output).
     pub fn dump(&self) -> String {
         let mut out = String::new();
@@ -331,6 +431,18 @@ impl JoinGraph {
         }
         out
     }
+}
+
+/// FNV-1a 64 over a canonical-form string — the hash behind
+/// [`JoinGraph::fingerprint`], exposed so a caller that needs both the
+/// canonical form and its fingerprint serializes the graph only once.
+pub fn fingerprint_of(canonical: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in canonical.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 #[cfg(test)]
@@ -394,6 +506,76 @@ mod tests {
         assert!(dot.contains("style=bold"));
         assert!(dot.contains("style=dotted"), "closure edge must be dotted");
         assert_eq!(dot.matches(" -- ").count(), 3);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminates() {
+        let mut g = JoinGraph::new();
+        let r = g.add_vertex("d.xml", VertexLabel::Root);
+        let a = g.add_vertex("d.xml", VertexLabel::Element("item".into()));
+        g.add_edge(r, a, EdgeKind::Step(Axis::Child));
+        let fp = g.fingerprint();
+        assert_eq!(fp, g.fingerprint(), "fingerprint must be deterministic");
+
+        // A structurally identical rebuild fingerprints identically.
+        let mut g2 = JoinGraph::new();
+        let r2 = g2.add_vertex("d.xml", VertexLabel::Root);
+        let a2 = g2.add_vertex("d.xml", VertexLabel::Element("item".into()));
+        g2.add_edge(r2, a2, EdgeKind::Step(Axis::Child));
+        assert_eq!(fp, g2.fingerprint());
+        assert_eq!(g.canonical_form(), g2.canonical_form());
+
+        // Different element name, axis, document, or tail all change it.
+        let mut g3 = g2.clone();
+        g3.set_vertex_label(a2, VertexLabel::Element("other".into()));
+        assert_ne!(fp, g3.fingerprint());
+        let mut g4 = JoinGraph::new();
+        let r4 = g4.add_vertex("d.xml", VertexLabel::Root);
+        let a4 = g4.add_vertex("d.xml", VertexLabel::Element("item".into()));
+        g4.add_edge(r4, a4, EdgeKind::Step(Axis::Descendant));
+        assert_ne!(fp, g4.fingerprint());
+        let mut g5 = g2.clone();
+        g5.tail.output = a2;
+        assert_ne!(fp, g5.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_predicate_constants() {
+        use rox_xmldb::CmpOp;
+        let build = |n: f64| {
+            let mut g = JoinGraph::new();
+            let r = g.add_vertex("d.xml", VertexLabel::Root);
+            let t = g.add_vertex(
+                "d.xml",
+                VertexLabel::Text(Some(ValuePredicate::num(CmpOp::Lt, n))),
+            );
+            g.add_edge(r, t, EdgeKind::Step(Axis::Descendant));
+            g
+        };
+        assert_eq!(build(145.0).fingerprint(), build(145.0).fingerprint());
+        assert_ne!(build(145.0).fingerprint(), build(146.0).fingerprint());
+        // -0.0 and 0.0 differ bitwise and must not alias.
+        assert_ne!(build(0.0).fingerprint(), build(-0.0).fingerprint());
+    }
+
+    #[test]
+    fn cache_key_is_injective_on_tricky_labels() {
+        // Length prefixes keep crafted names from colliding with the
+        // structural separators.
+        let a = VertexLabel::Element("a:b".into()).cache_key();
+        let b = VertexLabel::Element("a".into()).cache_key();
+        assert_ne!(a, b);
+        let t1 = VertexLabel::Text(Some(ValuePredicate::eq_str("x"))).cache_key();
+        let t2 = VertexLabel::Text(Some(ValuePredicate::eq_str("y"))).cache_key();
+        assert_ne!(t1, t2);
+        assert_ne!(
+            VertexLabel::Element("text()".into()).cache_key(),
+            VertexLabel::Text(None).cache_key()
+        );
+        assert_ne!(
+            VertexLabel::Attribute("x".into(), None).cache_key(),
+            VertexLabel::Element("x".into()).cache_key()
+        );
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod pretty;
 
 pub use ast::Query;
 pub use compile::{compile, CompileError};
-pub use graph::{Edge, EdgeId, EdgeKind, JoinGraph, TailSpec, Vertex, VertexId, VertexLabel};
+pub use graph::{
+    fingerprint_of, Edge, EdgeId, EdgeKind, JoinGraph, TailSpec, Vertex, VertexId, VertexLabel,
+};
 pub use parser::{parse_query, SyntaxError};
 
 /// Parse and compile in one call.

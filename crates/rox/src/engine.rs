@@ -1,0 +1,657 @@
+//! The query-serving layer: a long-lived, thread-safe [`RoxEngine`] that
+//! amortizes everything *around* one ROX run across many.
+//!
+//! ROX pays a per-query sampling overhead to discover a robust join order
+//! at run time (§2.3). That trade only makes sense as a *service* if the
+//! per-query setup around it — index construction, base-list lookups, and
+//! for repeat queries the sampling itself — is paid once, not per call.
+//! The engine owns three caches, each keyed so reuse is sound by
+//! construction:
+//!
+//! * **document indexes** — the shared [`IndexedStore`], keyed by
+//!   [`DocId`]: element/value indexes (including the dense CSR tables)
+//!   are built once per document, ever;
+//! * **base lists** — [`BaseListCache`], keyed by `(DocId, VertexLabel)`:
+//!   a vertex's base list depends on nothing but its document and its
+//!   label, so *any* later query using the same vertex shape reuses it
+//!   (unlike the old per-graph `VertexId` keying, which died with the
+//!   env);
+//! * **plans** — keyed by [`JoinGraph::fingerprint`]: the edge order an
+//!   optimizing run discovered, plus the physical operator
+//!   ([`EdgeOpKind`]) it chose per edge. Under
+//!   [`PlanReuse::ReuseValidated`] a repeat of the same query shape
+//!   replays that order through [`crate::plan`] and **skips the sampling
+//!   phase entirely**; any fingerprint mismatch, canonical-form collision,
+//!   or stale edge set bypasses the cache and re-optimizes.
+//!
+//! A query runs inside a *session* ([`RoxEngine::session`]) — a thin
+//! [`RoxEnv`] view borrowing the engine's caches — and
+//! [`RoxEngine::run_many`] fans a batch of queries out across worker
+//! threads (`rox_par`), all against the same engine. Results are
+//! bit-identical to fresh standalone runs: every cached structure is
+//! value-equal to the fresh build it replaces, and `run` with
+//! [`PlanReuse::AlwaysOptimize`] (the default) performs the exact same
+//! sampling an un-cached [`crate::run_rox`] would.
+
+use crate::env::{EnvError, RoxEnv};
+use crate::optimizer::{run_rox_with_env, RoxOptions, RoxReport};
+use crate::plan::{run_plan_with_env_parallel, validate_plan, PlanRun};
+use crate::state::EdgeExec;
+use rox_index::IndexedStore;
+use rox_joingraph::{EdgeId, JoinGraph, VertexLabel};
+use rox_ops::{Cost, EdgeOpKind, Relation};
+use rox_par::{par_map, Parallelism};
+use rox_xmldb::{Catalog, DocId, Pre};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// Plan-cache policy for [`RoxEngine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanReuse {
+    /// Optimize every run (the paper's behaviour). Discovered plans still
+    /// *seed* the cache so a later `ReuseValidated` run can hit.
+    #[default]
+    AlwaysOptimize,
+    /// Replay the cached plan when the query's fingerprint matches a
+    /// cached entry that validates against the graph (canonical form
+    /// equal, edge order still covering every non-redundant edge) —
+    /// skipping sampling entirely. Anything else falls back to a full
+    /// optimizing run.
+    ReuseValidated,
+}
+
+/// Cross-query base-list cache, keyed by `(DocId, VertexLabel)`.
+///
+/// The key is sound because a base list is a pure function of the document
+/// and the vertex label (see `RoxEnv::build_base_list`); the label is
+/// keyed through its injective [`VertexLabel::cache_key`]. Shared behind
+/// an `RwLock` — warm lookups are read-locked only. Under a first-touch
+/// race both threads build and the first insert wins, so the `builds`
+/// counter is exact for sequential warm-path assertions and an upper
+/// bound under contention.
+pub struct BaseListCache {
+    lists: RwLock<BaseListMap>,
+    builds: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+/// `(document, canonical label key)` → shared base list.
+type BaseListMap = HashMap<(DocId, String), Arc<Vec<Pre>>>;
+
+/// Safety valve on the base-list cache: parameterized traffic (a fresh
+/// range constant per query) mints a fresh `(DocId, label)` key per
+/// constant, and each entry holds a materialized pre list — unbounded
+/// growth would leak on a long-lived server. Past the cap an arbitrary
+/// entry is evicted per insert (outstanding `Arc`s stay valid; a future
+/// touch simply rebuilds).
+const MAX_CACHED_BASE_LISTS: usize = 8192;
+
+/// Same safety valve for the plan cache (canonical strings + edge
+/// orders); evicted FIFO past the cap.
+const MAX_CACHED_PLANS: usize = 1024;
+
+impl Default for BaseListCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BaseListCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        BaseListCache {
+            lists: RwLock::new(HashMap::new()),
+            builds: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// The list for `(doc, label)`, building it via `build` on a miss.
+    pub(crate) fn get_or_build(
+        &self,
+        doc: DocId,
+        label: &VertexLabel,
+        build: impl FnOnce() -> Vec<Pre>,
+    ) -> Arc<Vec<Pre>> {
+        let key = (doc, label.cache_key());
+        if let Some(list) = self.lists.read().expect("base-list cache").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(list);
+        }
+        let built = Arc::new(build());
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.lists.write().expect("base-list cache");
+        if map.len() >= MAX_CACHED_BASE_LISTS && !map.contains_key(&key) {
+            if let Some(victim) = map.keys().next().cloned() {
+                map.remove(&victim);
+            }
+        }
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+
+    /// How many base lists were built (not served from cache).
+    pub fn build_count(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// How many lookups were served from the shared cache.
+    pub fn hit_count(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached lists.
+    pub fn len(&self) -> usize {
+        self.lists.read().expect("base-list cache").len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every list of `doc` (after a document reload).
+    fn invalidate_doc(&self, doc: DocId) {
+        self.lists
+            .write()
+            .expect("base-list cache")
+            .retain(|(d, _), _| *d != doc);
+    }
+}
+
+/// One plan-cache entry: what an optimizing run discovered for one query
+/// fingerprint.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The non-redundant edges in the order ROX executed them — the "pure
+    /// plan" replayed on a hit.
+    pub order: Vec<EdgeId>,
+    /// The physical operator the kernel chose per executed edge (parallel
+    /// to `order`). Advisory: a replay re-derives its choices through the
+    /// same kernel and cost function, so on unchanged documents it picks
+    /// these exact operators again.
+    pub ops: Vec<EdgeOpKind>,
+    /// Collision guard: the full canonical form the fingerprint hashed.
+    canonical: String,
+    /// Documents the plan touches (for invalidation).
+    doc_uris: Vec<String>,
+}
+
+/// Counters describing how much work the engine's caches absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// `DocIndexes::build` runs in the shared store.
+    pub index_builds: usize,
+    /// Base lists built (shared-cache misses).
+    pub base_list_builds: usize,
+    /// Base-list lookups served from the shared cache.
+    pub base_list_hits: usize,
+    /// `run` calls answered by plan replay.
+    pub plan_hits: u64,
+    /// `run` calls that ran the optimizer (including every
+    /// `AlwaysOptimize` call).
+    pub plan_misses: u64,
+    /// Plans currently cached.
+    pub cached_plans: usize,
+}
+
+impl EngineStats {
+    /// `plan_hits / (plan_hits + plan_misses)`, 0 when nothing ran.
+    pub fn plan_hit_rate(&self) -> f64 {
+        let total = self.plan_hits + self.plan_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.plan_hits as f64 / total as f64
+    }
+}
+
+/// Everything one engine-served query run produces. Unlike
+/// [`RoxReport`], this is uniform across optimizing runs and plan-cache
+/// replays (a replay has an all-zero `sample_cost` — it never samples).
+#[derive(Debug)]
+pub struct EngineRun {
+    /// The query output after the plan tail (π·δ·τ·π).
+    pub output: Relation,
+    /// The fully joined Join Graph result (pre-tail).
+    pub joined: Relation,
+    /// Edges in the order they were executed (discovered or replayed).
+    pub executed_order: Vec<EdgeId>,
+    /// Per-execution result sizes and operator choices.
+    pub edge_log: Vec<EdgeExec>,
+    /// Work done by full executions.
+    pub exec_cost: Cost,
+    /// Work done by sampling — zero for a plan-cache replay.
+    pub sample_cost: Cost,
+    /// Wall-clock of the run.
+    pub total_wall: Duration,
+    /// True when the plan cache answered this run (no sampling happened).
+    pub plan_cache_hit: bool,
+    /// The query's join-graph fingerprint (the plan-cache key).
+    pub fingerprint: u64,
+}
+
+impl EngineRun {
+    fn from_report(report: RoxReport, fingerprint: u64) -> Self {
+        EngineRun {
+            output: report.output,
+            joined: report.joined,
+            executed_order: report.executed_order,
+            edge_log: report.edge_log,
+            exec_cost: report.exec_cost,
+            sample_cost: report.sample_cost,
+            total_wall: report.total_wall,
+            plan_cache_hit: false,
+            fingerprint,
+        }
+    }
+
+    fn from_replay(run: PlanRun, order: Vec<EdgeId>, fingerprint: u64) -> Self {
+        EngineRun {
+            output: run.output,
+            joined: run.joined,
+            executed_order: order,
+            edge_log: run.edge_log,
+            exec_cost: run.cost,
+            sample_cost: Cost::new(),
+            total_wall: run.wall,
+            plan_cache_hit: true,
+            fingerprint,
+        }
+    }
+}
+
+/// The long-lived, thread-safe query-serving layer: one engine per
+/// catalog, shared by reference across every query and worker thread.
+///
+/// ```
+/// use std::sync::Arc;
+/// use rox_core::{PlanReuse, RoxEngine, RoxOptions};
+///
+/// let catalog = Arc::new(rox_xmldb::Catalog::new());
+/// catalog.load_str("d.xml", "<site><auction><bidder/></auction></site>").unwrap();
+/// let engine = RoxEngine::new(catalog);
+/// let graph = rox_joingraph::compile_query(
+///     r#"for $a in doc("d.xml")//auction, $b in $a/bidder return $b"#,
+/// ).unwrap();
+/// let options = RoxOptions { plan_reuse: PlanReuse::ReuseValidated, ..Default::default() };
+/// let cold = engine.run(&graph, options).unwrap(); // optimizes, seeds the plan cache
+/// let warm = engine.run(&graph, options).unwrap(); // replays, no sampling
+/// assert!(!cold.plan_cache_hit && warm.plan_cache_hit);
+/// assert_eq!(warm.output, cold.output);
+/// assert_eq!(warm.sample_cost.total(), 0);
+/// ```
+pub struct RoxEngine {
+    store: Arc<IndexedStore>,
+    base_lists: Arc<BaseListCache>,
+    plans: Mutex<PlanCache>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+}
+
+/// The bounded plan store behind the engine's mutex: fingerprint → plan
+/// plus insertion order for FIFO eviction past [`MAX_CACHED_PLANS`]. The
+/// FIFO may hold fingerprints whose entries invalidation already removed;
+/// eviction pops through those harmlessly.
+#[derive(Default)]
+struct PlanCache {
+    map: HashMap<u64, CachedPlan>,
+    fifo: std::collections::VecDeque<u64>,
+}
+
+impl PlanCache {
+    fn insert(&mut self, fingerprint: u64, plan: CachedPlan) {
+        if self.map.insert(fingerprint, plan).is_none() {
+            self.fifo.push_back(fingerprint);
+        }
+        while self.map.len() > MAX_CACHED_PLANS {
+            match self.fifo.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for RoxEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("RoxEngine")
+            .field("documents", &self.catalog().len())
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl RoxEngine {
+    /// An engine over `catalog`, with all caches empty.
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        RoxEngine {
+            store: Arc::new(IndexedStore::new(catalog)),
+            base_lists: Arc::new(BaseListCache::new()),
+            plans: Mutex::new(PlanCache::default()),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The catalog this engine serves.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        self.store.catalog()
+    }
+
+    /// The shared document-index store.
+    pub fn store(&self) -> &Arc<IndexedStore> {
+        &self.store
+    }
+
+    /// The shared cross-query base-list cache.
+    pub fn base_lists(&self) -> &Arc<BaseListCache> {
+        &self.base_lists
+    }
+
+    /// A per-query session: a thin [`RoxEnv`] view borrowing this engine's
+    /// index store and base-list cache. Cheap enough to create per call —
+    /// the only per-session work is resolving the graph's document URIs.
+    pub fn session(&self, graph: &JoinGraph) -> Result<RoxEnv, EnvError> {
+        RoxEnv::from_shared(
+            Arc::clone(&self.store),
+            Arc::clone(&self.base_lists),
+            graph,
+            Parallelism::Sequential,
+        )
+    }
+
+    /// Serve one query: replay the cached plan when
+    /// [`RoxOptions::plan_reuse`] allows it and a validated entry exists,
+    /// else run the full optimizer ([`crate::run_rox`] semantics — the
+    /// result is bit-identical to a fresh standalone run) and seed the
+    /// plan cache with what it discovered.
+    pub fn run(&self, graph: &JoinGraph, options: RoxOptions) -> Result<EngineRun, EnvError> {
+        // Serialize the canonical form once per run; the fingerprint, the
+        // collision compare, and (on a miss) the seeded entry all reuse it.
+        let canonical = graph.canonical_form();
+        let fingerprint = rox_joingraph::fingerprint_of(&canonical);
+        if options.plan_reuse == PlanReuse::ReuseValidated {
+            if let Some(order) = self.lookup_validated(fingerprint, &canonical, graph) {
+                let env = self.session(graph)?;
+                let replay = run_plan_with_env_parallel(&env, graph, &order, options.parallelism)
+                    .map_err(|e| EnvError { message: e.message })?;
+                self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(EngineRun::from_replay(replay, order, fingerprint));
+            }
+        }
+        let env = self.session(graph)?;
+        let report = run_rox_with_env(&env, graph, options)?;
+        // Count the miss only once the optimizer actually ran — failed
+        // sessions (unknown documents) must not skew the hit rate.
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        self.seed_plan(fingerprint, canonical, graph, &report);
+        Ok(EngineRun::from_report(report, fingerprint))
+    }
+
+    /// Serve a batch of queries concurrently on `par` worker threads, all
+    /// against this engine's shared caches. Results come back in job
+    /// order; each job is exactly one [`RoxEngine::run`].
+    pub fn run_many(
+        &self,
+        jobs: &[(&JoinGraph, RoxOptions)],
+        par: Parallelism,
+    ) -> Vec<Result<EngineRun, EnvError>> {
+        let threads = par.effective_threads(jobs.len(), 1);
+        par_map(threads, jobs.len(), |i| self.run(jobs[i].0, jobs[i].1))
+    }
+
+    /// The cached plan for `graph`, if a validated one exists.
+    pub fn cached_plan(&self, graph: &JoinGraph) -> Option<CachedPlan> {
+        let canonical = graph.canonical_form();
+        let fingerprint = rox_joingraph::fingerprint_of(&canonical);
+        self.lookup_validated(fingerprint, &canonical, graph)?;
+        self.plans
+            .lock()
+            .expect("plan cache")
+            .map
+            .get(&fingerprint)
+            .cloned()
+    }
+
+    /// Cache-effectiveness counters (cheap; all atomics).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            index_builds: self.store.build_count(),
+            base_list_builds: self.base_lists.build_count(),
+            base_list_hits: self.base_lists.hit_count(),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            cached_plans: self.plans.lock().expect("plan cache").map.len(),
+        }
+    }
+
+    /// Drop every cached plan (counters are kept).
+    pub fn clear_plan_cache(&self) {
+        let mut plans = self.plans.lock().expect("plan cache");
+        plans.map.clear();
+        plans.fifo.clear();
+    }
+
+    /// Invalidate everything derived from document `uri` after a reload:
+    /// its indexes, its base lists, and every cached plan touching it.
+    /// (A stale plan would still produce correct output — any edge order
+    /// does — but its order and operator choices were discovered on the
+    /// old data.)
+    pub fn invalidate_document(&self, uri: &str) {
+        if let Some(id) = self.catalog().resolve(uri) {
+            self.store.invalidate(id);
+            self.base_lists.invalidate_doc(id);
+        }
+        self.plans
+            .lock()
+            .expect("plan cache")
+            .map
+            .retain(|_, p| !p.doc_uris.iter().any(|u| u == uri));
+    }
+
+    /// A cache entry usable for `graph`: fingerprint present, canonical
+    /// form equal (collision guard), and the stored order still valid for
+    /// the graph's edge set. Anything less is a miss. Returns only the
+    /// replayable edge order, so the critical section clones no strings.
+    fn lookup_validated(
+        &self,
+        fingerprint: u64,
+        canonical: &str,
+        graph: &JoinGraph,
+    ) -> Option<Vec<EdgeId>> {
+        let plans = self.plans.lock().expect("plan cache");
+        let plan = plans.map.get(&fingerprint)?;
+        if plan.canonical != canonical {
+            return None;
+        }
+        if validate_plan(graph, &plan.order).is_err() {
+            return None;
+        }
+        Some(plan.order.clone())
+    }
+
+    fn seed_plan(
+        &self,
+        fingerprint: u64,
+        canonical: String,
+        graph: &JoinGraph,
+        report: &RoxReport,
+    ) {
+        let ops = report.edge_log.iter().map(|x| x.op).collect();
+        let mut doc_uris: Vec<String> =
+            graph.vertices().iter().map(|v| v.doc_uri.clone()).collect();
+        doc_uris.sort();
+        doc_uris.dedup();
+        self.plans.lock().expect("plan cache").insert(
+            fingerprint,
+            CachedPlan {
+                order: report.executed_order.clone(),
+                ops,
+                canonical,
+                doc_uris,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_rox;
+    use rox_joingraph::compile_query;
+
+    const SITE: &str = r#"<site><auction><cheap/><bidder><personref person="p1"/></bidder></auction><auction><bidder><personref person="p2"/></bidder><bidder><personref person="p1"/></bidder></auction><person id="p1"/><person id="p2"/></site>"#;
+
+    const Q_STEP: &str = r#"for $a in doc("d.xml")//auction, $b in $a/bidder return $b"#;
+    const Q_JOIN: &str = r#"for $r in doc("d.xml")//personref, $p in doc("d.xml")//person
+                            where $r/@person = $p/@id return $r"#;
+
+    fn engine() -> RoxEngine {
+        let cat = Arc::new(Catalog::new());
+        cat.load_str("d.xml", SITE).unwrap();
+        RoxEngine::new(cat)
+    }
+
+    fn reuse() -> RoxOptions {
+        RoxOptions {
+            plan_reuse: PlanReuse::ReuseValidated,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn engine_run_matches_standalone_run_rox() {
+        let engine = engine();
+        let g = compile_query(Q_JOIN).unwrap();
+        let standalone = run_rox(Arc::clone(engine.catalog()), &g, RoxOptions::default()).unwrap();
+        let served = engine.run(&g, RoxOptions::default()).unwrap();
+        assert_eq!(served.output, standalone.output);
+        assert_eq!(served.executed_order, standalone.executed_order);
+        assert_eq!(served.edge_log, standalone.edge_log);
+        assert_eq!(served.exec_cost, standalone.exec_cost);
+        assert_eq!(served.sample_cost, standalone.sample_cost);
+    }
+
+    #[test]
+    fn warm_identical_query_does_zero_redundant_work() {
+        let engine = engine();
+        let g = compile_query(Q_STEP).unwrap();
+        let cold = engine.run(&g, reuse()).unwrap();
+        assert!(!cold.plan_cache_hit);
+        let after_cold = engine.stats();
+        assert!(after_cold.index_builds > 0);
+        assert!(after_cold.base_list_builds > 0);
+
+        let warm = engine.run(&g, reuse()).unwrap();
+        let after_warm = engine.stats();
+        // The acceptance bar: no index build, no base-list rebuild, no
+        // sampling on the warm path.
+        assert_eq!(after_warm.index_builds, after_cold.index_builds);
+        assert_eq!(after_warm.base_list_builds, after_cold.base_list_builds);
+        assert!(warm.plan_cache_hit);
+        assert_eq!(warm.sample_cost.total(), 0);
+        assert_eq!(warm.output, cold.output);
+        assert_eq!(warm.executed_order, cold.executed_order);
+        assert_eq!(after_warm.plan_hits, 1);
+    }
+
+    #[test]
+    fn replay_reproduces_operator_choices() {
+        let engine = engine();
+        let g = compile_query(Q_JOIN).unwrap();
+        let cold = engine.run(&g, reuse()).unwrap();
+        let warm = engine.run(&g, reuse()).unwrap();
+        assert_eq!(warm.edge_log, cold.edge_log);
+        let plan = engine.cached_plan(&g).unwrap();
+        let replayed: Vec<EdgeOpKind> = warm.edge_log.iter().map(|x| x.op).collect();
+        assert_eq!(plan.ops, replayed);
+    }
+
+    #[test]
+    fn always_optimize_never_replays_but_still_seeds() {
+        let engine = engine();
+        let g = compile_query(Q_STEP).unwrap();
+        let r1 = engine.run(&g, RoxOptions::default()).unwrap();
+        let r2 = engine.run(&g, RoxOptions::default()).unwrap();
+        assert!(!r1.plan_cache_hit && !r2.plan_cache_hit);
+        assert!(r2.sample_cost.total() > 0, "AlwaysOptimize must sample");
+        let stats = engine.stats();
+        assert_eq!(stats.plan_hits, 0);
+        assert_eq!(stats.plan_misses, 2);
+        assert_eq!(stats.cached_plans, 1);
+        // The seeded plan serves a later ReuseValidated run.
+        let r3 = engine.run(&g, reuse()).unwrap();
+        assert!(r3.plan_cache_hit);
+        assert_eq!(r3.output, r1.output);
+    }
+
+    #[test]
+    fn different_fingerprints_do_not_cross_hit() {
+        let engine = engine();
+        let g1 = compile_query(Q_STEP).unwrap();
+        let g2 = compile_query(Q_JOIN).unwrap();
+        engine.run(&g1, reuse()).unwrap();
+        let r2 = engine.run(&g2, reuse()).unwrap();
+        assert!(!r2.plan_cache_hit, "distinct query must not hit");
+        assert_eq!(engine.stats().cached_plans, 2);
+    }
+
+    #[test]
+    fn invalidate_document_drops_plans_and_rebuilds() {
+        let engine = engine();
+        let g = compile_query(Q_STEP).unwrap();
+        let cold = engine.run(&g, reuse()).unwrap();
+        // Reload with one more bidder; stale caches must not survive.
+        let reloaded = SITE.replace(
+            "<auction><cheap/>",
+            "<auction><cheap/><bidder><personref person=\"p9\"/></bidder>",
+        );
+        engine.catalog().load_str("d.xml", &reloaded).unwrap();
+        engine.invalidate_document("d.xml");
+        assert_eq!(engine.stats().cached_plans, 0);
+        let fresh = engine.run(&g, reuse()).unwrap();
+        assert!(!fresh.plan_cache_hit);
+        assert_eq!(fresh.output.len(), cold.output.len() + 1);
+    }
+
+    #[test]
+    fn run_many_serves_a_mixed_batch() {
+        let engine = engine();
+        let g1 = compile_query(Q_STEP).unwrap();
+        let g2 = compile_query(Q_JOIN).unwrap();
+        // Seed both shapes deterministically — a concurrent cold batch may
+        // race several optimizing runs per shape, which would make any
+        // hit-count assertion scheduling-dependent.
+        engine.run(&g1, reuse()).unwrap();
+        engine.run(&g2, reuse()).unwrap();
+        let jobs: Vec<(&JoinGraph, RoxOptions)> = (0..8)
+            .map(|i| (if i % 2 == 0 { &g1 } else { &g2 }, reuse()))
+            .collect();
+        let runs = engine.run_many(&jobs, Parallelism::Threads(4));
+        assert_eq!(runs.len(), 8);
+        let expect1 = run_rox(Arc::clone(engine.catalog()), &g1, RoxOptions::default()).unwrap();
+        let expect2 = run_rox(Arc::clone(engine.catalog()), &g2, RoxOptions::default()).unwrap();
+        for (i, run) in runs.into_iter().enumerate() {
+            let run = run.unwrap();
+            let expect = if i % 2 == 0 { &expect1 } else { &expect2 };
+            assert_eq!(run.output, expect.output, "job {i}");
+            assert!(run.plan_cache_hit, "warm job {i} missed the plan cache");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.plan_hits, 8, "every warm job must replay: {stats:?}");
+        assert_eq!(stats.plan_misses, 2);
+    }
+
+    #[test]
+    fn unknown_document_surfaces_as_env_error() {
+        let engine = engine();
+        let g = compile_query(r#"for $i in doc("nope.xml")//x return $i"#).unwrap();
+        let e = engine.run(&g, reuse()).unwrap_err();
+        assert!(e.message.contains("nope.xml"));
+    }
+}

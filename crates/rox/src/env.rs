@@ -1,29 +1,47 @@
-//! The run-time environment: documents, indices, and per-vertex base
-//! lists.
+//! The per-query run-time environment: a thin view over the engine's
+//! shared caches.
 //!
 //! A Join Graph vertex denotes a relation of XML nodes ("all elements named
 //! q", "all text nodes with value = x", ...). The environment resolves each
 //! vertex to its **base list** — the index lookup of §2.2 — lazily and
 //! caches it. Base-list *counts* are what Phase 1 of Algorithm 1 seeds
 //! `card(v)` with; base-list *samples* seed `S(v)`.
+//!
+//! Since the engine split ([`crate::engine`]), a `RoxEnv` owns no heavy
+//! state of its own: the [`IndexedStore`] and the cross-query
+//! [`BaseListCache`] are `Arc`-shared — either with a long-lived
+//! [`RoxEngine`](crate::engine::RoxEngine)
+//! (`engine.session(graph)`) or freshly created for a standalone one-shot
+//! environment ([`RoxEnv::new`]). What *is* per query: the vertex →
+//! document resolution and a vertex-indexed fast path onto the shared
+//! base lists, so the hot `card(v)`/`table_or_base(v)` calls of the
+//! sampling loop skip the shared cache's key hashing.
 
+use crate::engine::BaseListCache;
 use rox_index::IndexedStore;
 use rox_joingraph::{JoinGraph, VertexId, VertexLabel};
 use rox_par::Parallelism;
 use rox_xmldb::{Catalog, DocId, Document, NodeId, NodeKind, Pre};
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Resolved, cached run-time context for one Join Graph over one catalog.
 pub struct RoxEnv {
-    store: IndexedStore,
+    store: Arc<IndexedStore>,
+    /// Cross-query base lists, keyed `(DocId, VertexLabel)` — shared with
+    /// the owning engine (or private to this env when standalone).
+    shared_lists: Arc<BaseListCache>,
     /// vertex → document id (resolved from the vertex URI).
     vertex_doc: Vec<DocId>,
-    /// vertex → cached base list (lazily built).
-    base_lists: std::sync::Mutex<HashMap<VertexId, Arc<Vec<Pre>>>>,
-    /// Worker-thread budget for full edge executions: the partitioned
-    /// staircase/hash joins in [`crate::state`] split their probe inputs
-    /// into morsels when this allows more than one thread.
+    /// vertex → base list, the per-query fast path onto `shared_lists`
+    /// (saves re-keying the label on every `card`/`table_or_base` call).
+    vertex_lists: RwLock<Vec<Option<Arc<Vec<Pre>>>>>,
+    /// Default worker-thread budget for full edge executions: the
+    /// partitioned staircase/hash joins in [`crate::state`] split their
+    /// probe inputs into morsels when this allows more than one thread.
+    /// Fixed at construction — per-run overrides go through
+    /// [`crate::RoxOptions::parallelism`] and
+    /// [`crate::run_plan_with_env_parallel`], so a shared engine never
+    /// needs `&mut` access.
     parallelism: Parallelism,
 }
 
@@ -52,43 +70,60 @@ impl std::fmt::Debug for RoxEnv {
 
 impl RoxEnv {
     /// Resolve every vertex of `graph` against `catalog` (sequential
-    /// execution; see [`RoxEnv::with_parallelism`]).
+    /// execution; see [`RoxEnv::with_parallelism`]). The environment gets
+    /// private caches; to share indexes and base lists across queries,
+    /// create it through [`RoxEngine::session`](crate::RoxEngine::session)
+    /// instead.
     pub fn new(catalog: Arc<Catalog>, graph: &JoinGraph) -> Result<Self, EnvError> {
         Self::with_parallelism(catalog, graph, Parallelism::Sequential)
     }
 
-    /// As [`RoxEnv::new`] with an explicit worker-thread budget for full
-    /// edge executions.
+    /// As [`RoxEnv::new`] with an explicit default worker-thread budget
+    /// for full edge executions.
     pub fn with_parallelism(
         catalog: Arc<Catalog>,
         graph: &JoinGraph,
         parallelism: Parallelism,
     ) -> Result<Self, EnvError> {
+        Self::from_shared(
+            Arc::new(IndexedStore::new(catalog)),
+            Arc::new(BaseListCache::new()),
+            graph,
+            parallelism,
+        )
+    }
+
+    /// The session constructor: a view over caches owned elsewhere (the
+    /// engine). Everything vertex-scoped is built fresh; everything
+    /// document-scoped is shared.
+    pub(crate) fn from_shared(
+        store: Arc<IndexedStore>,
+        shared_lists: Arc<BaseListCache>,
+        graph: &JoinGraph,
+        parallelism: Parallelism,
+    ) -> Result<Self, EnvError> {
         let mut vertex_doc = Vec::with_capacity(graph.vertex_count());
         for v in graph.vertices() {
-            let id = catalog.resolve(&v.doc_uri).ok_or_else(|| EnvError {
-                message: format!("document '{}' is not loaded", v.doc_uri),
-            })?;
+            let id = store
+                .catalog()
+                .resolve(&v.doc_uri)
+                .ok_or_else(|| EnvError {
+                    message: format!("document '{}' is not loaded", v.doc_uri),
+                })?;
             vertex_doc.push(id);
         }
         Ok(RoxEnv {
-            store: IndexedStore::new(catalog),
+            store,
+            shared_lists,
+            vertex_lists: RwLock::new(vec![None; vertex_doc.len()]),
             vertex_doc,
-            base_lists: std::sync::Mutex::new(HashMap::new()),
             parallelism,
         })
     }
 
-    /// The worker-thread budget for full edge executions.
+    /// The default worker-thread budget for full edge executions.
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
-    }
-
-    /// Change the worker-thread budget (index and base-list caches are
-    /// kept, so a warmed environment can be re-used across thread counts —
-    /// how the thread-scaling harness amortizes setup).
-    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
-        self.parallelism = parallelism;
     }
 
     /// The indexed store.
@@ -117,15 +152,30 @@ impl RoxEnv {
     }
 
     /// The base list of a vertex: all nodes satisfying its annotation, from
-    /// the cheapest index path, sorted on pre. Cached per vertex.
+    /// the cheapest index path, sorted on pre. Cached per `(document,
+    /// label)` in the shared cache — a repeat of the same vertex shape in
+    /// *any* later query reuses it — with a per-vertex fast path in this
+    /// env.
     pub fn base_list(&self, graph: &JoinGraph, v: VertexId) -> Arc<Vec<Pre>> {
-        if let Some(cached) = self.base_lists.lock().expect("base list cache").get(&v) {
+        if let Some(cached) = &self.vertex_lists.read().expect("base list cache")[v as usize] {
             return Arc::clone(cached);
         }
         let doc_id = self.doc_id(v);
+        let label = &graph.vertex(v).label;
+        let list = self
+            .shared_lists
+            .get_or_build(doc_id, label, || self.build_base_list(doc_id, label));
+        self.vertex_lists.write().expect("base list cache")[v as usize] = Some(Arc::clone(&list));
+        list
+    }
+
+    /// The uncached index lookup behind [`RoxEnv::base_list`] — depends
+    /// only on the document and the label, which is what makes the
+    /// `(DocId, VertexLabel)` cache key sound.
+    fn build_base_list(&self, doc_id: DocId, label: &VertexLabel) -> Vec<Pre> {
         let doc = self.store.doc(doc_id);
         let idx = self.store.indexes(doc_id);
-        let list: Vec<Pre> = match &graph.vertex(v).label {
+        match label {
             VertexLabel::Root => vec![0],
             VertexLabel::Element(name) => match doc.interner().get(name) {
                 Some(sym) => idx.element.lookup(sym).to_vec(),
@@ -146,13 +196,7 @@ impl RoxEnv {
                         .collect(),
                 }
             }
-        };
-        let list = Arc::new(list);
-        self.base_lists
-            .lock()
-            .expect("base list cache")
-            .insert(v, Arc::clone(&list));
-        list
+        }
     }
 
     /// Base-list count — the `card(v)` seed (O(1) once cached; an index
@@ -223,6 +267,30 @@ mod tests {
         let a = env.base_list(&g, 1);
         let b = env.base_list(&g, 1);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn same_shape_vertices_share_one_cached_list() {
+        // Two distinct graphs against one shared cache: the (DocId, label)
+        // key makes the second graph's "item" vertex hit the first's list.
+        let (cat, g1) = setup();
+        let g2 =
+            compile_query(r#"for $x in doc("d.xml")//item, $q in $x/quantity return $q"#).unwrap();
+        let store = Arc::new(IndexedStore::new(cat));
+        let lists = Arc::new(BaseListCache::new());
+        let env1 = RoxEnv::from_shared(
+            Arc::clone(&store),
+            Arc::clone(&lists),
+            &g1,
+            Parallelism::Sequential,
+        )
+        .unwrap();
+        let env2 = RoxEnv::from_shared(store, lists, &g2, Parallelism::Sequential).unwrap();
+        let item1 = g1.var_vertices["i"];
+        let item2 = g2.var_vertices["x"];
+        let a = env1.base_list(&g1, item1);
+        let b = env2.base_list(&g2, item2);
+        assert!(Arc::ptr_eq(&a, &b), "cross-query base list not shared");
     }
 
     #[test]

@@ -12,8 +12,12 @@
 //!
 //! Modules:
 //!
-//! * [`env`](mod@env) — run-time environment (documents, indices, base lists) and
-//!   the [`Parallelism`] budget for partitioned edge execution;
+//! * [`engine`](mod@engine) — the long-lived query-serving layer
+//!   ([`RoxEngine`]): shared document indexes, the cross-query base-list
+//!   cache, and the fingerprint-keyed plan cache that lets repeat queries
+//!   skip sampling ([`PlanReuse`]);
+//! * [`env`](mod@env) — per-query run-time environment (documents, indices, base
+//!   lists), a thin session view over the engine caches;
 //! * [`state`] — fully-materialized edge execution over components, routed
 //!   through the physical edge-operator kernel (`rox_ops::edgeop`), which
 //!   records the chosen [`EdgeOpKind`] per executed edge;
@@ -41,6 +45,7 @@
 //! ```
 
 pub mod chain;
+pub mod engine;
 pub mod enumerate;
 pub mod env;
 pub mod estimate;
@@ -51,6 +56,7 @@ pub mod plan;
 pub mod state;
 
 pub use chain::{ChainTrace, PathSnapshot};
+pub use engine::{BaseListCache, CachedPlan, EngineRun, EngineStats, PlanReuse, RoxEngine};
 pub use enumerate::{
     analyze_star, classical_join_order, enumerate_join_orders, plan_edges, JoinOrder, Member,
     Placement, StarQuery,
@@ -59,7 +65,10 @@ pub use env::{EnvError, RoxEnv};
 pub use estimate::estimate_cards;
 pub use naive::naive_evaluate;
 pub use optimizer::{run_rox, run_rox_with_env, RoxOptions, RoxReport};
-pub use plan::{run_plan, run_plan_parallel, run_plan_with_env, validate_plan, PlanError, PlanRun};
+pub use plan::{
+    run_plan, run_plan_parallel, run_plan_with_env, run_plan_with_env_parallel, validate_plan,
+    PlanError, PlanRun,
+};
 pub use rox_ops::EdgeOpKind;
 pub use rox_par::Parallelism;
 pub use state::{EdgeExec, EvalState};

@@ -56,6 +56,11 @@ pub struct RoxOptions {
     /// same cost counters (the equivalence proptest in `tests/` checks
     /// this). The default reproduces the paper's single-threaded setting.
     pub parallelism: Parallelism,
+    /// Extension: plan-cache policy, honoured by
+    /// [`RoxEngine::run`](crate::RoxEngine::run) (a direct [`run_rox`]
+    /// call has no plan cache and always optimizes, whatever this says).
+    /// The default reproduces the paper's per-query optimization.
+    pub plan_reuse: crate::engine::PlanReuse,
 }
 
 impl Default for RoxOptions {
@@ -68,6 +73,7 @@ impl Default for RoxOptions {
             resample: true,
             effort_budget: None,
             parallelism: Parallelism::Sequential,
+            plan_reuse: crate::engine::PlanReuse::AlwaysOptimize,
         }
     }
 }

@@ -107,15 +107,32 @@ pub fn run_plan_parallel(
     run_plan_with_env(&env, graph, order)
 }
 
-/// As [`run_plan`] with a reusable environment.
+/// As [`run_plan`] with a reusable environment (the environment's default
+/// worker budget applies; see [`run_plan_with_env_parallel`] for a per-run
+/// override).
 pub fn run_plan_with_env(
     env: &RoxEnv,
     graph: &JoinGraph,
     order: &[EdgeId],
 ) -> Result<PlanRun, PlanError> {
+    run_plan_with_env_parallel(env, graph, order, env.parallelism())
+}
+
+/// As [`run_plan_with_env`] with an explicit per-run worker-thread budget
+/// for full edge executions — the replay analogue of
+/// [`RoxOptions::parallelism`](crate::RoxOptions::parallelism), so shared
+/// (engine-owned) environments never need `&mut` to change thread counts.
+/// Results, edge log, and cost counters are identical at any setting.
+pub fn run_plan_with_env_parallel(
+    env: &RoxEnv,
+    graph: &JoinGraph,
+    order: &[EdgeId],
+    parallelism: rox_par::Parallelism,
+) -> Result<PlanRun, PlanError> {
     validate_plan(graph, order)?;
     let started = Instant::now();
     let mut state = EvalState::new(env, graph);
+    state.set_parallelism(parallelism);
     for e in graph.edges() {
         if e.redundant {
             state.mark_executed(e.id);
