@@ -1,0 +1,39 @@
+//! Staircase-kernel benchmark binary: per-axis probe vs merge vs bitset
+//! kernel throughput, the fig-8 work-counter anchor, and cold vs
+//! warm-replay engine latency. Writes the machine-readable
+//! `BENCH_staircase.json` consumed by CI.
+//!
+//! ```text
+//! cargo run --release -p rox-bench --bin bench_staircase -- \
+//!     [--smoke] [--out BENCH_staircase.json] [--persons 3000] \
+//!     [--items 2500] [--auctions 2500] [--rounds 20] [--repeats 3]
+//! ```
+
+use rox_bench::args::Args;
+use rox_bench::staircase::{self, StaircaseBenchConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = if args.has("smoke") {
+        StaircaseBenchConfig::smoke()
+    } else {
+        StaircaseBenchConfig::default()
+    };
+    cfg.xmark.persons = args.get("persons", cfg.xmark.persons);
+    cfg.xmark.items = args.get("items", cfg.xmark.items);
+    cfg.xmark.auctions = args.get("auctions", cfg.xmark.auctions);
+    cfg.rounds = args.get("rounds", cfg.rounds);
+    cfg.repeats = args.get("repeats", cfg.repeats);
+    let out_path = args.get("out", "BENCH_staircase.json".to_string());
+
+    println!(
+        "staircase kernel bench — XMark persons={} items={} auctions={}, {} rounds",
+        cfg.xmark.persons, cfg.xmark.items, cfg.xmark.auctions, cfg.rounds
+    );
+    let r = staircase::run(&cfg);
+    print!("{}", staircase::render(&r));
+
+    let json = staircase::to_json(&cfg, &r);
+    std::fs::write(&out_path, &json).expect("write BENCH_staircase.json");
+    println!("\nwrote {out_path}");
+}

@@ -18,6 +18,7 @@
 //! | Thread scaling (extension)              | [`scaling_threads`] | `fig_scaling_threads` |
 //! | Dense-join layouts (extension)          | [`joins`]  | `bench_joins` |
 //! | Engine serving layer (extension)        | [`engine`] | `bench_engine` |
+//! | Staircase kernels (extension)           | [`staircase`] | `bench_staircase` |
 
 pub mod args;
 pub mod engine;
@@ -28,6 +29,7 @@ pub mod fig8;
 pub mod joins;
 pub mod scaling_threads;
 pub mod setup;
+pub mod staircase;
 pub mod table2;
 pub mod table3;
 

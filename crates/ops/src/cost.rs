@@ -72,6 +72,78 @@ pub fn choose_op(class: EdgeClass, n1: usize, n2: usize, mode: ExecMode) -> Edge
     }
 }
 
+/// Physical kernel variants of the staircase join (see
+/// [`crate::staircase`]). All three produce bit-identical pairs, order,
+/// truncation, and cost charges; they differ only in how they *find*
+/// matches, so picking between them is purely a wall-clock decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKernel {
+    /// The classic probe loop: walk the axis per context node and test
+    /// each produced node against the sorted candidate list (binary
+    /// search, range-pruned). Zero-investment; the only kernel sampled
+    /// (cut-off) execution uses.
+    Probe,
+    /// One forward merge over the candidate list with galloping
+    /// (exponential search) per context node: only candidates inside the
+    /// context's subtree range are touched. Child/Attribute axes only.
+    /// Zero-investment.
+    Merge,
+    /// The probe-loop walk with candidate membership answered by a
+    /// [`PreSet`](rox_index::PreSet) bitset (one shift + mask instead of
+    /// a binary search). Pays an `O(|S|)` set build unless the caller
+    /// supplies a cached set, so full execution only.
+    Bitset,
+}
+
+/// Merge-kernel engagement bound for Child/Attribute steps: the merge
+/// kernel gallops to each context's subtree range and touches only the
+/// candidates inside it, beating the per-child binary searches whenever
+/// the candidate list is not much larger than the context. Engaged while
+/// `|S| <= |C| * STEP_MERGE_FACTOR`.
+pub const STEP_MERGE_FACTOR: usize = 1;
+
+/// Bitset-kernel engagement bound: building (or resetting) the candidate
+/// membership bitset costs `O(|S|)`, amortized by the `|C| * fanout`
+/// membership probes that each drop from a binary search to one shift and
+/// mask. Engaged while `|S| <= |C| * STEP_BITSET_FACTOR` (with at least
+/// one expected probe per 8 candidate-set bits, the build pays for
+/// itself on every real document shape we measured).
+pub const STEP_BITSET_FACTOR: usize = 8;
+
+/// Pick the staircase kernel for one `step_join` call (the Table-1-style
+/// selection rule of the vectorized execution layer; see
+/// [`crate::staircase`] for the kernel semantics):
+///
+/// | condition | kernel |
+/// |---|---|
+/// | sampled (cut-off) execution | [`StepKernel::Probe`] — zero-investment, and the cut-off's incremental probe charging is native to the walk |
+/// | Descendant/Following/Preceding axes | [`StepKernel::Probe`] — these already scan a candidate range; there is no binary search to beat |
+/// | Child/Attribute, `\|S\| <= \|C\|·`[`STEP_MERGE_FACTOR`] | [`StepKernel::Merge`] |
+/// | any probing axis, `\|S\| <= \|C\|·`[`STEP_BITSET_FACTOR`] | [`StepKernel::Bitset`] |
+/// | otherwise | [`StepKernel::Probe`] — context too small to amortize anything |
+pub fn choose_step_kernel(
+    axis: crate::axis::Axis,
+    ctx_len: usize,
+    cands_len: usize,
+    sampled: bool,
+) -> StepKernel {
+    use crate::axis::Axis;
+    if sampled || ctx_len == 0 || cands_len == 0 {
+        return StepKernel::Probe;
+    }
+    match axis {
+        // Range-scan axes: the probe loop is already a merge.
+        Axis::Descendant | Axis::DescendantOrSelf | Axis::Following | Axis::Preceding => {
+            StepKernel::Probe
+        }
+        Axis::Child | Axis::Attribute if cands_len <= ctx_len * STEP_MERGE_FACTOR => {
+            StepKernel::Merge
+        }
+        _ if cands_len <= ctx_len * STEP_BITSET_FACTOR => StepKernel::Bitset,
+        _ => StepKernel::Probe,
+    }
+}
+
 /// Accumulated operator work, in tuples touched.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Cost {

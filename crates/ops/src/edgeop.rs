@@ -18,10 +18,10 @@
 //! | edge kind  | mode    | operator                                         |
 //! |------------|---------|--------------------------------------------------|
 //! | step       | sampled | [`step_join`] with cut-off, caller-fixed outer   |
-//! | step       | full    | [`step_join_partitioned`], smaller side outer    |
-//! | value join | sampled | [`index_value_join_set`] with cut-off (0-invest) |
-//! | value join | full, skewed | [`index_value_join_set`], smaller side outer |
-//! | value join | full, balanced | [`hash_value_join_partitioned_with`]       |
+//! | step       | full    | [`step_join_partitioned_scratch`], smaller side outer, kernel by [`choose_step_kernel`](crate::cost::choose_step_kernel()) |
+//! | value join | sampled | [`index_value_join_set_pooled`] with cut-off (0-invest) |
+//! | value join | full, skewed | [`index_value_join_set_pooled`], smaller side outer |
+//! | value join | full, balanced | [`hash_value_join_partitioned_with`](crate::partition::hash_value_join_partitioned_with()) (pooled) |
 //!
 //! New operators (staircase variants, semijoin reducers, new axes) plug in
 //! here once and every phase — sampling included — picks them up.
@@ -29,9 +29,10 @@
 use crate::axis::Axis;
 use crate::cost::{choose_op, Cost};
 use crate::cutoff::JoinOut;
-use crate::partition::{hash_value_join_partitioned_with, step_join_partitioned};
-use crate::staircase::{naive_axis, step_join};
-use crate::valjoin::{filter_set, index_value_join_set};
+use crate::partition::{hash_value_join_partitioned_pooled, step_join_partitioned_scratch};
+use crate::pool::ScratchPool;
+use crate::staircase::{naive_axis, step_join, StepScratch};
+use crate::valjoin::{filter_set, index_value_join_set_pooled};
 use rox_index::{PreSet, SymbolTable, ValueIndex};
 use rox_par::Parallelism;
 use rox_xmldb::{Document, NodeKind, Pre};
@@ -189,8 +190,9 @@ pub struct EdgeOpOut {
 /// structures here purely to skip the rebuild.
 #[derive(Default, Clone, Copy)]
 pub struct DenseState<'a> {
-    /// Membership bitset over `input1` (value joins: the inner filter when
-    /// `v1` is the inner side).
+    /// Membership bitset over `input1` (the inner filter of a value join,
+    /// or the candidate set of a bitset-kernel step, when `v1` is the
+    /// inner side).
     pub set1: Option<&'a PreSet>,
     /// Membership bitset over `input2`.
     pub set2: Option<&'a PreSet>,
@@ -198,6 +200,9 @@ pub struct DenseState<'a> {
     pub table1: Option<&'a SymbolTable>,
     /// CSR join table over `input2`'s value symbols.
     pub table2: Option<&'a SymbolTable>,
+    /// Scratch pool for pair buffers, bitset universes, and full-mode
+    /// output orientation (see [`crate::pool`]).
+    pub pool: Option<&'a ScratchPool>,
 }
 
 /// Execute one edge through the kernel: consult
@@ -238,7 +243,24 @@ pub fn execute_edge_op_with(
                 ExecMode::Sampled { limit, .. } => {
                     step_join(outer_doc, ax, outer, inner, Some(limit), cost)
                 }
-                ExecMode::Full => step_join_partitioned(outer_doc, ax, outer, inner, ctx.par, cost),
+                ExecMode::Full => {
+                    // The bitset kernel's candidate set is the *inner*
+                    // endpoint's membership set — the caller's cached one
+                    // when provided (the evaluation state's scratch
+                    // arena), else the kernel builds/pools its own.
+                    let inner_set = if choice.outer_is_v1 {
+                        dense.set2
+                    } else {
+                        dense.set1
+                    };
+                    let scratch = StepScratch {
+                        cands_set: inner_set,
+                        pool: dense.pool,
+                    };
+                    step_join_partitioned_scratch(
+                        outer_doc, ax, outer, inner, ctx.par, scratch, cost,
+                    )
+                }
             }
         }
         EdgeOpKind::IndexNLValueJoin => {
@@ -262,26 +284,34 @@ pub fn execute_edge_op_with(
                     &built_set
                 }
             };
-            index_value_join_set(
+            index_value_join_set_pooled(
                 outer_doc,
                 outer,
                 index,
                 inner_kind,
                 Some(inner_set),
                 limit,
+                // Sampled outputs travel up to the estimator whole; only
+                // full-mode pair buffers return to the pool (right below,
+                // after orientation).
+                match ctx.mode {
+                    ExecMode::Full => dense.pool,
+                    ExecMode::Sampled { .. } => None,
+                },
                 cost,
             )
         }
         EdgeOpKind::HashValueJoin => {
             // Emits (v1, v2)-oriented node pairs directly; the internal
             // build-side choice is independent of the outer/inner framing.
-            let pairs = hash_value_join_partitioned_with(
+            let pairs = hash_value_join_partitioned_pooled(
                 ctx.doc1,
                 ctx.input1,
                 ctx.doc2,
                 ctx.input2,
                 dense.table1,
                 dense.table2,
+                dense.pool,
                 ctx.par,
                 cost,
             );
@@ -295,19 +325,27 @@ pub fn execute_edge_op_with(
     let result = match ctx.mode {
         ExecMode::Sampled { .. } => EdgeOpResult::Sampled(rows),
         ExecMode::Full => {
-            // Resolve outer rows to nodes and orient pairs as (v1, v2).
-            let pairs = rows
-                .pairs
-                .into_iter()
-                .map(|(row, s)| {
-                    let c = outer[row as usize];
-                    if choice.outer_is_v1 {
-                        (c, s)
-                    } else {
-                        (s, c)
-                    }
-                })
-                .collect();
+            // Resolve outer rows to nodes and orient pairs as (v1, v2);
+            // the orientation buffer is pool-leased (the caller returns
+            // it once the pairs are composed into the component
+            // relation), and the kernel's pair buffer flows straight
+            // back.
+            let mut pairs = match dense.pool {
+                Some(pool) => pool.lease_node_pairs(),
+                None => Vec::new(),
+            };
+            pairs.reserve(rows.pairs.len());
+            pairs.extend(rows.pairs.iter().map(|&(row, s)| {
+                let c = outer[row as usize];
+                if choice.outer_is_v1 {
+                    (c, s)
+                } else {
+                    (s, c)
+                }
+            }));
+            if let Some(pool) = dense.pool {
+                pool.give_pairs(rows.pairs);
+            }
             EdgeOpResult::Full(pairs)
         }
     };

@@ -28,13 +28,17 @@ pub mod cost;
 pub mod cutoff;
 pub mod edgeop;
 pub mod partition;
+pub mod pool;
 pub mod relation;
 pub mod staircase;
 pub mod tail;
 pub mod valjoin;
 
 pub use axis::{Axis, NodeTest};
-pub use cost::{choose_op, nl_cheaper, Cost, NL_VS_HASH_FACTOR};
+pub use cost::{
+    choose_op, choose_step_kernel, nl_cheaper, Cost, StepKernel, NL_VS_HASH_FACTOR,
+    STEP_BITSET_FACTOR, STEP_MERGE_FACTOR,
+};
 pub use cutoff::JoinOut;
 pub use edgeop::{
     edge_predicate, execute_edge_op, execute_edge_op_with, DenseState, EdgeClass, EdgeOpChoice,
@@ -42,14 +46,15 @@ pub use edgeop::{
 };
 pub use partition::{
     hash_value_join_partitioned, hash_value_join_partitioned_with, step_join_partitioned,
-    MIN_PARTITION_INPUT,
+    step_join_partitioned_scratch, MIN_PARTITION_INPUT,
 };
+pub use pool::{PoolStats, ScratchPool, MAX_POOLED_PER_SHAPE};
 pub use relation::{Relation, VarId};
 pub use rox_index::{PreSet, SymbolTable};
 pub use rox_par::Parallelism;
-pub use staircase::{naive_axis, step_join};
+pub use staircase::{naive_axis, step_join, step_join_kernel, step_join_scratch, StepScratch};
 pub use tail::Tail;
 pub use valjoin::{
     hash_value_join, hash_value_join_with, index_value_join, index_value_join_set,
-    merge_value_join, sorted_by_value,
+    index_value_join_set_pooled, merge_value_join, sorted_by_value,
 };

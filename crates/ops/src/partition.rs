@@ -19,9 +19,10 @@
 //! candidate edges, see `rox-core`).
 
 use crate::axis::Axis;
-use crate::cost::Cost;
+use crate::cost::{choose_step_kernel, Cost, StepKernel};
 use crate::cutoff::JoinOut;
-use crate::staircase::step_join;
+use crate::pool::ScratchPool;
+use crate::staircase::{step_join_kernel, step_join_scratch, StepScratch};
 use rox_index::SymbolTable;
 use rox_par::{chunk_ranges, par_map, Parallelism};
 use rox_xmldb::{Document, Pre};
@@ -33,7 +34,8 @@ use rox_xmldb::{Document, Pre};
 /// cost more than it saves.
 pub const MIN_PARTITION_INPUT: usize = 2048;
 
-/// Partitioned [`step_join`]: evaluates `axis::cands` for the full context
+/// Partitioned [`step_join`](crate::staircase::step_join()): evaluates
+/// `axis::cands` for the full context
 /// with the work split across `par` worker threads. Produces exactly the
 /// pairs, order, and cost charges of `step_join(doc, axis, ctx, cands,
 /// None, cost)`.
@@ -45,14 +47,49 @@ pub fn step_join_partitioned(
     par: Parallelism,
     cost: &mut Cost,
 ) -> JoinOut<Pre> {
+    step_join_partitioned_scratch(doc, axis, ctx, cands, par, StepScratch::default(), cost)
+}
+
+/// As [`step_join_partitioned`] with caller-provided scratch state (cached
+/// candidate set and/or buffer pool; see [`StepScratch`]). The staircase
+/// kernel is chosen **once** over the full context, then run per morsel —
+/// every kernel charges and emits identically, so this only fixes which
+/// kernel's wall-clock profile the whole call gets.
+pub fn step_join_partitioned_scratch(
+    doc: &Document,
+    axis: Axis,
+    ctx: &[Pre],
+    cands: &[Pre],
+    par: Parallelism,
+    scratch: StepScratch<'_>,
+    cost: &mut Cost,
+) -> JoinOut<Pre> {
     let threads = par.effective_threads(ctx.len(), MIN_PARTITION_INPUT);
     if threads <= 1 {
-        return step_join(doc, axis, ctx, cands, None, cost);
+        return step_join_scratch(doc, axis, ctx, cands, None, scratch, cost);
     }
+    let kernel = choose_step_kernel(axis, ctx.len(), cands.len(), false);
+    // Resolve the bitset kernel's candidate set once, up front, so the
+    // morsels share it instead of each building their own.
+    let shared_set =
+        (kernel == StepKernel::Bitset).then(|| crate::staircase::resolve_cands_set(cands, scratch));
+    let morsel_scratch = StepScratch {
+        cands_set: shared_set.as_ref().map(|s| s.get()),
+        pool: scratch.pool,
+    };
     let morsels = chunk_ranges(ctx.len(), threads * 4);
     let runs = par_map(threads, morsels.len(), |i| {
         let mut local = Cost::new();
-        let mut out = step_join(doc, axis, &ctx[morsels[i].clone()], cands, None, &mut local);
+        let mut out = step_join_kernel(
+            doc,
+            axis,
+            &ctx[morsels[i].clone()],
+            cands,
+            None,
+            kernel,
+            morsel_scratch,
+            &mut local,
+        );
         // Row ids are positions within the morsel slice; shift them back
         // into the full context's row space before merging.
         let base = morsels[i].start as u32;
@@ -61,7 +98,10 @@ pub fn step_join_partitioned(
         }
         (out, local)
     });
-    merge_runs(ctx.len(), runs, cost)
+    if let Some(set) = shared_set {
+        set.finish();
+    }
+    merge_runs(ctx.len(), runs, scratch.pool, cost)
 }
 
 /// Partitioned [`hash_value_join`](crate::valjoin::hash_value_join()):
@@ -95,16 +135,45 @@ pub fn hash_value_join_partitioned_with(
     par: Parallelism,
     cost: &mut Cost,
 ) -> Vec<(Pre, Pre)> {
+    hash_value_join_partitioned_pooled(
+        left_doc,
+        left,
+        right_doc,
+        right,
+        left_table,
+        right_table,
+        None,
+        par,
+        cost,
+    )
+}
+
+/// As [`hash_value_join_partitioned_with`] with the pair buffers leased
+/// from `pool` (the caller returns the final buffer via
+/// [`ScratchPool::give_node_pairs`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hash_value_join_partitioned_pooled(
+    left_doc: &Document,
+    left: &[Pre],
+    right_doc: &Document,
+    right: &[Pre],
+    left_table: Option<&SymbolTable>,
+    right_table: Option<&SymbolTable>,
+    pool: Option<&ScratchPool>,
+    par: Parallelism,
+    cost: &mut Cost,
+) -> Vec<(Pre, Pre)> {
     let probe_len = left.len().max(right.len());
     let threads = par.effective_threads(probe_len, MIN_PARTITION_INPUT);
     if threads <= 1 {
-        return crate::valjoin::hash_value_join_with(
+        return crate::valjoin::hash_value_join_pooled(
             left_doc,
             left,
             right_doc,
             right,
             left_table,
             right_table,
+            pool,
             cost,
         );
     }
@@ -132,7 +201,10 @@ pub fn hash_value_join_partitioned_with(
     let morsels = chunk_ranges(probe.len(), threads * 4);
     let runs = par_map(threads, morsels.len(), |i| {
         let mut local = Cost::new();
-        let mut out = Vec::new();
+        let mut out = match pool {
+            Some(pool) => pool.lease_node_pairs(),
+            None => Vec::new(),
+        };
         crate::valjoin::probe_join_table(
             table,
             probe_doc,
@@ -143,20 +215,35 @@ pub fn hash_value_join_partitioned_with(
         );
         (out, local)
     });
-    let mut pairs = Vec::new();
+    let mut pairs = match pool {
+        Some(pool) => pool.lease_node_pairs(),
+        None => Vec::new(),
+    };
     for (out, local) in runs {
-        pairs.extend(out);
+        pairs.extend_from_slice(&out);
+        if let Some(pool) = pool {
+            pool.give_node_pairs(out);
+        }
         cost.add(local);
     }
     pairs
 }
 
-/// Concatenate per-morsel `JoinOut`s (in morsel order) into one.
-fn merge_runs(ctx_len: usize, runs: Vec<(JoinOut<Pre>, Cost)>, cost: &mut Cost) -> JoinOut<Pre> {
-    let mut merged = JoinOut::new(ctx_len);
+/// Concatenate per-morsel `JoinOut`s (in morsel order) into one; morsel
+/// pair buffers flow back into `pool` when one is given.
+fn merge_runs(
+    ctx_len: usize,
+    runs: Vec<(JoinOut<Pre>, Cost)>,
+    pool: Option<&ScratchPool>,
+    cost: &mut Cost,
+) -> JoinOut<Pre> {
+    let mut merged = JoinOut::with_limit_pooled(ctx_len, None, pool);
     for (out, local) in runs {
         debug_assert!(!out.truncated, "partitioned execution never cuts off");
-        merged.pairs.extend(out.pairs);
+        merged.pairs.extend_from_slice(&out.pairs);
+        if let Some(pool) = pool {
+            pool.give_pairs(out.pairs);
+        }
         cost.add(local);
     }
     merged
@@ -165,6 +252,7 @@ fn merge_runs(ctx_len: usize, runs: Vec<(JoinOut<Pre>, Cost)>, cost: &mut Cost) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::staircase::step_join;
     use crate::valjoin::hash_value_join;
     use rox_xmldb::{parse_document, NodeKind};
 

@@ -2,37 +2,55 @@
 //!
 //! The semantics of a Join Graph is "a fully joined relation containing
 //! attributes of base relations" (§2.1). [`Relation`] is that intermediate:
-//! one column of [`NodeId`]s per Join Graph vertex that has been joined in
-//! so far. The ROX evaluator materializes these (the paper's
-//! fully-materialized execution model) and derives the per-vertex tables
-//! `T(v)` as distinct projections.
+//! one column per Join Graph vertex that has been joined in so far. The
+//! ROX evaluator materializes these (the paper's fully-materialized
+//! execution model) and derives the per-vertex tables `T(v)` as distinct
+//! projections.
+//!
+//! # Layout
+//!
+//! Strict struct-of-arrays: a column is a plain `Vec<`[`Pre`]`>` — 4 bytes
+//! per binding — and the column's document is stored **once** per
+//! attribute (`docs[i]`), not per row; a vertex's bindings all live in one
+//! document, so the old per-cell `NodeId` (doc, pre) pairs carried the
+//! same `DocId` millions of times. Every bulk operation (join composition,
+//! row filtering, sorting, dedup, cartesian products) works column-wise
+//! with index **gathers** — no per-row `Vec` is ever built, and the hot
+//! [`Relation::compose`] resolves node→row matches through a dense
+//! counting-sort index instead of a `HashMap`. Buffers come from the
+//! caller's [`ScratchPool`] where one is given.
 
+use crate::pool::ScratchPool;
 use rand::Rng;
-use rox_xmldb::NodeId;
-use std::collections::HashMap;
+use rox_xmldb::catalog::DocId;
+use rox_xmldb::{NodeId, Pre};
 
 /// Identifier of a Join Graph vertex / relation attribute.
 pub type VarId = u32;
 
 /// A columnar relation: `cols[i]` holds the binding of `schema[i]` for
-/// every row.
+/// every row, all in document `docs[i]`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Relation {
     schema: Vec<VarId>,
-    cols: Vec<Vec<NodeId>>,
+    docs: Vec<DocId>,
+    cols: Vec<Vec<Pre>>,
 }
 
 impl Relation {
-    /// An empty relation with the given schema.
-    pub fn empty(schema: Vec<VarId>) -> Self {
+    /// An empty relation with the given schema; `docs` must be parallel to
+    /// `schema`.
+    pub fn empty(schema: Vec<VarId>, docs: Vec<DocId>) -> Self {
+        debug_assert_eq!(schema.len(), docs.len());
         let cols = schema.iter().map(|_| Vec::new()).collect();
-        Relation { schema, cols }
+        Relation { schema, docs, cols }
     }
 
-    /// A single-attribute relation from a node list.
-    pub fn single(var: VarId, nodes: Vec<NodeId>) -> Self {
+    /// A single-attribute relation from a node list in one document.
+    pub fn single(var: VarId, doc: DocId, nodes: Vec<Pre>) -> Self {
         Relation {
             schema: vec![var],
+            docs: vec![doc],
             cols: vec![nodes],
         }
     }
@@ -40,6 +58,11 @@ impl Relation {
     /// The attribute list.
     pub fn schema(&self) -> &[VarId] {
         &self.schema
+    }
+
+    /// Per-attribute documents, parallel to [`Relation::schema`].
+    pub fn docs(&self) -> &[DocId] {
+        &self.docs
     }
 
     /// Number of rows.
@@ -61,33 +84,48 @@ impl Relation {
     ///
     /// # Panics
     /// Panics when `var` is not in the schema.
-    pub fn col(&self, var: VarId) -> &[NodeId] {
+    pub fn col(&self, var: VarId) -> &[Pre] {
         let i = self.col_idx(var).expect("variable not in relation schema");
         &self.cols[i]
     }
 
+    /// The document `var`'s bindings live in.
+    ///
+    /// # Panics
+    /// Panics when `var` is not in the schema.
+    pub fn doc_of(&self, var: VarId) -> DocId {
+        let i = self.col_idx(var).expect("variable not in relation schema");
+        self.docs[i]
+    }
+
+    /// The global node id bound to `var` in row `row`.
+    pub fn node(&self, var: VarId, row: usize) -> NodeId {
+        let i = self.col_idx(var).expect("variable not in relation schema");
+        NodeId::new(self.docs[i], self.cols[i][row])
+    }
+
     /// Distinct nodes of `var`'s column, sorted in document order — the
     /// paper's `T(v)` as a projection of the component relation.
-    pub fn distinct_nodes(&self, var: VarId) -> Vec<NodeId> {
-        let mut nodes = self.col(var).to_vec();
-        nodes.sort_unstable();
-        nodes.dedup();
+    pub fn distinct_nodes(&self, var: VarId) -> Vec<Pre> {
+        let mut nodes = Vec::new();
+        self.distinct_nodes_into(var, &mut nodes);
         nodes
     }
 
+    /// As [`Relation::distinct_nodes`] into a caller-provided (pooled)
+    /// buffer.
+    pub fn distinct_nodes_into(&self, var: VarId, out: &mut Vec<Pre>) {
+        out.clear();
+        out.extend_from_slice(self.col(var));
+        out.sort_unstable();
+        out.dedup();
+    }
+
     /// Append one row; `row` must be parallel to the schema.
-    pub fn push_row(&mut self, row: &[NodeId]) {
+    pub fn push_row(&mut self, row: &[Pre]) {
         debug_assert_eq!(row.len(), self.schema.len());
         for (col, &v) in self.cols.iter_mut().zip(row) {
             col.push(v);
-        }
-    }
-
-    /// Read one row into a buffer.
-    pub fn row(&self, i: usize, buf: &mut Vec<NodeId>) {
-        buf.clear();
-        for col in &self.cols {
-            buf.push(col[i]);
         }
     }
 
@@ -107,10 +145,14 @@ impl Relation {
     /// Project onto `vars` (clones the columns, preserves row order and
     /// multiplicity).
     pub fn project(&self, vars: &[VarId]) -> Relation {
-        let cols = vars.iter().map(|&v| self.col(v).to_vec()).collect();
+        let idx: Vec<usize> = vars
+            .iter()
+            .map(|&v| self.col_idx(v).expect("projection variable not in schema"))
+            .collect();
         Relation {
             schema: vars.to_vec(),
-            cols,
+            docs: idx.iter().map(|&i| self.docs[i]).collect(),
+            cols: idx.iter().map(|&i| self.cols[i].clone()).collect(),
         }
     }
 
@@ -121,10 +163,10 @@ impl Relation {
             .iter()
             .map(|&v| self.col_idx(v).expect("sort variable not in schema"))
             .collect();
-        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut order: Vec<u32> = (0..self.len() as u32).collect();
         order.sort_by(|&a, &b| {
             for &k in &key_cols {
-                let ord = self.cols[k][a].cmp(&self.cols[k][b]);
+                let ord = self.cols[k][a as usize].cmp(&self.cols[k][b as usize]);
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
                 }
@@ -134,24 +176,46 @@ impl Relation {
         self.reorder(&order);
     }
 
-    fn reorder(&mut self, order: &[usize]) {
+    /// Gather every column through a row-index permutation (or subset).
+    fn reorder(&mut self, order: &[u32]) {
         for col in &mut self.cols {
-            let new_col: Vec<NodeId> = order.iter().map(|&i| col[i]).collect();
+            let new_col: Vec<Pre> = order.iter().map(|&i| col[i as usize]).collect();
             *col = new_col;
         }
     }
 
+    /// Compare two rows over the full schema.
+    fn rows_cmp(&self, a: u32, b: u32) -> std::cmp::Ordering {
+        for col in &self.cols {
+            let ord = col[a as usize].cmp(&col[b as usize]);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
     /// Remove duplicate rows with respect to the full schema (the plan
     /// tail's `δ`). Keeps the first occurrence; row order is otherwise
-    /// preserved.
+    /// preserved. Sort-based: no per-row hashing or row materialization.
     pub fn distinct(&mut self) {
-        use std::collections::HashSet;
-        let mut seen: HashSet<Vec<NodeId>> = HashSet::with_capacity(self.len());
-        let mut keep = Vec::with_capacity(self.len());
-        let mut buf = Vec::new();
-        for i in 0..self.len() {
-            self.row(i, &mut buf);
-            keep.push(seen.insert(buf.clone()));
+        let n = self.len();
+        if n <= 1 {
+            return;
+        }
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| self.rows_cmp(a, b).then(a.cmp(&b)));
+        let mut keep = vec![false; n];
+        let mut i = 0;
+        while i < n {
+            // Rows of one equal-run are index-sorted, so the run's first
+            // entry is the row's first occurrence.
+            keep[order[i] as usize] = true;
+            let mut j = i + 1;
+            while j < n && self.rows_cmp(order[i], order[j]) == std::cmp::Ordering::Equal {
+                j += 1;
+            }
+            i = j;
         }
         self.retain_rows(&keep);
     }
@@ -171,6 +235,7 @@ impl Relation {
             .collect();
         Relation {
             schema: self.schema.clone(),
+            docs: self.docs.clone(),
             cols,
         }
     }
@@ -187,71 +252,251 @@ impl Relation {
         var_a: VarId,
         right: &Relation,
         var_b: VarId,
-        pairs: &[(NodeId, NodeId)],
+        pairs: &[(Pre, Pre)],
     ) -> Relation {
-        let mut left_rows: HashMap<NodeId, Vec<u32>> = HashMap::new();
-        for (i, &n) in left.col(var_a).iter().enumerate() {
-            left_rows.entry(n).or_default().push(i as u32);
-        }
-        let mut right_rows: HashMap<NodeId, Vec<u32>> = HashMap::new();
-        for (i, &n) in right.col(var_b).iter().enumerate() {
-            right_rows.entry(n).or_default().push(i as u32);
-        }
-        let mut schema = left.schema.clone();
-        schema.extend_from_slice(&right.schema);
-        let mut out = Relation::empty(schema);
-        let mut buf = Vec::new();
+        Relation::compose_pooled(left, var_a, right, var_b, pairs, None)
+    }
+
+    /// As [`Relation::compose`] with scratch buffers (row indexes, output
+    /// columns) leased from `pool`. Row matching goes through a dense
+    /// counting-sort index per side (node → rows, two array reads per
+    /// lookup), and output rows are produced as one **gather per column**
+    /// — never row by row.
+    pub fn compose_pooled(
+        left: &Relation,
+        var_a: VarId,
+        right: &Relation,
+        var_b: VarId,
+        pairs: &[(Pre, Pre)],
+        pool: Option<&ScratchPool>,
+    ) -> Relation {
+        let lease = |p: Option<&ScratchPool>| p.map(ScratchPool::lease_pres).unwrap_or_default();
+        let give = |p: Option<&ScratchPool>, b: Vec<Pre>| {
+            if let Some(p) = p {
+                p.give_pres(b);
+            }
+        };
+        let left_index = RowIndex::build(left.col(var_a), pool);
+        let right_index = RowIndex::build(right.col(var_b), pool);
+        // Matched row-index pairs, flat: (left row, right row) per output
+        // row, in pair order × left-row order × right-row order — exactly
+        // the row order the old per-pair nested loop produced.
+        let mut lrows = lease(pool);
+        let mut rrows = lease(pool);
         for &(a, b) in pairs {
-            let (Some(ls), Some(rs)) = (left_rows.get(&a), right_rows.get(&b)) else {
+            let ls = left_index.rows(a);
+            let rs = right_index.rows(b);
+            if ls.is_empty() || rs.is_empty() {
                 continue;
-            };
+            }
             for &li in ls {
                 for &ri in rs {
-                    buf.clear();
-                    for col in &left.cols {
-                        buf.push(col[li as usize]);
-                    }
-                    for col in &right.cols {
-                        buf.push(col[ri as usize]);
-                    }
-                    out.push_row(&buf);
+                    lrows.push(li);
+                    rrows.push(ri);
                 }
             }
         }
-        out
+        let mut schema = Vec::with_capacity(left.schema.len() + right.schema.len());
+        schema.extend_from_slice(&left.schema);
+        schema.extend_from_slice(&right.schema);
+        let mut docs = Vec::with_capacity(schema.len());
+        docs.extend_from_slice(&left.docs);
+        docs.extend_from_slice(&right.docs);
+        let mut cols = Vec::with_capacity(schema.len());
+        for col in &left.cols {
+            cols.push(gather(col, &lrows, pool));
+        }
+        for col in &right.cols {
+            cols.push(gather(col, &rrows, pool));
+        }
+        give(pool, lrows);
+        give(pool, rrows);
+        left_index.recycle(pool);
+        right_index.recycle(pool);
+        Relation { schema, docs, cols }
     }
 
     /// Extend this relation with a new attribute through row-level pairs
     /// `(row index, node)` — the output of a step/value join executed with
-    /// this relation's `var` column as context.
-    pub fn expand(&self, pairs: &[(u32, NodeId)], new_var: VarId) -> Relation {
+    /// this relation's `var` column as context. `new_doc` is the document
+    /// the new attribute's nodes live in.
+    pub fn expand(&self, pairs: &[(u32, Pre)], new_var: VarId, new_doc: DocId) -> Relation {
         let mut schema = self.schema.clone();
         schema.push(new_var);
-        let mut out = Relation::empty(schema);
-        let mut buf = Vec::new();
-        for &(row, node) in pairs {
-            buf.clear();
-            for col in &self.cols {
-                buf.push(col[row as usize]);
+        let mut docs = self.docs.clone();
+        docs.push(new_doc);
+        let mut cols: Vec<Vec<Pre>> = self
+            .cols
+            .iter()
+            .map(|col| pairs.iter().map(|&(row, _)| col[row as usize]).collect())
+            .collect();
+        cols.push(pairs.iter().map(|&(_, node)| node).collect());
+        Relation { schema, docs, cols }
+    }
+
+    /// Cartesian product: every row of `a` against every row of `b` (used
+    /// only to combine genuinely unconstrained components). Column-wise:
+    /// `a`'s columns repeat each element `b.len()` times, `b`'s columns
+    /// repeat whole `a.len()` times.
+    pub fn cartesian(a: &Relation, b: &Relation) -> Relation {
+        let mut schema = a.schema.clone();
+        schema.extend_from_slice(&b.schema);
+        let mut docs = a.docs.clone();
+        docs.extend_from_slice(&b.docs);
+        let (an, bn) = (a.len(), b.len());
+        let mut cols = Vec::with_capacity(schema.len());
+        for col in &a.cols {
+            let mut out = Vec::with_capacity(an * bn);
+            for &v in col {
+                out.extend(std::iter::repeat_n(v, bn));
             }
-            buf.push(node);
-            out.push_row(&buf);
+            cols.push(out);
         }
-        out
+        for col in &b.cols {
+            let mut out = Vec::with_capacity(an * bn);
+            for _ in 0..an {
+                out.extend_from_slice(col);
+            }
+            cols.push(out);
+        }
+        Relation { schema, docs, cols }
+    }
+
+    /// Hand every column buffer back to `pool` (call when a component
+    /// relation is consumed by a join — its columns become the next
+    /// edge's gather buffers).
+    pub fn recycle(self, pool: &ScratchPool) {
+        for col in self.cols {
+            pool.give_pres(col);
+        }
+    }
+}
+
+/// Gather `col` through a row-index list into a (pooled) output column.
+fn gather(col: &[Pre], rows: &[Pre], pool: Option<&ScratchPool>) -> Vec<Pre> {
+    let mut out = match pool {
+        Some(pool) => pool.lease_pres(),
+        None => Vec::new(),
+    };
+    out.reserve(rows.len());
+    out.extend(rows.iter().map(|&i| col[i as usize]));
+    out
+}
+
+/// Crossover of [`RowIndex`]'s dense (counting-sort) layout: the dense
+/// index zero-fills a `max(col) + 1` offsets array, which is only worth
+/// it while that universe stays within a small factor of the row count —
+/// a handful of rows scattered near the end of a 10M-node document must
+/// not cost 10M-entry array passes per join. Past the factor, a
+/// sort-based index (`O(rows · log rows)` build, binary-searched lookups)
+/// takes over.
+const ROW_INDEX_DENSE_FACTOR: usize = 16;
+
+/// A node → row-indexes multimap over one column: the hash-free
+/// replacement for `HashMap<NodeId, Vec<u32>>` in [`Relation::compose`].
+/// Dense (CSR over `0..=max(col)`, counting-sort build, O(1) lookups)
+/// while the value universe is comparable to the row count
+/// ([`ROW_INDEX_DENSE_FACTOR`]); sorted `(node, row)` pairs with
+/// binary-searched group lookups otherwise. Both keep groups in
+/// insertion (row) order — sorting `(node, row)` ties rows ascending —
+/// and lookups of absent nodes return the empty slice.
+enum RowIndex {
+    Dense {
+        /// `universe + 1` prefix sums; group of node `p` is
+        /// `rows[offsets[p]..offsets[p + 1]]`.
+        offsets: Vec<Pre>,
+        /// Row indexes grouped by node, insertion (row) order per group.
+        rows: Vec<Pre>,
+    },
+    Sorted {
+        /// Column values, sorted; parallel to `rows`.
+        keys: Vec<Pre>,
+        /// Row indexes, ascending within one key's run.
+        rows: Vec<Pre>,
+    },
+}
+
+impl RowIndex {
+    fn build(col: &[Pre], pool: Option<&ScratchPool>) -> RowIndex {
+        let lease = |p: Option<&ScratchPool>| p.map(ScratchPool::lease_pres).unwrap_or_default();
+        let universe = col.iter().map(|&p| p as usize + 1).max().unwrap_or(0);
+        if universe > col.len().saturating_mul(ROW_INDEX_DENSE_FACTOR) {
+            let mut pairs = pool.map(ScratchPool::lease_node_pairs).unwrap_or_default();
+            pairs.extend(col.iter().enumerate().map(|(row, &p)| (p, row as Pre)));
+            pairs.sort_unstable();
+            let mut keys = lease(pool);
+            let mut rows = lease(pool);
+            keys.extend(pairs.iter().map(|&(p, _)| p));
+            rows.extend(pairs.iter().map(|&(_, row)| row));
+            if let Some(pool) = pool {
+                pool.give_node_pairs(pairs);
+            }
+            return RowIndex::Sorted { keys, rows };
+        }
+        let mut offsets = lease(pool);
+        offsets.resize(universe + 1, 0);
+        for &p in col {
+            offsets[p as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut rows = lease(pool);
+        rows.resize(col.len(), 0);
+        let mut cursor = lease(pool);
+        cursor.extend_from_slice(&offsets);
+        for (row, &p) in col.iter().enumerate() {
+            let at = cursor[p as usize];
+            rows[at as usize] = row as Pre;
+            cursor[p as usize] += 1;
+        }
+        if let Some(pool) = pool {
+            pool.give_pres(cursor);
+        }
+        RowIndex::Dense { offsets, rows }
+    }
+
+    #[inline]
+    fn rows(&self, p: Pre) -> &[Pre] {
+        match self {
+            RowIndex::Dense { offsets, rows } => {
+                let i = p as usize;
+                if i + 1 >= offsets.len() {
+                    return &[];
+                }
+                &rows[offsets[i] as usize..offsets[i + 1] as usize]
+            }
+            RowIndex::Sorted { keys, rows } => {
+                let start = keys.partition_point(|&k| k < p);
+                let end = start + keys[start..].partition_point(|&k| k == p);
+                &rows[start..end]
+            }
+        }
+    }
+
+    fn recycle(self, pool: Option<&ScratchPool>) {
+        let Some(pool) = pool else { return };
+        match self {
+            RowIndex::Dense { offsets, rows } => {
+                pool.give_pres(offsets);
+                pool.give_pres(rows);
+            }
+            RowIndex::Sorted { keys, rows } => {
+                pool.give_pres(keys);
+                pool.give_pres(rows);
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rox_xmldb::catalog::DocId;
 
-    fn n(pre: u32) -> NodeId {
-        NodeId::new(DocId(0), pre)
-    }
+    const D: DocId = DocId(0);
 
     fn rel(var: VarId, pres: &[u32]) -> Relation {
-        Relation::single(var, pres.iter().map(|&p| n(p)).collect())
+        Relation::single(var, D, pres.to_vec())
     }
 
     #[test]
@@ -259,18 +504,21 @@ mod tests {
         let r = rel(1, &[3, 5, 5]);
         assert_eq!(r.len(), 3);
         assert_eq!(r.schema(), &[1]);
-        assert_eq!(r.distinct_nodes(1), vec![n(3), n(5)]);
+        assert_eq!(r.doc_of(1), D);
+        assert_eq!(r.distinct_nodes(1), vec![3, 5]);
+        assert_eq!(r.node(1, 0), rox_xmldb::NodeId::new(D, 3));
     }
 
     #[test]
     fn expand_adds_column_with_multiplicity() {
         let r = rel(1, &[3, 5]);
-        let pairs = vec![(0u32, n(10)), (0u32, n(11)), (1u32, n(12))];
-        let e = r.expand(&pairs, 2);
+        let pairs = vec![(0u32, 10), (0u32, 11), (1u32, 12)];
+        let e = r.expand(&pairs, 2, DocId(7));
         assert_eq!(e.schema(), &[1, 2]);
         assert_eq!(e.len(), 3);
-        assert_eq!(e.col(1), &[n(3), n(3), n(5)]);
-        assert_eq!(e.col(2), &[n(10), n(11), n(12)]);
+        assert_eq!(e.col(1), &[3, 3, 5]);
+        assert_eq!(e.col(2), &[10, 11, 12]);
+        assert_eq!(e.doc_of(2), DocId(7));
     }
 
     #[test]
@@ -278,53 +526,100 @@ mod tests {
         // left has node 3 twice.
         let left = rel(1, &[3, 3, 5]);
         let right = rel(2, &[7, 8]);
-        let pairs = vec![(n(3), n(7)), (n(5), n(8))];
+        let pairs = vec![(3, 7), (5, 8)];
         let j = Relation::compose(&left, 1, &right, 2, &pairs);
         assert_eq!(j.schema(), &[1, 2]);
         assert_eq!(j.len(), 3); // (3,7) ×2 + (5,8)
+        assert_eq!(j.col(1), &[3, 3, 5]);
+        assert_eq!(j.col(2), &[7, 7, 8]);
     }
 
     #[test]
     fn compose_ignores_pairs_without_rows() {
         let left = rel(1, &[3]);
         let right = rel(2, &[7]);
-        let pairs = vec![(n(4), n(7)), (n(3), n(9))];
+        let pairs = vec![(4, 7), (3, 9)];
         let j = Relation::compose(&left, 1, &right, 2, &pairs);
         assert!(j.is_empty());
+    }
+
+    #[test]
+    fn compose_pooled_matches_unpooled() {
+        let pool = ScratchPool::new();
+        let left = rel(1, &[3, 3, 5, 9]);
+        let right = rel(2, &[7, 8, 7]);
+        let pairs = vec![(3, 7), (5, 8), (9, 7)];
+        let plain = Relation::compose(&left, 1, &right, 2, &pairs);
+        let pooled = Relation::compose_pooled(&left, 1, &right, 2, &pairs, Some(&pool));
+        assert_eq!(pooled, plain);
+        assert!(pool.stats().leases > 0);
+        // Recycle and recompose: buffers come back from the pool.
+        pooled.recycle(&pool);
+        let misses = pool.stats().misses;
+        let again = Relation::compose_pooled(&left, 1, &right, 2, &pairs, Some(&pool));
+        assert_eq!(again, plain);
+        assert_eq!(
+            pool.stats().misses,
+            misses,
+            "warm compose must not allocate"
+        );
     }
 
     #[test]
     fn distinct_removes_duplicate_rows() {
         let mut r = rel(1, &[3, 3, 5, 3]);
         r.distinct();
-        assert_eq!(r.col(1), &[n(3), n(5)]);
+        assert_eq!(r.col(1), &[3, 5]);
+    }
+
+    #[test]
+    fn distinct_keeps_first_occurrence_order() {
+        let mut r = Relation::empty(vec![1, 2], vec![D, D]);
+        r.push_row(&[5, 1]);
+        r.push_row(&[3, 9]);
+        r.push_row(&[5, 1]); // dup of row 0
+        r.push_row(&[3, 8]);
+        r.push_row(&[3, 9]); // dup of row 1
+        r.distinct();
+        assert_eq!(r.col(1), &[5, 3, 3]);
+        assert_eq!(r.col(2), &[1, 9, 8]);
     }
 
     #[test]
     fn sort_by_orders_rows() {
-        let mut r = Relation::empty(vec![1, 2]);
-        r.push_row(&[n(5), n(1)]);
-        r.push_row(&[n(3), n(9)]);
-        r.push_row(&[n(5), n(0)]);
+        let mut r = Relation::empty(vec![1, 2], vec![D, D]);
+        r.push_row(&[5, 1]);
+        r.push_row(&[3, 9]);
+        r.push_row(&[5, 0]);
         r.sort_by(&[1, 2]);
-        assert_eq!(r.col(1), &[n(3), n(5), n(5)]);
-        assert_eq!(r.col(2), &[n(9), n(0), n(1)]);
+        assert_eq!(r.col(1), &[3, 5, 5]);
+        assert_eq!(r.col(2), &[9, 0, 1]);
     }
 
     #[test]
     fn project_clones_columns() {
-        let mut r = Relation::empty(vec![1, 2]);
-        r.push_row(&[n(5), n(1)]);
+        let mut r = Relation::empty(vec![1, 2], vec![D, DocId(3)]);
+        r.push_row(&[5, 1]);
         let p = r.project(&[2]);
         assert_eq!(p.schema(), &[2]);
-        assert_eq!(p.col(2), &[n(1)]);
+        assert_eq!(p.col(2), &[1]);
+        assert_eq!(p.doc_of(2), DocId(3));
     }
 
     #[test]
     fn retain_rows_filters() {
         let mut r = rel(1, &[1, 2, 3, 4]);
         r.retain_rows(&[true, false, true, false]);
-        assert_eq!(r.col(1), &[n(1), n(3)]);
+        assert_eq!(r.col(1), &[1, 3]);
+    }
+
+    #[test]
+    fn cartesian_repeats_in_row_major_order() {
+        let a = rel(1, &[1, 2]);
+        let b = rel(2, &[8, 9]);
+        let c = Relation::cartesian(&a, &b);
+        assert_eq!(c.col(1), &[1, 1, 2, 2]);
+        assert_eq!(c.col(2), &[8, 9, 8, 9]);
     }
 
     #[test]

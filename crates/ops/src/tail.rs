@@ -33,21 +33,16 @@ impl Tail {
 mod tests {
     use super::*;
     use rox_xmldb::catalog::DocId;
-    use rox_xmldb::NodeId;
-
-    fn n(pre: u32) -> NodeId {
-        NodeId::new(DocId(0), pre)
-    }
 
     #[test]
     fn tail_dedups_sorts_and_projects() {
         // Fully joined relation over vars (1, 2) with duplicates and
         // shuffled order.
-        let mut r = Relation::empty(vec![1, 2]);
-        r.push_row(&[n(5), n(30)]);
-        r.push_row(&[n(3), n(20)]);
-        r.push_row(&[n(5), n(30)]); // duplicate pair
-        r.push_row(&[n(5), n(10)]);
+        let mut r = Relation::empty(vec![1, 2], vec![DocId(0), DocId(0)]);
+        r.push_row(&[5, 30]);
+        r.push_row(&[3, 20]);
+        r.push_row(&[5, 30]); // duplicate pair
+        r.push_row(&[5, 10]);
         let tail = Tail {
             dedup_vars: vec![1, 2],
             sort_vars: vec![1, 2],
@@ -56,21 +51,21 @@ mod tests {
         let mut cost = Cost::new();
         let out = tail.apply(&r, &mut cost);
         // (3,20), (5,10), (5,30): output column of var 1.
-        assert_eq!(out.col(1), &[n(3), n(5), n(5)]);
+        assert_eq!(out.col(1), &[3, 5, 5]);
     }
 
     #[test]
     fn tail_with_single_variable() {
-        let mut r = Relation::empty(vec![7]);
-        r.push_row(&[n(2)]);
-        r.push_row(&[n(1)]);
-        r.push_row(&[n(2)]);
+        let mut r = Relation::empty(vec![7], vec![DocId(0)]);
+        r.push_row(&[2]);
+        r.push_row(&[1]);
+        r.push_row(&[2]);
         let tail = Tail {
             dedup_vars: vec![7],
             sort_vars: vec![7],
             output_vars: vec![7],
         };
         let out = tail.apply(&r, &mut Cost::new());
-        assert_eq!(out.col(7), &[n(1), n(2)]);
+        assert_eq!(out.col(7), &[1, 2]);
     }
 }

@@ -1,23 +1,20 @@
 //! Algebraic property tests for [`Relation`]: compose/expand laws,
-//! distinct/sort idempotence, and tail invariants.
+//! distinct/sort idempotence, tail invariants, and pooled-buffer
+//! equivalence of the gather-based composition.
 
 use proptest::prelude::*;
-use rox_ops::{Cost, Relation, Tail};
+use rox_ops::{Cost, Relation, ScratchPool, Tail};
 use rox_xmldb::catalog::DocId;
-use rox_xmldb::NodeId;
+use rox_xmldb::Pre;
 
-fn n(pre: u32) -> NodeId {
-    NodeId::new(DocId(0), pre)
-}
+const D: DocId = DocId(0);
 
 fn single_rel(var: u32) -> impl Strategy<Value = Relation> {
-    prop::collection::vec(0u32..12, 0..20)
-        .prop_map(move |pres| Relation::single(var, pres.into_iter().map(n).collect()))
+    prop::collection::vec(0u32..12, 0..20).prop_map(move |pres| Relation::single(var, D, pres))
 }
 
-fn pairs_strategy() -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {
+fn pairs_strategy() -> impl Strategy<Value = Vec<(Pre, Pre)>> {
     prop::collection::vec((0u32..12, 0u32..12), 0..25)
-        .prop_map(|ps| ps.into_iter().map(|(a, b)| (n(a), n(b))).collect())
 }
 
 proptest! {
@@ -27,7 +24,7 @@ proptest! {
     fn compose_cardinality_formula(left in single_rel(1), right in single_rel(2), pairs in pairs_strategy()) {
         let joined = Relation::compose(&left, 1, &right, 2, &pairs);
         // |join| = Σ over pairs of (left multiplicity × right multiplicity).
-        let mult = |r: &Relation, var: u32, node: NodeId| {
+        let mult = |r: &Relation, var: u32, node: Pre| {
             r.col(var).iter().filter(|&&x| x == node).count()
         };
         let expected: usize = pairs
@@ -38,15 +35,70 @@ proptest! {
     }
 
     #[test]
+    fn compose_matches_naive_row_nested_loop(left in single_rel(1), right in single_rel(2), pairs in pairs_strategy()) {
+        // Reference: the old per-pair row nested loop, reimplemented here.
+        let mut expected = Relation::empty(vec![1, 2], vec![D, D]);
+        for &(a, b) in &pairs {
+            for (li, &lv) in left.col(1).iter().enumerate() {
+                if lv != a { continue; }
+                for (ri, &rv) in right.col(2).iter().enumerate() {
+                    if rv != b { continue; }
+                    let _ = (li, ri);
+                    expected.push_row(&[lv, rv]);
+                }
+            }
+        }
+        let got = Relation::compose(&left, 1, &right, 2, &pairs);
+        prop_assert_eq!(&got, &expected);
+        // And the pooled variant is bit-identical to the plain one.
+        let pool = ScratchPool::new();
+        let pooled = Relation::compose_pooled(&left, 1, &right, 2, &pairs, Some(&pool));
+        prop_assert_eq!(&pooled, &expected);
+    }
+
+    #[test]
+    fn sparse_compose_matches_dense_semantics(
+        left_raw in prop::collection::vec(0u32..50_000, 0..20),
+        right_raw in prop::collection::vec(0u32..50_000, 0..20),
+        picks in prop::collection::vec((0usize..24, 0usize..24), 0..25),
+    ) {
+        // Node values far above the row count force RowIndex's sorted
+        // (binary-search) layout; pairs drawn from the actual columns so
+        // matches exist. Reference: the row nested loop.
+        let left = Relation::single(1, D, left_raw);
+        let right = Relation::single(2, D, right_raw);
+        let pairs: Vec<(Pre, Pre)> = picks
+            .into_iter()
+            .filter(|&(i, j)| i < left.len() && j < right.len())
+            .map(|(i, j)| (left.col(1)[i], right.col(2)[j]))
+            .collect();
+        let mut expected = Relation::empty(vec![1, 2], vec![D, D]);
+        for &(a, b) in &pairs {
+            for &lv in left.col(1) {
+                if lv != a { continue; }
+                for &rv in right.col(2) {
+                    if rv != b { continue; }
+                    expected.push_row(&[lv, rv]);
+                }
+            }
+        }
+        let got = Relation::compose(&left, 1, &right, 2, &pairs);
+        prop_assert_eq!(&got, &expected);
+        let pool = ScratchPool::new();
+        let pooled = Relation::compose_pooled(&left, 1, &right, 2, &pairs, Some(&pool));
+        prop_assert_eq!(&pooled, &expected);
+    }
+
+    #[test]
     fn compose_is_symmetric_up_to_schema(left in single_rel(1), right in single_rel(2), pairs in pairs_strategy()) {
         let ab = Relation::compose(&left, 1, &right, 2, &pairs);
-        let flipped: Vec<(NodeId, NodeId)> = pairs.iter().map(|&(a, b)| (b, a)).collect();
+        let flipped: Vec<(Pre, Pre)> = pairs.iter().map(|&(a, b)| (b, a)).collect();
         let ba = Relation::compose(&right, 2, &left, 1, &flipped);
         prop_assert_eq!(ab.len(), ba.len());
         // Same multiset of (var1, var2) bindings.
-        let mut x: Vec<(NodeId, NodeId)> =
+        let mut x: Vec<(Pre, Pre)> =
             ab.col(1).iter().zip(ab.col(2)).map(|(&a, &b)| (a, b)).collect();
-        let mut y: Vec<(NodeId, NodeId)> =
+        let mut y: Vec<(Pre, Pre)> =
             ba.col(1).iter().zip(ba.col(2)).map(|(&a, &b)| (a, b)).collect();
         x.sort_unstable();
         y.sort_unstable();
@@ -60,6 +112,22 @@ proptest! {
         let mut twice = once.clone();
         twice.distinct();
         prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn distinct_matches_hashset_reference(left in single_rel(1), right in single_rel(2), pairs in pairs_strategy()) {
+        // Two-column relation so dedup works on real row tuples.
+        let mut rel = Relation::compose(&left, 1, &right, 2, &pairs);
+        // Reference: first-occurrence filter via a HashSet of rows (the
+        // pre-vectorization implementation).
+        let mut seen = std::collections::HashSet::new();
+        let keep: Vec<bool> = (0..rel.len())
+            .map(|i| seen.insert((rel.col(1)[i], rel.col(2)[i])))
+            .collect();
+        let mut expected = rel.clone();
+        expected.retain_rows(&keep);
+        rel.distinct();
+        prop_assert_eq!(rel, expected);
     }
 
     #[test]
@@ -84,13 +152,13 @@ proptest! {
 
     #[test]
     fn expand_preserves_left_bindings(rel in single_rel(1), raw in prop::collection::vec((0u32..20, 0u32..12), 0..20)) {
-        let pairs: Vec<(u32, NodeId)> = raw
+        let pairs: Vec<(u32, Pre)> = raw
             .into_iter()
             .filter(|(row, _)| (*row as usize) < rel.len())
-            .map(|(row, node)| (row, n(node)))
             .collect();
-        let ex = rel.expand(&pairs, 2);
+        let ex = rel.expand(&pairs, 2, DocId(1));
         prop_assert_eq!(ex.len(), pairs.len());
+        prop_assert_eq!(ex.doc_of(2), DocId(1));
         for (i, &(row, node)) in pairs.iter().enumerate() {
             prop_assert_eq!(ex.col(1)[i], rel.col(1)[row as usize]);
             prop_assert_eq!(ex.col(2)[i], node);

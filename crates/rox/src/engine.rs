@@ -39,7 +39,7 @@ use crate::plan::{run_plan_with_env_parallel, validate_plan, PlanRun};
 use crate::state::EdgeExec;
 use rox_index::IndexedStore;
 use rox_joingraph::{EdgeId, JoinGraph, VertexLabel};
-use rox_ops::{Cost, EdgeOpKind, Relation};
+use rox_ops::{Cost, EdgeOpKind, PoolStats, Relation, ScratchPool};
 use rox_par::{par_map, Parallelism};
 use rox_xmldb::{Catalog, DocId, Pre};
 use std::collections::HashMap;
@@ -194,6 +194,9 @@ pub struct EngineStats {
     pub plan_misses: u64,
     /// Plans currently cached.
     pub cached_plans: usize,
+    /// Scratch-pool lease/miss counters (see
+    /// [`RoxEngine::scratch_pool`]).
+    pub scratch: PoolStats,
 }
 
 impl EngineStats {
@@ -285,6 +288,11 @@ impl EngineRun {
 pub struct RoxEngine {
     store: Arc<IndexedStore>,
     base_lists: Arc<BaseListCache>,
+    /// Recycled execution-spine buffers, shared across every session (and
+    /// therefore across queries): once traffic is warm, full executions
+    /// lease pair buffers, relation columns, and bitset universes here
+    /// instead of allocating (see [`rox_ops::pool`]).
+    scratch: Arc<ScratchPool>,
     plans: Mutex<PlanCache>,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
@@ -332,6 +340,7 @@ impl RoxEngine {
         RoxEngine {
             store: Arc::new(IndexedStore::new(catalog)),
             base_lists: Arc::new(BaseListCache::new()),
+            scratch: Arc::new(ScratchPool::new()),
             plans: Mutex::new(PlanCache::default()),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
@@ -353,6 +362,14 @@ impl RoxEngine {
         &self.base_lists
     }
 
+    /// The shared scratch pool; [`ScratchPool::stats`] exposes the warm
+    /// traffic's lease/miss counters (a warm repeat query leases every
+    /// pooled buffer — zero misses — the property the engine proptest
+    /// pins).
+    pub fn scratch_pool(&self) -> &Arc<ScratchPool> {
+        &self.scratch
+    }
+
     /// A per-query session: a thin [`RoxEnv`] view borrowing this engine's
     /// index store and base-list cache. Cheap enough to create per call —
     /// the only per-session work is resolving the graph's document URIs.
@@ -360,6 +377,7 @@ impl RoxEngine {
         RoxEnv::from_shared(
             Arc::clone(&self.store),
             Arc::clone(&self.base_lists),
+            Arc::clone(&self.scratch),
             graph,
             Parallelism::Sequential,
         )
@@ -427,6 +445,7 @@ impl RoxEngine {
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
             cached_plans: self.plans.lock().expect("plan cache").map.len(),
+            scratch: self.scratch.stats(),
         }
     }
 

@@ -8,7 +8,7 @@
 use crate::env::RoxEnv;
 use rox_joingraph::{JoinGraph, VertexLabel};
 use rox_ops::{edge_predicate, Cost, Relation, Tail};
-use rox_xmldb::NodeId;
+use rox_xmldb::Pre;
 use std::collections::HashMap;
 
 /// Evaluate the whole graph naively; returns (joined, output-after-tail).
@@ -21,7 +21,7 @@ pub fn naive_evaluate(env: &RoxEnv, graph: &JoinGraph) -> (Relation, Relation) {
     let ensure = |v: u32, comp_of: &mut Vec<Option<usize>>, comps: &mut Vec<Option<Relation>>| {
         if comp_of[v as usize].is_none() {
             let base = env.base_list(graph, v);
-            let rel = Relation::single(v, env.to_node_ids(v, &base));
+            let rel = Relation::single(v, env.doc_id(v), base.to_vec());
             comp_of[v as usize] = Some(comps.len());
             comps.push(Some(rel));
         }
@@ -37,11 +37,12 @@ pub fn naive_evaluate(env: &RoxEnv, graph: &JoinGraph) -> (Relation, Relation) {
         let c1 = comp_of[v1 as usize].unwrap();
         let c2 = comp_of[v2 as usize].unwrap();
         let class = edge.kind.class();
-        let holds = |a: NodeId, b: NodeId| -> bool {
-            if edge.is_step() && a.doc != b.doc {
+        let cross_doc = env.doc_id(v1) != env.doc_id(v2);
+        let holds = |a: Pre, b: Pre| -> bool {
+            if edge.is_step() && cross_doc {
                 return false;
             }
-            edge_predicate(class, &env.doc(v1), &env.doc(v2), a.pre, b.pre)
+            edge_predicate(class, &env.doc(v1), &env.doc(v2), a, b)
         };
         if c1 == c2 {
             let rel = comps[c1].take().unwrap();
@@ -99,10 +100,10 @@ pub fn naive_evaluate(env: &RoxEnv, graph: &JoinGraph) -> (Relation, Relation) {
         let part = parts.remove(&cid).unwrap();
         joined = Some(match joined {
             None => part,
-            Some(acc) => cartesian(&acc, &part),
+            Some(acc) => Relation::cartesian(&acc, &part),
         });
     }
-    let joined = joined.unwrap_or_else(|| Relation::empty(vec![]));
+    let joined = joined.unwrap_or_else(|| Relation::empty(vec![], vec![]));
     let tail = Tail {
         dedup_vars: graph.tail.dedup.clone(),
         sort_vars: graph.tail.sort.clone(),
@@ -110,23 +111,6 @@ pub fn naive_evaluate(env: &RoxEnv, graph: &JoinGraph) -> (Relation, Relation) {
     };
     let output = tail.apply(&joined, &mut Cost::new());
     (joined, output)
-}
-
-fn cartesian(a: &Relation, b: &Relation) -> Relation {
-    let mut schema = a.schema().to_vec();
-    schema.extend_from_slice(b.schema());
-    let mut out = Relation::empty(schema);
-    let (mut ra, mut rb) = (Vec::new(), Vec::new());
-    for i in 0..a.len() {
-        for j in 0..b.len() {
-            ra.clear();
-            a.row(i, &mut ra);
-            b.row(j, &mut rb);
-            ra.extend_from_slice(&rb);
-            out.push_row(&ra);
-        }
-    }
-    out
 }
 
 #[cfg(test)]

@@ -269,6 +269,7 @@ pub fn run_rox_with_env(
     // ---- Finalize: assemble the full join and apply the tail. ----
     let t_fin = Instant::now();
     let joined = state.finalize();
+    state.recycle_scratch();
     let tail = Tail {
         dedup_vars: graph.tail.dedup.clone(),
         sort_vars: graph.tail.sort.clone(),

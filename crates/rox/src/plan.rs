@@ -145,6 +145,7 @@ pub fn run_plan_with_env_parallel(
         state.execute_edge(e, None);
     }
     let joined = state.finalize();
+    state.recycle_scratch();
     let tail = Tail {
         dedup_vars: graph.tail.dedup.clone(),
         sort_vars: graph.tail.sort.clone(),

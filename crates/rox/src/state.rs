@@ -21,10 +21,10 @@ use rand::rngs::StdRng;
 use rox_index::{sample_sorted, PreSet, SymbolTable};
 use rox_joingraph::{EdgeId, EdgeKind, JoinGraph, VertexId, VertexLabel};
 use rox_ops::{
-    choose_op, edge_predicate, execute_edge_op_with, Cost, DenseState, EdgeClass, EdgeOpCtx,
-    EdgeOpKind, ExecMode, Relation,
+    choose_op, choose_step_kernel, edge_predicate, execute_edge_op_with, Cost, DenseState,
+    EdgeClass, EdgeOpCtx, EdgeOpKind, ExecMode, Relation, StepKernel,
 };
-use rox_xmldb::{NodeId, NodeKind, Pre};
+use rox_xmldb::{NodeKind, Pre};
 use std::sync::{Arc, RwLock};
 
 /// One executed edge: the size of the component relation it produced and
@@ -70,9 +70,29 @@ impl Scratch {
     }
 
     /// Drop both cached structures of `v` (call on every `T(v)` write).
-    fn invalidate(&self, v: VertexId) {
-        self.sets.write().expect("scratch sets")[v as usize] = None;
+    /// A bitset this state held the last reference to returns its word
+    /// buffer to the pool.
+    fn invalidate(&self, v: VertexId, pool: &rox_ops::ScratchPool) {
+        if let Some(set) = self.sets.write().expect("scratch sets")[v as usize].take() {
+            if let Ok(set) = Arc::try_unwrap(set) {
+                pool.give_set(set);
+            }
+        }
         self.tables.write().expect("scratch tables")[v as usize] = None;
+    }
+
+    /// Drain every cached bitset into the pool (end-of-run cleanup).
+    fn recycle(&self, pool: &rox_ops::ScratchPool) {
+        for slot in self.sets.write().expect("scratch sets").iter_mut() {
+            if let Some(set) = slot.take() {
+                if let Ok(set) = Arc::try_unwrap(set) {
+                    pool.give_set(set);
+                }
+            }
+        }
+        for slot in self.tables.write().expect("scratch tables").iter_mut() {
+            *slot = None;
+        }
     }
 }
 
@@ -196,7 +216,11 @@ impl<'a> EvalState<'a> {
             return Arc::clone(set);
         }
         let nodes = self.table_or_base(v);
-        let set = Arc::new(PreSet::from_nodes(self.env.doc(v).node_count(), &nodes));
+        let set = Arc::new(
+            self.env
+                .pool()
+                .lease_set(self.env.doc(v).node_count(), &nodes),
+        );
         self.scratch.sets.write().expect("scratch sets")[v as usize] = Some(Arc::clone(&set));
         set
     }
@@ -230,12 +254,14 @@ impl<'a> EvalState<'a> {
         }
         let base = self.env.base_list(self.graph, v);
         self.exec_cost.charge_in(base.len());
-        let rel = Relation::single(v, self.env.to_node_ids(v, &base));
+        let mut nodes = self.env.pool().lease_pres();
+        nodes.extend_from_slice(&base);
+        let rel = Relation::single(v, self.env.doc_id(v), nodes);
         let cid = self.components.len();
         self.components.push(Some(rel));
         self.comp_of[v as usize] = Some(cid);
         self.t[v as usize] = Some(base);
-        self.scratch.invalidate(v);
+        self.scratch.invalidate(v, self.env.pool());
         self.card[v as usize] = Some(self.t[v as usize].as_ref().unwrap().len());
     }
 
@@ -258,17 +284,24 @@ impl<'a> EvalState<'a> {
         let c1 = self.comp_of[v1 as usize].unwrap();
         let c2 = self.comp_of[v2 as usize].unwrap();
 
-        let (merged, op): (Relation, EdgeOpKind) = if c1 == c2 {
+        let op: EdgeOpKind = if c1 == c2 {
             // Selection within one component.
             let rel = self.components[c1].take().expect("live component");
             let filtered = self.filter_component(&edge, rel);
             self.components[c1] = Some(filtered);
-            (self.components[c1].clone().unwrap(), EdgeOpKind::Select)
+            EdgeOpKind::Select
         } else {
             let left = self.components[c1].take().expect("live component");
             let right = self.components[c2].take().expect("live component");
             let (pairs, op) = self.node_pairs(&edge);
-            let joined = Relation::compose(&left, v1, &right, v2, &pairs);
+            let pool = self.env.pool();
+            let joined = Relation::compose_pooled(&left, v1, &right, v2, &pairs, Some(pool));
+            // The consumed inputs flow back into the pool: the pair list
+            // and both operands' column buffers become the next edge's
+            // scratch.
+            pool.give_node_pairs(pairs);
+            left.recycle(pool);
+            right.recycle(pool);
             self.exec_cost.charge_out(joined.len());
             // Re-point all vertices of the absorbed component.
             for v in 0..self.comp_of.len() {
@@ -276,10 +309,11 @@ impl<'a> EvalState<'a> {
                     self.comp_of[v] = Some(c1);
                 }
             }
-            self.components[c1] = Some(joined.clone());
-            (joined, op)
+            self.components[c1] = Some(joined);
+            op
         };
 
+        let merged = self.components[c1].as_ref().expect("live component");
         self.edge_log.push(EdgeExec {
             edge: e,
             result_rows: merged.len(),
@@ -291,11 +325,11 @@ impl<'a> EvalState<'a> {
         // edge endpoints always count as changed: Algorithm 1 re-samples
         // their incident edges unconditionally (lines 14-19).
         let mut changed = vec![v1, v2];
-        for &v in merged.schema() {
-            let distinct: Vec<Pre> = {
-                let nodes = merged.distinct_nodes(v);
-                nodes.iter().map(|n| n.pre).collect()
-            };
+        for i in 0..merged.schema().len() {
+            let merged = self.components[c1].as_ref().expect("live component");
+            let v = merged.schema()[i];
+            let mut distinct = self.env.pool().lease_pres();
+            merged.distinct_nodes_into(v, &mut distinct);
             let new_card = distinct.len();
             let t = Arc::new(distinct);
             let stale = self.t[v as usize].as_ref().is_none_or(|old| **old != *t);
@@ -306,8 +340,14 @@ impl<'a> EvalState<'a> {
             if let Some((rng, tau)) = sampler.as_mut() {
                 self.sample[v as usize] = Some(Arc::new(sample_sorted(*rng, &t, *tau)));
             }
-            self.t[v as usize] = Some(t);
-            self.scratch.invalidate(v);
+            // Recycle the replaced table when this state held the last
+            // reference (samples and in-flight estimates hold their own).
+            if let Some(old) = self.t[v as usize].replace(t) {
+                if let Ok(buf) = Arc::try_unwrap(old) {
+                    self.env.pool().give_pres(buf);
+                }
+            }
+            self.scratch.invalidate(v, self.env.pool());
         }
         changed
     }
@@ -317,7 +357,7 @@ impl<'a> EvalState<'a> {
     /// kernel ([`rox_ops::edgeop`]) — the same dispatch layer the sampling
     /// phases consult, so the operator executed here is by construction
     /// the one the weights were sampled with.
-    fn node_pairs(&mut self, edge: &rox_joingraph::Edge) -> (Vec<(NodeId, NodeId)>, EdgeOpKind) {
+    fn node_pairs(&mut self, edge: &rox_joingraph::Edge) -> (Vec<(Pre, Pre)>, EdgeOpKind) {
         let (v1, v2) = (edge.v1, edge.v2);
         let t1 = Arc::clone(self.t[v1 as usize].as_ref().expect("materialized"));
         let t2 = Arc::clone(self.t[v2 as usize].as_ref().expect("materialized"));
@@ -332,18 +372,20 @@ impl<'a> EvalState<'a> {
         let (kind1, kind2) = (self.vertex_kind(v1), self.vertex_kind(v2));
         let class = edge.kind.class();
         // Hand the kernel the scratch arena's dense join state for exactly
-        // the operator it is about to choose (`choose_op` is the same cost
-        // function the kernel consults, so the prediction cannot drift):
-        // the inner membership bitset for an index nested loop, the
-        // build-side CSR table for a hash join. Cached or rebuilt, results
-        // and cost charges are identical — this only skips the rebuild.
+        // the operator (and staircase kernel) it is about to choose —
+        // `choose_op`/`choose_step_kernel` are the same cost functions the
+        // kernel consults, so the prediction cannot drift: the inner
+        // membership bitset for an index nested loop or a bitset-kernel
+        // step, the build-side CSR table for a hash join. Cached or
+        // rebuilt, results and cost charges are identical — this only
+        // skips the rebuild.
         let mut set1 = None;
         let mut set2 = None;
         let mut table1 = None;
         let mut table2 = None;
-        if let EdgeClass::ValueJoin = class {
-            let choice = choose_op(class, t1.len(), t2.len(), ExecMode::Full);
-            match choice.kind {
+        let choice = choose_op(class, t1.len(), t2.len(), ExecMode::Full);
+        match class {
+            EdgeClass::ValueJoin => match choice.kind {
                 EdgeOpKind::IndexNLValueJoin => {
                     // The *inner* (non-outer) endpoint's set is the filter
                     // the nested loop probes.
@@ -363,6 +405,23 @@ impl<'a> EvalState<'a> {
                     }
                 }
                 _ => {}
+            },
+            EdgeClass::Step(axis) => {
+                // The bitset staircase kernel probes the inner endpoint's
+                // membership set; supply the arena's cached one when that
+                // kernel will engage.
+                let (eff_axis, outer_len, inner_len) = if choice.outer_is_v1 {
+                    (axis, t1.len(), t2.len())
+                } else {
+                    (axis.inverse(), t2.len(), t1.len())
+                };
+                if choose_step_kernel(eff_axis, outer_len, inner_len, false) == StepKernel::Bitset {
+                    if choice.outer_is_v1 {
+                        set2 = Some(self.vertex_set(v2));
+                    } else {
+                        set1 = Some(self.vertex_set(v1));
+                    }
+                }
             }
         }
         let dense = DenseState {
@@ -370,6 +429,7 @@ impl<'a> EvalState<'a> {
             set2: set2.as_deref(),
             table1: table1.as_deref(),
             table2: table2.as_deref(),
+            pool: Some(self.env.pool()),
         };
         let out = execute_edge_op_with(
             EdgeOpCtx {
@@ -388,33 +448,30 @@ impl<'a> EvalState<'a> {
             dense,
             &mut self.exec_cost,
         );
-        let op = out.choice.kind;
-        let pairs = out
-            .result
-            .into_full()
-            .into_iter()
-            .map(|(a, b)| (NodeId::new(id1, a), NodeId::new(id2, b)))
-            .collect();
-        (pairs, op)
+        (out.result.into_full(), out.choice.kind)
     }
 
     /// Filter a component's rows by an intra-component edge predicate (the
-    /// kernel's [`EdgeOpKind::Select`] path).
+    /// kernel's [`EdgeOpKind::Select`] path). The join columns are read as
+    /// borrowed slices (no clones) and the keep-flags buffer is
+    /// pool-leased.
     fn filter_component(&mut self, edge: &rox_joingraph::Edge, rel: Relation) -> Relation {
         let (v1, v2) = (edge.v1, edge.v2);
-        let col1 = rel.col(v1).to_vec();
-        let col2 = rel.col(v2).to_vec();
         self.exec_cost.charge_in(rel.len());
         let class = edge.kind.class();
         let d1 = self.env.doc(v1);
         let d2 = self.env.doc(v2);
-        let keep: Vec<bool> = col1
-            .iter()
-            .zip(&col2)
-            .map(|(a, b)| edge_predicate(class, &d1, &d2, a.pre, b.pre))
-            .collect();
+        let pool = self.env.pool();
+        let mut keep = pool.lease_flags();
+        keep.extend(
+            rel.col(v1)
+                .iter()
+                .zip(rel.col(v2))
+                .map(|(&a, &b)| edge_predicate(class, &d1, &d2, a, b)),
+        );
         let mut rel = rel;
         rel.retain_rows(&keep);
+        pool.give_flags(keep);
         self.exec_cost.charge_out(rel.len());
         rel
     }
@@ -429,7 +486,9 @@ impl<'a> EvalState<'a> {
             }
             self.ensure_materialized(v.id);
         }
-        // Collect live components that contain at least one non-root vertex.
+        // Collect live components that contain at least one non-root
+        // vertex. Finalization consumes them: the evaluation is over, so
+        // the slots are drained rather than cloned.
         let mut parts: Vec<Relation> = Vec::new();
         let mut seen: Vec<usize> = Vec::new();
         for v in self.graph.vertices() {
@@ -439,18 +498,40 @@ impl<'a> EvalState<'a> {
             let cid = self.comp_of[v.id as usize].expect("materialized");
             if !seen.contains(&cid) {
                 seen.push(cid);
-                parts.push(self.components[cid].clone().expect("live component"));
+                parts.push(self.components[cid].take().expect("live component"));
             }
         }
         let mut result = match parts.pop() {
             Some(r) => r,
-            None => Relation::empty(vec![]),
+            None => Relation::empty(vec![], vec![]),
         };
         for part in parts {
-            result = cartesian(&result, &part);
+            let product = Relation::cartesian(&result, &part);
+            result.recycle(self.env.pool());
+            part.recycle(self.env.pool());
+            result = product;
             self.exec_cost.charge_out(result.len());
         }
         result
+    }
+
+    /// Return every per-vertex scratch buffer this state still holds —
+    /// `T(v)` tables and cached membership bitsets — to the environment's
+    /// pool. Called by the run drivers once evaluation is finished (after
+    /// [`EvalState::finalize`]); the next query on the same engine then
+    /// leases these buffers instead of allocating. Only buffers with no
+    /// outstanding references move (shared base lists and live samples
+    /// stay untouched), so calling this is always safe.
+    pub fn recycle_scratch(&mut self) {
+        let pool = self.env.pool();
+        for slot in self.t.iter_mut() {
+            if let Some(arc) = slot.take() {
+                if let Ok(buf) = Arc::try_unwrap(arc) {
+                    pool.give_pres(buf);
+                }
+            }
+        }
+        self.scratch.recycle(pool);
     }
 
     /// Sum of all logged intermediate result sizes (Fig. 5's metric), over
@@ -469,26 +550,6 @@ impl<'a> EvalState<'a> {
     pub fn vertex_kind(&self, v: VertexId) -> NodeKind {
         RoxEnv::vertex_kind(&self.graph.vertex(v).label)
     }
-}
-
-/// Cartesian product of two relations (used only to combine genuinely
-/// unconstrained components at finalization).
-fn cartesian(a: &Relation, b: &Relation) -> Relation {
-    let mut schema = a.schema().to_vec();
-    schema.extend_from_slice(b.schema());
-    let mut out = Relation::empty(schema);
-    let mut row = Vec::new();
-    let mut rb = Vec::new();
-    for i in 0..a.len() {
-        for j in 0..b.len() {
-            row.clear();
-            a.row(i, &mut row);
-            b.row(j, &mut rb);
-            row.extend_from_slice(&rb);
-            out.push_row(&row);
-        }
-    }
-    out
 }
 
 #[cfg(test)]

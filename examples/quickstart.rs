@@ -62,8 +62,8 @@ fn main() {
 
     // 5. Serialize the matched book elements.
     let out_var = graph.tail.output;
+    let doc = catalog.doc(report.output.doc_of(out_var));
     for &node in report.output.col(out_var) {
-        let doc = catalog.doc(node.doc);
-        println!("match: {}", serialize_subtree_string(&doc, node.pre));
+        println!("match: {}", serialize_subtree_string(&doc, node));
     }
 }

@@ -81,9 +81,9 @@ fn attribute_join_across_branches() {
     // an education: 1 result.
     assert_eq!(r.output.len(), 1);
     let node = r.output.col(graph.tail.output)[0];
-    let doc = catalog.doc(node.doc);
+    let doc = catalog.doc(r.output.doc_of(graph.tail.output));
     assert_eq!(
-        serialize_subtree_string(&doc, node.pre),
+        serialize_subtree_string(&doc, node),
         r#"<personref person="p1"/>"#
     );
 }
