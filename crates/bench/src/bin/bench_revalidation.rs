@@ -1,0 +1,41 @@
+//! Guarded-replay benchmark binary: no-drift revalidation overhead vs the
+//! pure plan replay, and drifted-replay (detect + demote + re-optimize)
+//! latency vs blind stale replay vs fresh optimization. Writes the
+//! machine-readable `BENCH_revalidation.json` consumed by CI.
+//!
+//! ```text
+//! cargo run --release -p rox-bench --bin bench_revalidation -- \
+//!     [--smoke] [--out BENCH_revalidation.json] [--persons 3000] \
+//!     [--items 2500] [--auctions 2500] [--inflate 4] [--tau 100] \
+//!     [--repeats 3]
+//! ```
+
+use rox_bench::args::Args;
+use rox_bench::revalidation::{self, RevalidationBenchConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = if args.has("smoke") {
+        RevalidationBenchConfig::smoke()
+    } else {
+        RevalidationBenchConfig::default()
+    };
+    cfg.xmark.persons = args.get("persons", cfg.xmark.persons);
+    cfg.xmark.items = args.get("items", cfg.xmark.items);
+    cfg.xmark.auctions = args.get("auctions", cfg.xmark.auctions);
+    cfg.inflate = args.get("inflate", cfg.inflate);
+    cfg.tau = args.get("tau", cfg.tau);
+    cfg.repeats = args.get("repeats", cfg.repeats);
+    let out_path = args.get("out", "BENCH_revalidation.json".to_string());
+
+    println!(
+        "plan revalidation bench — XMark persons={} items={} auctions={}, drift ×{}, τ={}",
+        cfg.xmark.persons, cfg.xmark.items, cfg.xmark.auctions, cfg.inflate, cfg.tau
+    );
+    let r = revalidation::run(&cfg);
+    print!("{}", revalidation::render(&r));
+
+    let json = revalidation::to_json(&cfg, &r);
+    std::fs::write(&out_path, &json).expect("write BENCH_revalidation.json");
+    println!("\nwrote {out_path}");
+}

@@ -18,6 +18,7 @@
 //! | Thread scaling (extension)              | [`scaling_threads`] | `fig_scaling_threads` |
 //! | Dense-join layouts (extension)          | [`joins`]  | `bench_joins` |
 //! | Engine serving layer (extension)        | [`engine`] | `bench_engine` |
+//! | Plan revalidation & demotion (extension) | [`revalidation`] | `bench_revalidation` |
 //! | Staircase kernels (extension)           | [`staircase`] | `bench_staircase` |
 
 pub mod args;
@@ -27,6 +28,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod joins;
+pub mod revalidation;
 pub mod scaling_threads;
 pub mod setup;
 pub mod staircase;

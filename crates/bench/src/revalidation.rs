@@ -1,0 +1,303 @@
+//! Guarded-replay benchmarks: what plan revalidation costs and what
+//! demotion buys (the `bench_revalidation` binary, which emits the
+//! machine-readable `BENCH_revalidation.json` consumed by CI).
+//!
+//! Two measured regimes, both over the paper's Q1 on an XMark document:
+//!
+//! 1. **No drift** — a warm engine serving the same query. The guarded
+//!    replay (`ReuseValidated`: budget-capped spot checks + free observed
+//!    checks) is compared against the *pure* plan replay of the same
+//!    cached order (`run_plan_with_env`, the pre-guard baseline). The
+//!    overhead percentage is the price of self-defence.
+//! 2. **Drift** — the document is regenerated with `inflate`× the
+//!    auctions and `inflate`× the bidders per auction, then reindexed
+//!    through the incremental path (plans survive). Three latencies:
+//!    the **guarded** run (detects the drift, demotes, re-optimizes
+//!    mid-query), the **stale** blind replay of the now-wrong plan
+//!    (what PR-5 would have served), and a **fresh** full optimization
+//!    (the quality ceiling). The demoted output is asserted equal to the
+//!    fresh optimizer's before any timing is reported.
+
+use crate::xmark_catalog;
+use rox_core::{
+    run_plan_with_env, run_rox_with_env, PlanReuse, RoxEngine, RoxEnv, RoxOptions, RunMode,
+};
+use rox_datagen::{generate_xmark, xmark_query, XmarkConfig};
+use rox_joingraph::JoinGraph;
+use rox_ops::revalidation_budget;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of the revalidation benchmarks.
+#[derive(Debug, Clone)]
+pub struct RevalidationBenchConfig {
+    /// Seed XMark document shape.
+    pub xmark: XmarkConfig,
+    /// Drift severity: the drifted document has `inflate`× the auctions
+    /// and `price_per_bidder / inflate` (≈ `inflate`× bidders each).
+    pub inflate: usize,
+    /// Sample size τ.
+    pub tau: usize,
+    /// Timed repetitions per measurement (the minimum is reported).
+    pub repeats: usize,
+}
+
+impl Default for RevalidationBenchConfig {
+    fn default() -> Self {
+        RevalidationBenchConfig {
+            xmark: XmarkConfig {
+                persons: 3000,
+                items: 2500,
+                auctions: 2500,
+                ..XmarkConfig::default()
+            },
+            inflate: 4,
+            tau: 100,
+            repeats: 3,
+        }
+    }
+}
+
+impl RevalidationBenchConfig {
+    /// A seconds-scale configuration for CI smoke runs.
+    pub fn smoke() -> Self {
+        RevalidationBenchConfig {
+            xmark: XmarkConfig {
+                persons: 300,
+                items: 250,
+                auctions: 250,
+                ..XmarkConfig::default()
+            },
+            inflate: 4,
+            tau: 64,
+            repeats: 2,
+        }
+    }
+
+    /// The drifted document shape.
+    pub fn drifted(&self) -> XmarkConfig {
+        XmarkConfig {
+            auctions: self.xmark.auctions * self.inflate.max(1),
+            price_per_bidder: self.xmark.price_per_bidder / self.inflate.max(1) as f64,
+            ..self.xmark.clone()
+        }
+    }
+}
+
+/// Everything the `bench_revalidation` binary reports.
+#[derive(Debug, Clone)]
+pub struct RevalidationBenchResult {
+    /// Pure plan replay of the cached order (pre-guard baseline).
+    pub pure_replay: Duration,
+    /// Guarded replay on unchanged data (spot checks + observed checks).
+    pub guarded_replay: Duration,
+    /// `(guarded - pure) / pure`, in percent.
+    pub no_drift_overhead_pct: f64,
+    /// Spot checks the revalidated replay performed.
+    pub spot_checks: usize,
+    /// Sampling charged by the revalidated replay.
+    pub spot_check_cost: u64,
+    /// The guard's sampling budget at this τ.
+    pub budget: u64,
+    /// Guarded run on drifted data: detect, demote, re-optimize.
+    pub drifted_guarded: Duration,
+    /// Blind stale-plan replay on the drifted data (no guard).
+    pub stale_replay: Duration,
+    /// Fresh full optimization on the drifted data (warm environment).
+    pub fresh_optimize: Duration,
+    /// Executed-prefix length at the demotion breach.
+    pub demoted_at_edge: usize,
+    /// Output rows on the seed document (sanity anchor).
+    pub anchor_rows: usize,
+    /// Output rows on the drifted document.
+    pub drifted_rows: usize,
+}
+
+fn best_of(repeats: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    (0..repeats.max(1))
+        .map(|_| f())
+        .min()
+        .expect("at least one repeat")
+}
+
+/// Run the revalidation benchmarks.
+pub fn run(cfg: &RevalidationBenchConfig) -> RevalidationBenchResult {
+    let graph: JoinGraph = rox_joingraph::compile_query(&xmark_query("<", 145.0)).unwrap();
+    let reuse = RoxOptions {
+        tau: cfg.tau,
+        plan_reuse: PlanReuse::ReuseValidated,
+        ..Default::default()
+    };
+
+    // ---- 1. No drift: guarded replay vs the pure (pre-guard) replay. ----
+    let catalog = xmark_catalog(&cfg.xmark);
+    let engine = RoxEngine::new(Arc::clone(&catalog));
+    let cold = engine.run(&graph, reuse).unwrap();
+    let anchor_rows = cold.output.len();
+    let plan = engine.cached_plan(&graph).expect("seeded plan");
+
+    let env = RoxEnv::new(Arc::clone(&catalog), &graph).unwrap();
+    run_plan_with_env(&env, &graph, &plan.order).unwrap(); // warm the env
+    let pure_replay = best_of(cfg.repeats, || {
+        let t = Instant::now();
+        let r = run_plan_with_env(&env, &graph, &plan.order).unwrap();
+        let wall = t.elapsed();
+        assert_eq!(r.output, cold.output, "pure replay output diverged");
+        wall
+    });
+
+    let mut spot_checks = 0;
+    let mut spot_check_cost = 0;
+    let guarded_replay = best_of(cfg.repeats, || {
+        let t = Instant::now();
+        let r = engine.run(&graph, reuse).unwrap();
+        let wall = t.elapsed();
+        assert_eq!(r.mode, RunMode::Revalidated, "no-drift replay demoted");
+        assert_eq!(r.output, cold.output, "guarded replay output diverged");
+        spot_checks = r.spot_checks.len();
+        spot_check_cost = r.sample_cost.total();
+        wall
+    });
+    let no_drift_overhead_pct = 100.0 * (guarded_replay.as_secs_f64() - pure_replay.as_secs_f64())
+        / pure_replay.as_secs_f64().max(f64::EPSILON);
+
+    // ---- 2. Drift: guarded demotion vs blind stale replay vs fresh. ----
+    let drifted_cfg = cfg.drifted();
+    // Reference environment over the drifted data, warmed once.
+    let drifted_catalog = xmark_catalog(&drifted_cfg);
+    let drifted_env = RoxEnv::new(Arc::clone(&drifted_catalog), &graph).unwrap();
+    let fresh_reference = run_rox_with_env(&drifted_env, &graph, reuse).unwrap();
+    let drifted_rows = fresh_reference.output.len();
+
+    let mut demoted_at_edge = 0;
+    let drifted_guarded = best_of(cfg.repeats, || {
+        // Each repeat needs its own seed→drift cycle: a demotion re-seeds
+        // the plan cache, so the drift is only "news" once per engine.
+        let cat = Arc::new(rox_xmldb::Catalog::new());
+        generate_xmark(&cat, "xmark.xml", &cfg.xmark);
+        let e = RoxEngine::new(Arc::clone(&cat));
+        e.run(&graph, reuse).unwrap();
+        generate_xmark(&cat, "xmark.xml", &drifted_cfg);
+        e.reindex_document("xmark.xml");
+        let t = Instant::now();
+        let r = e.run(&graph, reuse).unwrap();
+        let wall = t.elapsed();
+        let RunMode::Demoted { at_edge } = r.mode else {
+            panic!("drifted replay must demote, got {:?}", r.mode);
+        };
+        demoted_at_edge = at_edge;
+        assert_eq!(
+            r.output, fresh_reference.output,
+            "demoted output diverged from fresh optimization"
+        );
+        wall
+    });
+
+    run_plan_with_env(&drifted_env, &graph, &plan.order).unwrap(); // warm
+    let stale_replay = best_of(cfg.repeats, || {
+        let t = Instant::now();
+        let r = run_plan_with_env(&drifted_env, &graph, &plan.order).unwrap();
+        let wall = t.elapsed();
+        assert_eq!(r.output, fresh_reference.output, "stale replay output");
+        wall
+    });
+    let fresh_optimize = best_of(cfg.repeats, || {
+        let t = Instant::now();
+        let r = run_rox_with_env(&drifted_env, &graph, reuse).unwrap();
+        let wall = t.elapsed();
+        assert_eq!(r.output, fresh_reference.output, "fresh output diverged");
+        wall
+    });
+
+    RevalidationBenchResult {
+        pure_replay,
+        guarded_replay,
+        no_drift_overhead_pct,
+        spot_checks,
+        spot_check_cost,
+        budget: revalidation_budget(cfg.tau),
+        drifted_guarded,
+        stale_replay,
+        fresh_optimize,
+        demoted_at_edge,
+        anchor_rows,
+        drifted_rows,
+    }
+}
+
+/// Render the result as the `BENCH_revalidation.json` document
+/// (hand-rolled — the workspace is dependency-free by policy).
+pub fn to_json(cfg: &RevalidationBenchConfig, r: &RevalidationBenchResult) -> String {
+    format!(
+        "{{\n  \"config\": {{\"persons\": {}, \"items\": {}, \"auctions\": {}, \"inflate\": {}, \"tau\": {}, \"repeats\": {}}},\n  \"no_drift\": {{\"pure_replay_ms\": {:.3}, \"guarded_replay_ms\": {:.3}, \"overhead_pct\": {:.1}, \"spot_checks\": {}, \"spot_check_cost\": {}, \"budget\": {}}},\n  \"drifted\": {{\"guarded_demote_ms\": {:.3}, \"stale_replay_ms\": {:.3}, \"fresh_optimize_ms\": {:.3}, \"demoted_at_edge\": {}}},\n  \"anchor_rows\": {},\n  \"drifted_rows\": {}\n}}\n",
+        cfg.xmark.persons,
+        cfg.xmark.items,
+        cfg.xmark.auctions,
+        cfg.inflate,
+        cfg.tau,
+        cfg.repeats,
+        r.pure_replay.as_secs_f64() * 1e3,
+        r.guarded_replay.as_secs_f64() * 1e3,
+        r.no_drift_overhead_pct,
+        r.spot_checks,
+        r.spot_check_cost,
+        r.budget,
+        r.drifted_guarded.as_secs_f64() * 1e3,
+        r.stale_replay.as_secs_f64() * 1e3,
+        r.fresh_optimize.as_secs_f64() * 1e3,
+        r.demoted_at_edge,
+        r.anchor_rows,
+        r.drifted_rows,
+    )
+}
+
+/// Render a human-readable summary table.
+pub fn render(r: &RevalidationBenchResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "no drift   pure-replay {:>10.3?}  guarded {:>10.3?}  overhead {:+.1}%",
+        r.pure_replay, r.guarded_replay, r.no_drift_overhead_pct
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "           {} spot checks charged {} (budget {})",
+        r.spot_checks, r.spot_check_cost, r.budget
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "drifted    guarded-demote {:>10.3?}  stale-replay {:>10.3?}  fresh {:>10.3?} (breach after {} edges)",
+        r.drifted_guarded, r.stale_replay, r.fresh_optimize, r.demoted_at_edge
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_consistent() {
+        let cfg = RevalidationBenchConfig {
+            xmark: XmarkConfig::tiny(),
+            inflate: 4,
+            tau: 16,
+            repeats: 1,
+        };
+        let r = run(&cfg);
+        assert!(r.spot_checks > 0, "revalidation performed no checks");
+        assert!(
+            r.spot_check_cost <= 2 * r.budget,
+            "spot checks blew the budget"
+        );
+        let json = to_json(&cfg, &r);
+        assert!(json.contains("\"no_drift\""));
+        assert!(json.contains("\"drifted\""));
+        let table = render(&r);
+        assert!(table.contains("guarded-demote"));
+    }
+}

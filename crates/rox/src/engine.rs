@@ -17,12 +17,25 @@
 //!   (unlike the old per-graph `VertexId` keying, which died with the
 //!   env);
 //! * **plans** — keyed by [`JoinGraph::fingerprint`]: the edge order an
-//!   optimizing run discovered, plus the physical operator
-//!   ([`EdgeOpKind`]) it chose per edge. Under
+//!   optimizing run discovered, the physical operator ([`EdgeOpKind`]) it
+//!   chose per edge, and the per-edge cardinalities it observed. Under
 //!   [`PlanReuse::ReuseValidated`] a repeat of the same query shape
-//!   replays that order through [`crate::plan`] and **skips the sampling
-//!   phase entirely**; any fingerprint mismatch, canonical-form collision,
-//!   or stale edge set bypasses the cache and re-optimizes.
+//!   replays that order through the **guarded replay** ([`crate::guard`]):
+//!   budget-capped sampled spot checks plus free observed checks defend
+//!   the replay against data drift, and a breach demotes it mid-query to a
+//!   fresh run-time optimization of the remaining edges. Any fingerprint
+//!   mismatch, canonical-form collision, stale edge set, or stale
+//!   statistics epoch bypasses the cache and re-optimizes.
+//!
+//! Plans are **versioned against per-document statistics**: the engine
+//! keeps an epoch per document URI, [`RoxEngine::invalidate_document`]
+//! bumps the epoch *before* dropping derived data, and both plan lookup
+//! and plan seeding verify the epochs they captured are still current —
+//! so a replay racing an invalidation can never serve (or cache) a plan
+//! versioned against dropped statistics. [`RoxEngine::reindex_document`]
+//! refreshes a document's derived data *without* dropping its plans —
+//! modeling in-place updates whose plans the guard revalidates on the
+//! next replay.
 //!
 //! A query runs inside a *session* ([`RoxEngine::session`]) — a thin
 //! [`RoxEnv`] view borrowing the engine's caches — and
@@ -34,8 +47,9 @@
 //! sampling an un-cached [`crate::run_rox`] would.
 
 use crate::env::{EnvError, RoxEnv};
+use crate::guard::{self, EdgeExpectation, GuardSpec, GuardVerdict, SpotCheck};
 use crate::optimizer::{run_rox_with_env, RoxOptions, RoxReport};
-use crate::plan::{run_plan_with_env_parallel, validate_plan, PlanRun};
+use crate::plan::validate_plan;
 use crate::state::EdgeExec;
 use rox_index::IndexedStore;
 use rox_joingraph::{EdgeId, JoinGraph, VertexLabel};
@@ -56,10 +70,30 @@ pub enum PlanReuse {
     AlwaysOptimize,
     /// Replay the cached plan when the query's fingerprint matches a
     /// cached entry that validates against the graph (canonical form
-    /// equal, edge order still covering every non-redundant edge) —
-    /// skipping sampling entirely. Anything else falls back to a full
-    /// optimizing run.
+    /// equal, edge order still covering every non-redundant edge,
+    /// statistics epochs current). The replay is *guarded*
+    /// ([`crate::guard`]): cheap sampled spot checks and free observed
+    /// checks compare the live run against the recorded cardinalities,
+    /// and a drift breach demotes the run mid-query to a fresh
+    /// optimization of the remaining edges. Anything else falls back to a
+    /// full optimizing run.
     ReuseValidated,
+}
+
+/// How one engine-served run was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Full optimizing run (plan-cache miss or [`PlanReuse::AlwaysOptimize`]).
+    Optimized,
+    /// Guarded replay of a cached plan; every drift check passed.
+    Revalidated,
+    /// Guarded replay breached a drift check after `at_edge` executed
+    /// edges and finished as a fresh optimization of the remaining edges.
+    Demoted {
+        /// Executed-prefix length at the breach (0 = a pre-execution
+        /// sampled check fired).
+        at_edge: usize,
+    },
 }
 
 /// Cross-query base-list cache, keyed by `(DocId, VertexLabel)`.
@@ -160,8 +194,9 @@ impl BaseListCache {
     }
 }
 
-/// One plan-cache entry: what an optimizing run discovered for one query
-/// fingerprint.
+/// One plan-cache entry: what an optimizing (or demoted) run discovered
+/// for one query fingerprint, plus everything a guarded replay needs to
+/// check the plan against the live data.
 #[derive(Debug, Clone)]
 pub struct CachedPlan {
     /// The non-redundant edges in the order ROX executed them — the "pure
@@ -172,6 +207,19 @@ pub struct CachedPlan {
     /// same kernel and cost function, so on unchanged documents it picks
     /// these exact operators again.
     pub ops: Vec<EdgeOpKind>,
+    /// Per-edge recorded cardinalities and reduction factors (parallel to
+    /// `order`) — the expectations the guarded replay spot-checks.
+    pub expected: Vec<EdgeExpectation>,
+    /// Sample size τ the seeding run used (the guard reproduces Phase 1
+    /// under it).
+    pub tau: usize,
+    /// RNG seed of the seeding run.
+    pub seed: u64,
+    /// Per-document statistics epochs `(uri, epoch)` captured when the
+    /// seeding run started, sorted by URI. A replay or re-seed whose
+    /// current epochs differ is refused — the plan was versioned against
+    /// statistics that [`RoxEngine::invalidate_document`] has dropped.
+    pub stats_epochs: Vec<(String, u64)>,
     /// Collision guard: the full canonical form the fingerprint hashed.
     canonical: String,
     /// Documents the plan touches (for invalidation).
@@ -187,11 +235,14 @@ pub struct EngineStats {
     pub base_list_builds: usize,
     /// Base-list lookups served from the shared cache.
     pub base_list_hits: usize,
-    /// `run` calls answered by plan replay.
+    /// `run` calls answered by (revalidated) plan replay.
     pub plan_hits: u64,
     /// `run` calls that ran the optimizer (including every
-    /// `AlwaysOptimize` call).
+    /// `AlwaysOptimize` call and every demoted replay).
     pub plan_misses: u64,
+    /// Guarded replays that breached a drift check and demoted mid-query
+    /// (each also counts as a miss).
+    pub plan_demotions: u64,
     /// Plans currently cached.
     pub cached_plans: usize,
     /// Scratch-pool lease/miss counters (see
@@ -212,7 +263,8 @@ impl EngineStats {
 
 /// Everything one engine-served query run produces. Unlike
 /// [`RoxReport`], this is uniform across optimizing runs and plan-cache
-/// replays (a replay has an all-zero `sample_cost` — it never samples).
+/// replays (a revalidated replay's `sample_cost` holds only its
+/// budget-capped spot checks).
 #[derive(Debug)]
 pub struct EngineRun {
     /// The query output after the plan tail (π·δ·τ·π).
@@ -225,12 +277,20 @@ pub struct EngineRun {
     pub edge_log: Vec<EdgeExec>,
     /// Work done by full executions.
     pub exec_cost: Cost,
-    /// Work done by sampling — zero for a plan-cache replay.
+    /// Work done by sampling — for a revalidated replay, only the
+    /// spot-check charge (bounded by the seeding run's Phase-1 cost and by
+    /// [`rox_ops::revalidation_budget`]).
     pub sample_cost: Cost,
     /// Wall-clock of the run.
     pub total_wall: Duration,
-    /// True when the plan cache answered this run (no sampling happened).
+    /// True when the plan cache answered this run end-to-end (mode
+    /// [`RunMode::Revalidated`]).
     pub plan_cache_hit: bool,
+    /// How the run was answered: optimized, revalidated, or demoted.
+    pub mode: RunMode,
+    /// The drift checks the guarded replay performed (empty for
+    /// optimizing runs).
+    pub spot_checks: Vec<SpotCheck>,
     /// The query's join-graph fingerprint (the plan-cache key).
     pub fingerprint: u64,
 }
@@ -246,20 +306,28 @@ impl EngineRun {
             sample_cost: report.sample_cost,
             total_wall: report.total_wall,
             plan_cache_hit: false,
+            mode: RunMode::Optimized,
+            spot_checks: Vec::new(),
             fingerprint,
         }
     }
 
-    fn from_replay(run: PlanRun, order: Vec<EdgeId>, fingerprint: u64) -> Self {
+    fn from_guarded(run: guard::GuardedRun, fingerprint: u64) -> Self {
+        let mode = match run.verdict {
+            GuardVerdict::Revalidated => RunMode::Revalidated,
+            GuardVerdict::Demoted { at_edge } => RunMode::Demoted { at_edge },
+        };
         EngineRun {
             output: run.output,
             joined: run.joined,
-            executed_order: order,
+            executed_order: run.executed_order,
             edge_log: run.edge_log,
-            exec_cost: run.cost,
-            sample_cost: Cost::new(),
+            exec_cost: run.exec_cost,
+            sample_cost: run.sample_cost,
             total_wall: run.wall,
-            plan_cache_hit: true,
+            plan_cache_hit: mode == RunMode::Revalidated,
+            mode,
+            spot_checks: run.checks,
             fingerprint,
         }
     }
@@ -280,10 +348,12 @@ impl EngineRun {
 /// ).unwrap();
 /// let options = RoxOptions { plan_reuse: PlanReuse::ReuseValidated, ..Default::default() };
 /// let cold = engine.run(&graph, options).unwrap(); // optimizes, seeds the plan cache
-/// let warm = engine.run(&graph, options).unwrap(); // replays, no sampling
+/// let warm = engine.run(&graph, options).unwrap(); // guarded replay
 /// assert!(!cold.plan_cache_hit && warm.plan_cache_hit);
 /// assert_eq!(warm.output, cold.output);
-/// assert_eq!(warm.sample_cost.total(), 0);
+/// // The replay's only sampling is its drift spot checks, bounded by
+/// // what the seeding run's Phase 1 charged.
+/// assert!(warm.sample_cost.total() <= cold.sample_cost.total());
 /// ```
 pub struct RoxEngine {
     store: Arc<IndexedStore>,
@@ -294,8 +364,15 @@ pub struct RoxEngine {
     /// instead of allocating (see [`rox_ops::pool`]).
     scratch: Arc<ScratchPool>,
     plans: Mutex<PlanCache>,
+    /// Per-document statistics epochs, keyed by URI (absent = epoch 0).
+    /// [`RoxEngine::invalidate_document`] bumps an epoch *before* touching
+    /// any derived data, and plan lookup/seeding compare captured epochs
+    /// against current ones — the versioning rule that closes the
+    /// invalidate-vs-replay race.
+    doc_epochs: RwLock<HashMap<String, u64>>,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
+    plan_demotions: AtomicU64,
 }
 
 /// The bounded plan store behind the engine's mutex: fingerprint → plan
@@ -342,8 +419,10 @@ impl RoxEngine {
             base_lists: Arc::new(BaseListCache::new()),
             scratch: Arc::new(ScratchPool::new()),
             plans: Mutex::new(PlanCache::default()),
+            doc_epochs: RwLock::new(HashMap::new()),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
+            plan_demotions: AtomicU64::new(0),
         }
     }
 
@@ -383,23 +462,59 @@ impl RoxEngine {
         )
     }
 
-    /// Serve one query: replay the cached plan when
-    /// [`RoxOptions::plan_reuse`] allows it and a validated entry exists,
-    /// else run the full optimizer ([`crate::run_rox`] semantics — the
-    /// result is bit-identical to a fresh standalone run) and seed the
-    /// plan cache with what it discovered.
+    /// Serve one query: guarded replay of the cached plan when
+    /// [`RoxOptions::plan_reuse`] allows it and a validated entry exists
+    /// (revalidating or demoting per [`crate::guard`]), else run the full
+    /// optimizer ([`crate::run_rox`] semantics — the result is
+    /// bit-identical to a fresh standalone run) and seed the plan cache
+    /// with what it discovered.
     pub fn run(&self, graph: &JoinGraph, options: RoxOptions) -> Result<EngineRun, EnvError> {
         // Serialize the canonical form once per run; the fingerprint, the
         // collision compare, and (on a miss) the seeded entry all reuse it.
         let canonical = graph.canonical_form();
         let fingerprint = rox_joingraph::fingerprint_of(&canonical);
+        // Capture the statistics epochs *before* any derived data is
+        // touched: a concurrent `invalidate_document` bumps its epoch
+        // first, so any invalidation racing this run makes the captured
+        // vector stale and the seed/replay below refuses it.
+        let epochs = self.capture_epochs(graph);
         if options.plan_reuse == PlanReuse::ReuseValidated {
-            if let Some(order) = self.lookup_validated(fingerprint, &canonical, graph) {
+            if let Some(spec) = self.lookup_validated(fingerprint, &canonical, graph, &epochs) {
                 let env = self.session(graph)?;
-                let replay = run_plan_with_env_parallel(&env, graph, &order, options.parallelism)
+                let run = guard::run_guarded(&env, graph, &spec, options)
                     .map_err(|e| EnvError { message: e.message })?;
-                self.plan_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(EngineRun::from_replay(replay, order, fingerprint));
+                match run.verdict {
+                    GuardVerdict::Revalidated => {
+                        self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    GuardVerdict::Demoted { .. } => {
+                        // A demotion is an optimizing run that kept its
+                        // executed prefix: count it as a miss, and re-seed
+                        // the cache with the refreshed plan, versioned
+                        // against the epochs captured at run start.
+                        self.plan_demotions.fetch_add(1, Ordering::Relaxed);
+                        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+                        let expected = guard::plan_expectations(
+                            &env,
+                            graph,
+                            &run.executed_order,
+                            &run.edge_log,
+                            &options,
+                        );
+                        let ops = run.edge_log.iter().map(|x| x.op).collect();
+                        self.insert_plan(
+                            fingerprint,
+                            canonical,
+                            graph,
+                            run.executed_order.clone(),
+                            ops,
+                            expected,
+                            &options,
+                            epochs,
+                        );
+                    }
+                }
+                return Ok(EngineRun::from_guarded(run, fingerprint));
             }
         }
         let env = self.session(graph)?;
@@ -407,7 +522,15 @@ impl RoxEngine {
         // Count the miss only once the optimizer actually ran — failed
         // sessions (unknown documents) must not skew the hit rate.
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
-        self.seed_plan(fingerprint, canonical, graph, &report);
+        self.seed_plan(
+            fingerprint,
+            canonical,
+            graph,
+            &env,
+            &report,
+            &options,
+            epochs,
+        );
         Ok(EngineRun::from_report(report, fingerprint))
     }
 
@@ -427,7 +550,8 @@ impl RoxEngine {
     pub fn cached_plan(&self, graph: &JoinGraph) -> Option<CachedPlan> {
         let canonical = graph.canonical_form();
         let fingerprint = rox_joingraph::fingerprint_of(&canonical);
-        self.lookup_validated(fingerprint, &canonical, graph)?;
+        let epochs = self.capture_epochs(graph);
+        self.lookup_validated(fingerprint, &canonical, graph, &epochs)?;
         self.plans
             .lock()
             .expect("plan cache")
@@ -444,9 +568,37 @@ impl RoxEngine {
             base_list_hits: self.base_lists.hit_count(),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            plan_demotions: self.plan_demotions.load(Ordering::Relaxed),
             cached_plans: self.plans.lock().expect("plan cache").map.len(),
             scratch: self.scratch.stats(),
         }
+    }
+
+    /// The current statistics epoch of `uri` (0 until the first
+    /// invalidation). Plans record the epochs of every document they touch
+    /// and are refused once any recorded epoch is stale.
+    pub fn doc_epoch(&self, uri: &str) -> u64 {
+        self.doc_epochs
+            .read()
+            .expect("doc epochs")
+            .get(uri)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The `(uri, epoch)` vector for every document `graph` touches,
+    /// sorted and deduplicated by URI.
+    fn capture_epochs(&self, graph: &JoinGraph) -> Vec<(String, u64)> {
+        let mut uris: Vec<String> = graph.vertices().iter().map(|v| v.doc_uri.clone()).collect();
+        uris.sort();
+        uris.dedup();
+        let epochs = self.doc_epochs.read().expect("doc epochs");
+        uris.into_iter()
+            .map(|uri| {
+                let epoch = epochs.get(&uri).copied().unwrap_or(0);
+                (uri, epoch)
+            })
+            .collect()
     }
 
     /// Drop every cached plan (counters are kept).
@@ -457,11 +609,24 @@ impl RoxEngine {
     }
 
     /// Invalidate everything derived from document `uri` after a reload:
-    /// its indexes, its base lists, and every cached plan touching it.
+    /// its statistics epoch (bumped **first** — the versioning rule), its
+    /// indexes, its base lists, and every cached plan touching it.
     /// (A stale plan would still produce correct output — any edge order
     /// does — but its order and operator choices were discovered on the
     /// old data.)
+    ///
+    /// The epoch bump strictly precedes every drop, so any plan lookup or
+    /// seed that captured its epochs before this call observes the
+    /// mismatch and refuses — a replay racing this invalidation can never
+    /// serve, nor re-insert, a plan versioned against the dropped
+    /// statistics.
     pub fn invalidate_document(&self, uri: &str) {
+        *self
+            .doc_epochs
+            .write()
+            .expect("doc epochs")
+            .entry(uri.to_string())
+            .or_insert(0) += 1;
         if let Some(id) = self.catalog().resolve(uri) {
             self.store.invalidate(id);
             self.base_lists.invalidate_doc(id);
@@ -473,44 +638,128 @@ impl RoxEngine {
             .retain(|_, p| !p.doc_uris.iter().any(|u| u == uri));
     }
 
+    /// Refresh the derived data of `uri` (indexes, base lists) after an
+    /// in-place content change **without** dropping its cached plans or
+    /// bumping its statistics epoch — the incremental-update path the
+    /// guarded replay defends: plans stay servable, and the next
+    /// `ReuseValidated` replay revalidates them against the new data,
+    /// demoting mid-query if the content drifted past the thresholds.
+    pub fn reindex_document(&self, uri: &str) {
+        if let Some(id) = self.catalog().resolve(uri) {
+            self.store.invalidate(id);
+            self.base_lists.invalidate_doc(id);
+        }
+    }
+
     /// A cache entry usable for `graph`: fingerprint present, canonical
-    /// form equal (collision guard), and the stored order still valid for
-    /// the graph's edge set. Anything less is a miss. Returns only the
-    /// replayable edge order, so the critical section clones no strings.
+    /// form equal (collision guard), the stored order still valid for the
+    /// graph's edge set, and the plan's statistics epochs equal to the
+    /// current ones. Anything less is a miss. Returns the replayable
+    /// [`GuardSpec`], so the critical section clones no strings.
     fn lookup_validated(
         &self,
         fingerprint: u64,
         canonical: &str,
         graph: &JoinGraph,
-    ) -> Option<Vec<EdgeId>> {
+        current_epochs: &[(String, u64)],
+    ) -> Option<GuardSpec> {
         let plans = self.plans.lock().expect("plan cache");
         let plan = plans.map.get(&fingerprint)?;
         if plan.canonical != canonical {
             return None;
         }
+        if plan.stats_epochs != current_epochs {
+            return None;
+        }
         if validate_plan(graph, &plan.order).is_err() {
             return None;
         }
-        Some(plan.order.clone())
+        Some(GuardSpec {
+            order: plan.order.clone(),
+            expected: plan.expected.clone(),
+            tau: plan.tau,
+            seed: plan.seed,
+        })
     }
 
+    #[allow(clippy::too_many_arguments)] // thin shim over insert_plan
     fn seed_plan(
         &self,
         fingerprint: u64,
         canonical: String,
         graph: &JoinGraph,
+        env: &RoxEnv,
         report: &RoxReport,
+        options: &RoxOptions,
+        epochs: Vec<(String, u64)>,
     ) {
         let ops = report.edge_log.iter().map(|x| x.op).collect();
+        // Record each edge's observed cardinalities plus — for the
+        // spot-check window — the probe estimate a future guarded replay
+        // will recompute with the identical procedure (bit-equal on
+        // unchanged data).
+        let expected = guard::plan_expectations(
+            env,
+            graph,
+            &report.executed_order,
+            &report.edge_log,
+            options,
+        );
+        self.insert_plan(
+            fingerprint,
+            canonical,
+            graph,
+            report.executed_order.clone(),
+            ops,
+            expected,
+            options,
+            epochs,
+        );
+    }
+
+    /// Insert a plan versioned against `epochs` (captured at run start).
+    /// If any of those epochs has advanced since — a concurrent
+    /// `invalidate_document` — the insert is refused: the plan was
+    /// discovered on statistics that no longer exist. The epoch re-read
+    /// happens *inside* the plan-cache critical section, and the
+    /// invalidator bumps epochs strictly before its retain-sweep takes the
+    /// same lock, so every interleaving either refuses the insert here or
+    /// sweeps the entry there.
+    #[allow(clippy::too_many_arguments)] // one call site per seeding path
+    fn insert_plan(
+        &self,
+        fingerprint: u64,
+        canonical: String,
+        graph: &JoinGraph,
+        order: Vec<EdgeId>,
+        ops: Vec<EdgeOpKind>,
+        expected: Vec<EdgeExpectation>,
+        options: &RoxOptions,
+        epochs: Vec<(String, u64)>,
+    ) {
         let mut doc_uris: Vec<String> =
             graph.vertices().iter().map(|v| v.doc_uri.clone()).collect();
         doc_uris.sort();
         doc_uris.dedup();
-        self.plans.lock().expect("plan cache").insert(
+        let mut plans = self.plans.lock().expect("plan cache");
+        {
+            let current = self.doc_epochs.read().expect("doc epochs");
+            let stale = epochs
+                .iter()
+                .any(|(uri, epoch)| current.get(uri).copied().unwrap_or(0) != *epoch);
+            if stale {
+                return;
+            }
+        }
+        plans.insert(
             fingerprint,
             CachedPlan {
-                order: report.executed_order.clone(),
+                order,
                 ops,
+                expected,
+                tau: options.tau,
+                seed: options.seed,
+                stats_epochs: epochs,
                 canonical,
                 doc_uris,
             },
@@ -568,15 +817,20 @@ mod tests {
 
         let warm = engine.run(&g, reuse()).unwrap();
         let after_warm = engine.stats();
-        // The acceptance bar: no index build, no base-list rebuild, no
-        // sampling on the warm path.
+        // The acceptance bar: no index build, no base-list rebuild, and
+        // the warm path's only sampling is the guard's spot checks —
+        // bounded by what the seeding run's Phase 1 already charged.
         assert_eq!(after_warm.index_builds, after_cold.index_builds);
         assert_eq!(after_warm.base_list_builds, after_cold.base_list_builds);
         assert!(warm.plan_cache_hit);
-        assert_eq!(warm.sample_cost.total(), 0);
+        assert_eq!(warm.mode, RunMode::Revalidated);
+        assert!(warm.sample_cost.total() <= cold.sample_cost.total());
+        assert!(!warm.spot_checks.is_empty());
+        assert!(warm.spot_checks.iter().all(|c| !c.breached));
         assert_eq!(warm.output, cold.output);
         assert_eq!(warm.executed_order, cold.executed_order);
         assert_eq!(after_warm.plan_hits, 1);
+        assert_eq!(after_warm.plan_demotions, 0);
     }
 
     #[test]
@@ -664,6 +918,98 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.plan_hits, 8, "every warm job must replay: {stats:?}");
         assert_eq!(stats.plan_misses, 2);
+    }
+
+    /// A document with enough structure that drift ratios clear the
+    /// absolute floor: `auctions` auctions with `bidders` bidders each.
+    fn sized_site(auctions: usize, bidders: usize) -> String {
+        let mut xml = String::from("<site>");
+        for i in 0..auctions {
+            xml.push_str("<auction>");
+            if i % 3 == 0 {
+                xml.push_str("<cheap/>");
+            }
+            for b in 0..bidders {
+                xml.push_str(&format!(
+                    "<bidder><personref person=\"p{}\"/></bidder>",
+                    b % 7
+                ));
+            }
+            xml.push_str("</auction>");
+        }
+        for p in 0..7 {
+            xml.push_str(&format!("<person id=\"p{p}\"/>"));
+        }
+        xml.push_str("</site>");
+        xml
+    }
+
+    #[test]
+    fn invalidate_document_bumps_the_stats_epoch_first() {
+        let engine = engine();
+        assert_eq!(engine.doc_epoch("d.xml"), 0);
+        engine.invalidate_document("d.xml");
+        assert_eq!(engine.doc_epoch("d.xml"), 1);
+        engine.invalidate_document("d.xml");
+        assert_eq!(engine.doc_epoch("d.xml"), 2);
+        // Unknown documents have epoch 0 and bumping them is harmless.
+        assert_eq!(engine.doc_epoch("other.xml"), 0);
+    }
+
+    #[test]
+    fn reindex_keeps_plans_and_replay_revalidates() {
+        let cat = Arc::new(Catalog::new());
+        cat.load_str("d.xml", &sized_site(40, 2)).unwrap();
+        let engine = RoxEngine::new(cat);
+        let g = compile_query(Q_STEP).unwrap();
+        let cold = engine.run(&g, reuse()).unwrap();
+        // Refresh derived data without content drift: the plan survives
+        // and the guarded replay revalidates it against the new indexes.
+        engine
+            .catalog()
+            .load_str("d.xml", &sized_site(40, 2))
+            .unwrap();
+        engine.reindex_document("d.xml");
+        assert_eq!(engine.stats().cached_plans, 1);
+        let warm = engine.run(&g, reuse()).unwrap();
+        assert_eq!(warm.mode, RunMode::Revalidated);
+        assert!(warm.plan_cache_hit);
+        assert_eq!(warm.output, cold.output);
+        assert_eq!(engine.stats().plan_demotions, 0);
+    }
+
+    #[test]
+    fn drifted_reindex_demotes_and_reseeds_the_plan() {
+        let cat = Arc::new(Catalog::new());
+        cat.load_str("d.xml", &sized_site(40, 1)).unwrap();
+        let engine = RoxEngine::new(cat);
+        let g = compile_query(Q_STEP).unwrap();
+        engine.run(&g, reuse()).unwrap();
+        // 20x more bidders per auction: the sampled spot check on the
+        // step edge breaches long before DRIFT_RATIO allows.
+        engine
+            .catalog()
+            .load_str("d.xml", &sized_site(40, 20))
+            .unwrap();
+        engine.reindex_document("d.xml");
+        let drifted = engine.run(&g, reuse()).unwrap();
+        assert!(
+            matches!(drifted.mode, RunMode::Demoted { .. }),
+            "{:?}",
+            drifted.mode
+        );
+        assert!(!drifted.plan_cache_hit);
+        assert!(drifted.spot_checks.iter().any(|c| c.breached));
+        let stats = engine.stats();
+        assert_eq!(stats.plan_demotions, 1);
+        // Output matches a fresh optimizing run on the drifted catalog.
+        let fresh = run_rox(Arc::clone(engine.catalog()), &g, RoxOptions::default()).unwrap();
+        assert_eq!(drifted.output, fresh.output);
+        // The cache now holds the refreshed plan and serves it cleanly.
+        assert_eq!(stats.cached_plans, 1);
+        let rewarm = engine.run(&g, reuse()).unwrap();
+        assert_eq!(rewarm.mode, RunMode::Revalidated);
+        assert_eq!(rewarm.output, fresh.output);
     }
 
     #[test]

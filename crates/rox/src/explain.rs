@@ -2,7 +2,10 @@
 //! chain-sampling traces (the paper's Table 2 rows) and plan summaries.
 
 use crate::chain::ChainTrace;
+use crate::engine::{EngineRun, RunMode};
+use crate::guard::CheckKind;
 use crate::optimizer::RoxReport;
+use crate::state::EdgeExec;
 use rox_joingraph::{EdgeId, JoinGraph};
 use std::fmt::Write as _;
 
@@ -22,9 +25,15 @@ pub fn render_edge(graph: &JoinGraph, e: EdgeId) -> String {
 /// the plan-class information of Fig. 6 — NL vs. hash executions are
 /// distinguishable per edge).
 pub fn render_execution(graph: &JoinGraph, report: &RoxReport) -> String {
+    render_order(graph, &report.executed_order, &report.edge_log)
+}
+
+/// Shared body of [`render_execution`] and [`render_engine_run`]: one line
+/// per executed edge, in execution order.
+fn render_order(graph: &JoinGraph, order: &[EdgeId], edge_log: &[EdgeExec]) -> String {
     let mut out = String::new();
-    for (i, &e) in report.executed_order.iter().enumerate() {
-        let exec = report.edge_log.iter().find(|x| x.edge == e);
+    for (i, &e) in order.iter().enumerate() {
+        let exec = edge_log.iter().find(|x| x.edge == e);
         let rows = exec.map(|x| x.result_rows).unwrap_or(0);
         let op = exec.map(|x| x.op.label()).unwrap_or("?");
         let _ = writeln!(
@@ -36,6 +45,48 @@ pub fn render_execution(graph: &JoinGraph, report: &RoxReport) -> String {
             rows
         );
     }
+    out
+}
+
+/// Render an engine run: a header tagging how the plan was obtained —
+/// `[optimized]` (fresh Algorithm 1), `[revalidated]` (guarded replay whose
+/// spot checks all passed) or `[demoted @k]` (replay abandoned after `k`
+/// edges and re-optimized mid-query) — followed by the executed order in
+/// the same per-edge format as [`render_execution`]. Breached spot checks
+/// are listed under the header with their drift ratios.
+pub fn render_engine_run(graph: &JoinGraph, run: &EngineRun) -> String {
+    let mut out = String::new();
+    match run.mode {
+        RunMode::Optimized => {
+            let _ = writeln!(out, "run [optimized]");
+        }
+        RunMode::Revalidated => {
+            let _ = writeln!(
+                out,
+                "run [revalidated] ({} spot-check{})",
+                run.spot_checks.len(),
+                if run.spot_checks.len() == 1 { "" } else { "s" }
+            );
+        }
+        RunMode::Demoted { at_edge } => {
+            let _ = writeln!(out, "run [demoted @{at_edge}]");
+        }
+    }
+    for check in run.spot_checks.iter().filter(|c| c.breached) {
+        let kind = match check.kind {
+            CheckKind::SampledWeight => "sampled",
+            CheckKind::Observed => "observed",
+        };
+        let _ = writeln!(
+            out,
+            "     drift on {} ({kind}): expected {:.1}, observed {:.1} (x{:.1})",
+            render_edge(graph, check.edge),
+            check.expected,
+            check.observed,
+            check.ratio
+        );
+    }
+    out.push_str(&render_order(graph, &run.executed_order, &run.edge_log));
     out
 }
 
@@ -182,5 +233,42 @@ mod tests {
         let s = summarize(&r);
         assert!(s.contains("result rows"));
         assert!(s.contains("overhead"));
+    }
+
+    /// The engine-run renderer tags runs with how their plan was obtained:
+    /// a cold run renders `[optimized]`, a warm guarded replay renders
+    /// `[revalidated]`, and both share the per-edge line format of
+    /// `render_execution`.
+    #[test]
+    fn engine_run_rendering_tags_modes() {
+        use crate::engine::{PlanReuse, RoxEngine};
+
+        let cat = Arc::new(Catalog::new());
+        cat.load_str(
+            "d.xml",
+            "<site><auction><bidder/><bidder/></auction><auction><bidder/></auction></site>",
+        )
+        .unwrap();
+        let engine = RoxEngine::new(cat);
+        let g = rox_joingraph::compile_query(
+            r#"for $a in doc("d.xml")//auction, $b in $a/bidder return $b"#,
+        )
+        .unwrap();
+        let opts = RoxOptions {
+            plan_reuse: PlanReuse::ReuseValidated,
+            ..Default::default()
+        };
+        let cold = engine.run(&g, opts).unwrap();
+        let warm = engine.run(&g, opts).unwrap();
+
+        let cold_s = render_engine_run(&g, &cold);
+        let warm_s = render_engine_run(&g, &warm);
+        assert!(cold_s.starts_with("run [optimized]\n"), "{cold_s}");
+        assert!(warm_s.starts_with("run [revalidated]"), "{warm_s}");
+        // Per-edge lines are byte-identical to the render_execution format.
+        assert!(
+            warm_s.contains("  1. auction ◦/ bidder [step]  -> 3 rows\n"),
+            "{warm_s}"
+        );
     }
 }

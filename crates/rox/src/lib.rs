@@ -27,6 +27,9 @@
 //! * [`chain`] — chain sampling (Algorithm 2);
 //! * [`optimizer`] — the run-time optimizer (Algorithm 1);
 //! * [`plan`] — explicit plan replay ("pure plan", no sampling);
+//! * [`guard`] — guarded plan replay: sampled drift spot checks over a
+//!   cached plan, with mid-query demotion back into Algorithm 1 when the
+//!   recorded cardinalities no longer match the data;
 //! * [`enumerate`] — join-order enumeration + canonical SJ/JS/S_J
 //!   placements + the classical smallest-input-first baseline (§4.2);
 //! * [`naive`] — an independent nested-loop oracle for differential tests.
@@ -50,19 +53,23 @@ pub mod enumerate;
 pub mod env;
 pub mod estimate;
 pub mod explain;
+pub mod guard;
 pub mod naive;
 pub mod optimizer;
 pub mod plan;
 pub mod state;
 
 pub use chain::{ChainTrace, PathSnapshot};
-pub use engine::{BaseListCache, CachedPlan, EngineRun, EngineStats, PlanReuse, RoxEngine};
+pub use engine::{
+    BaseListCache, CachedPlan, EngineRun, EngineStats, PlanReuse, RoxEngine, RunMode,
+};
 pub use enumerate::{
     analyze_star, classical_join_order, enumerate_join_orders, plan_edges, JoinOrder, Member,
     Placement, StarQuery,
 };
 pub use env::{EnvError, RoxEnv};
 pub use estimate::estimate_cards;
+pub use guard::{CheckKind, EdgeExpectation, GuardVerdict, SpotCheck};
 pub use naive::naive_evaluate;
 pub use optimizer::{run_rox, run_rox_with_env, RoxOptions, RoxReport};
 pub use plan::{

@@ -182,89 +182,17 @@ pub fn run_rox_with_env(
 
     // ---- Phase 2: alternate exploration and execution (lines 5-19). ----
     let mut executed_order = Vec::new();
-    while !state.unexecuted_edges().is_empty() {
-        let t_sample = Instant::now();
-        // Adaptive effort (§6): once sampling work dominates execution
-        // work beyond the budget, stop paying for lookahead.
-        let explore = options.chain_sampling
-            && options.effort_budget.is_none_or(|budget| {
-                let floor = (options.tau * options.tau) as f64;
-                (sample_cost.total() as f64) <= budget * (state.exec_cost.total() as f64).max(floor)
-            });
-        let outcome = if explore {
-            chain_sample(
-                &state,
-                &weights,
-                &mut rng,
-                options.tau,
-                options.parallelism,
-                &mut sample_cost,
-            )
-        } else {
-            // Greedy ablation: the minimum-weight edge, no lookahead.
-            let e = *state
-                .unexecuted_edges()
-                .iter()
-                .min_by(|&&a, &&b| {
-                    let wa = weights[a as usize].unwrap_or(f64::INFINITY);
-                    let wb = weights[b as usize].unwrap_or(f64::INFINITY);
-                    wa.partial_cmp(&wb).unwrap().then(a.cmp(&b))
-                })
-                .expect("loop guard");
-            crate::chain::ChainOutcome {
-                path: vec![e],
-                trace: crate::chain::ChainTrace {
-                    seed_edge: e,
-                    ..Default::default()
-                },
-            }
-        };
-        sample_wall += t_sample.elapsed();
-        if options.trace {
-            traces.push(outcome.trace);
-        }
-        // Execute the chosen path segment: the paper treats it "as a
-        // separate Join Graph" and executes it in its best order — we pick
-        // the current-minimum-weight edge of the segment each time,
-        // re-weighting in between.
-        let mut remaining: Vec<EdgeId> = outcome.path;
-        while !remaining.is_empty() {
-            remaining.retain(|&e| !state.is_executed(e));
-            let Some(&e) = remaining.iter().min_by(|&&a, &&b| {
-                let wa = weights[a as usize].unwrap_or(f64::INFINITY);
-                let wb = weights[b as usize].unwrap_or(f64::INFINITY);
-                wa.partial_cmp(&wb).unwrap().then(a.cmp(&b))
-            }) else {
-                break;
-            };
-            let t_exec = Instant::now();
-            let changed = state.execute_edge(e, Some((&mut rng, options.tau)));
-            exec_wall += t_exec.elapsed();
-            executed_order.push(e);
-            remaining.retain(|&x| x != e);
-            // Lines 18-19: re-sample the weights of all unexecuted edges
-            // incident to updated vertices — one independent sampled run
-            // per edge, fanned out in parallel like Phase 1.
-            if options.resample {
-                let t_rw = Instant::now();
-                let stale: Vec<EdgeId> = changed
-                    .iter()
-                    .flat_map(|&v| state.unexecuted_edges_of(v))
-                    .collect();
-                let ws = estimate_cards(
-                    &state,
-                    &stale,
-                    options.tau,
-                    options.parallelism,
-                    &mut sample_cost,
-                );
-                for (&e2, w) in stale.iter().zip(ws) {
-                    weights[e2 as usize] = w;
-                }
-                sample_wall += t_rw.elapsed();
-            }
-        }
-    }
+    optimize_loop(
+        &mut state,
+        &mut weights,
+        &mut rng,
+        &options,
+        &mut executed_order,
+        &mut sample_cost,
+        &mut sample_wall,
+        &mut exec_wall,
+        &mut traces,
+    );
 
     // ---- Finalize: assemble the full join and apply the tail. ----
     let t_fin = Instant::now();
@@ -291,6 +219,104 @@ pub fn run_rox_with_env(
         total_wall: started.elapsed(),
         traces,
     })
+}
+
+/// The Phase-2 drive loop of Algorithm 1 (lines 5-19): alternate
+/// exploration (chain sampling or the greedy ablation) with full execution
+/// of the superior path segment, re-weighting edges incident to updated
+/// vertices after every execution. Factored out of [`run_rox_with_env`] so
+/// mid-query demotion (the guarded replay's breach path) drives the exact
+/// same loop over a state that already carries an executed prefix.
+#[allow(clippy::too_many_arguments)] // mirrors the loop's former locals 1:1
+pub(crate) fn optimize_loop(
+    state: &mut EvalState<'_>,
+    weights: &mut [Option<f64>],
+    rng: &mut StdRng,
+    options: &RoxOptions,
+    executed_order: &mut Vec<EdgeId>,
+    sample_cost: &mut Cost,
+    sample_wall: &mut Duration,
+    exec_wall: &mut Duration,
+    traces: &mut Vec<ChainTrace>,
+) {
+    while !state.unexecuted_edges().is_empty() {
+        let t_sample = Instant::now();
+        // Adaptive effort (§6): once sampling work dominates execution
+        // work beyond the budget, stop paying for lookahead.
+        let explore = options.chain_sampling
+            && options.effort_budget.is_none_or(|budget| {
+                let floor = (options.tau * options.tau) as f64;
+                (sample_cost.total() as f64) <= budget * (state.exec_cost.total() as f64).max(floor)
+            });
+        let outcome = if explore {
+            chain_sample(
+                state,
+                weights,
+                rng,
+                options.tau,
+                options.parallelism,
+                sample_cost,
+            )
+        } else {
+            // Greedy ablation: the minimum-weight edge, no lookahead.
+            let e = *state
+                .unexecuted_edges()
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let wa = weights[a as usize].unwrap_or(f64::INFINITY);
+                    let wb = weights[b as usize].unwrap_or(f64::INFINITY);
+                    wa.partial_cmp(&wb).unwrap().then(a.cmp(&b))
+                })
+                .expect("loop guard");
+            crate::chain::ChainOutcome {
+                path: vec![e],
+                trace: crate::chain::ChainTrace {
+                    seed_edge: e,
+                    ..Default::default()
+                },
+            }
+        };
+        *sample_wall += t_sample.elapsed();
+        if options.trace {
+            traces.push(outcome.trace);
+        }
+        // Execute the chosen path segment: the paper treats it "as a
+        // separate Join Graph" and executes it in its best order — we pick
+        // the current-minimum-weight edge of the segment each time,
+        // re-weighting in between.
+        let mut remaining: Vec<EdgeId> = outcome.path;
+        while !remaining.is_empty() {
+            remaining.retain(|&e| !state.is_executed(e));
+            let Some(&e) = remaining.iter().min_by(|&&a, &&b| {
+                let wa = weights[a as usize].unwrap_or(f64::INFINITY);
+                let wb = weights[b as usize].unwrap_or(f64::INFINITY);
+                wa.partial_cmp(&wb).unwrap().then(a.cmp(&b))
+            }) else {
+                break;
+            };
+            let t_exec = Instant::now();
+            let changed = state.execute_edge(e, Some((&mut *rng, options.tau)));
+            *exec_wall += t_exec.elapsed();
+            executed_order.push(e);
+            remaining.retain(|&x| x != e);
+            // Lines 18-19: re-sample the weights of all unexecuted edges
+            // incident to updated vertices — one independent sampled run
+            // per edge, fanned out in parallel like Phase 1.
+            if options.resample {
+                let t_rw = Instant::now();
+                let stale: Vec<EdgeId> = changed
+                    .iter()
+                    .flat_map(|&v| state.unexecuted_edges_of(v))
+                    .collect();
+                let ws =
+                    estimate_cards(state, &stale, options.tau, options.parallelism, sample_cost);
+                for (&e2, w) in stale.iter().zip(ws) {
+                    weights[e2 as usize] = w;
+                }
+                *sample_wall += t_rw.elapsed();
+            }
+        }
+    }
 }
 
 #[cfg(test)]

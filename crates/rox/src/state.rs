@@ -29,7 +29,9 @@ use std::sync::{Arc, RwLock};
 
 /// One executed edge: the size of the component relation it produced and
 /// the physical operator the kernel chose for it (the per-edge record
-/// behind Fig-6-style plan-class analysis).
+/// behind Fig-6-style plan-class analysis), plus the node-level observed
+/// cardinalities the guarded plan replay compares against its recorded
+/// expectations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EdgeExec {
     /// The edge.
@@ -39,6 +41,25 @@ pub struct EdgeExec {
     /// The physical operator that executed the edge
     /// ([`EdgeOpKind::Select`] for intra-component selections).
     pub op: EdgeOpKind,
+    /// Node-level pairs the edge operator produced (for a selection: rows
+    /// kept) — the observed cardinality a guarded replay checks.
+    pub pairs: usize,
+    /// Distinct input cardinalities `(|T(v1)|, |T(v2)|)` at execution
+    /// time, the denominators of the observed reduction factor.
+    pub inputs: (usize, usize),
+}
+
+impl EdgeExec {
+    /// Observed reduction factor `pairs / (|T(v1)|·|T(v2)|)` — the per-edge
+    /// selectivity a cached plan records so a later replay can detect
+    /// correlation drift even when base cardinalities are unchanged.
+    pub fn reduction(&self) -> f64 {
+        let denom = (self.inputs.0 as f64) * (self.inputs.1 as f64);
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.pairs as f64 / denom
+    }
 }
 
 /// Per-vertex scratch arena: the dense join state (membership bitsets and
@@ -247,6 +268,15 @@ impl<'a> EvalState<'a> {
         self.sample[v as usize] = Some(Arc::new(sample_sorted(rng, &base, tau)));
     }
 
+    /// Seed `S(v)` from the *current* `T(v)` (falling back to the base
+    /// list when the vertex is untouched) — the sample Algorithm 1 would
+    /// hold had it arrived at this state itself. Mid-query demotion uses
+    /// this to restart Phase 1 over an already-executed prefix.
+    pub fn seed_sample_current(&mut self, v: VertexId, rng: &mut StdRng, tau: usize) {
+        let t = self.table_or_base(v);
+        self.sample[v as usize] = Some(Arc::new(sample_sorted(rng, &t, tau)));
+    }
+
     /// Materialize a vertex as its own singleton component if untouched.
     fn ensure_materialized(&mut self, v: VertexId) {
         if self.comp_of[v as usize].is_some() {
@@ -283,17 +313,20 @@ impl<'a> EvalState<'a> {
         self.ensure_materialized(v2);
         let c1 = self.comp_of[v1 as usize].unwrap();
         let c2 = self.comp_of[v2 as usize].unwrap();
+        let inputs = (self.card(v1), self.card(v2));
 
-        let op: EdgeOpKind = if c1 == c2 {
+        let (op, pair_count): (EdgeOpKind, usize) = if c1 == c2 {
             // Selection within one component.
             let rel = self.components[c1].take().expect("live component");
             let filtered = self.filter_component(&edge, rel);
+            let kept = filtered.len();
             self.components[c1] = Some(filtered);
-            EdgeOpKind::Select
+            (EdgeOpKind::Select, kept)
         } else {
             let left = self.components[c1].take().expect("live component");
             let right = self.components[c2].take().expect("live component");
             let (pairs, op) = self.node_pairs(&edge);
+            let pair_count = pairs.len();
             let pool = self.env.pool();
             let joined = Relation::compose_pooled(&left, v1, &right, v2, &pairs, Some(pool));
             // The consumed inputs flow back into the pool: the pair list
@@ -310,7 +343,7 @@ impl<'a> EvalState<'a> {
                 }
             }
             self.components[c1] = Some(joined);
-            op
+            (op, pair_count)
         };
 
         let merged = self.components[c1].as_ref().expect("live component");
@@ -318,6 +351,8 @@ impl<'a> EvalState<'a> {
             edge: e,
             result_rows: merged.len(),
             op,
+            pairs: pair_count,
+            inputs,
         });
 
         // Refresh T(v), card(v) and S(v) for every vertex of the affected

@@ -2,13 +2,16 @@
 //! mix against **one** [`RoxEngine`] must produce results, edge logs, and
 //! cost counters bit-identical to a fresh standalone `run_rox` per query —
 //! shared indexes, shared base lists, and cache warm-up order must never
-//! leak into any output. And a plan-cache replay (`ReuseValidated`) must
-//! reproduce the optimizing run that seeded it while doing zero sampling
-//! and zero redundant index / base-list work.
+//! leak into any output. A plan-cache replay (`ReuseValidated`) must
+//! reproduce the optimizing run that seeded it with zero redundant index /
+//! base-list work, sampling at most the guard's budget-capped drift spot
+//! checks. And `invalidate_document` racing concurrent replays must never
+//! let a plan versioned against dropped statistics be served.
 
 use proptest::prelude::*;
-use rox_core::{run_rox, Parallelism, PlanReuse, RoxEngine, RoxOptions};
+use rox_core::{run_rox, Parallelism, PlanReuse, RoxEngine, RoxOptions, RunMode};
 use rox_joingraph::JoinGraph;
+use rox_ops::revalidation_budget;
 use rox_xmldb::Catalog;
 use std::sync::Arc;
 
@@ -112,8 +115,9 @@ fn check_concurrent_mix(xml: &str, jobs: &[(usize, u64)], threads: usize) -> Res
 }
 
 /// Seed the plan cache with an optimizing run, then replay: identical
-/// output/joined/edge log, zero sampling, zero new index or base-list
-/// builds.
+/// output/joined/edge log, no sampling beyond the guard's spot checks
+/// (bounded by what the seeding run itself charged), zero new index or
+/// base-list builds.
 fn check_plan_reuse(xml: &str, qi: usize, seed: u64) -> Result<(), String> {
     let catalog = catalog_for(xml);
     let graph = rox_joingraph::compile_query(QUERIES[qi]).unwrap();
@@ -132,8 +136,18 @@ fn check_plan_reuse(xml: &str, qi: usize, seed: u64) -> Result<(), String> {
     if !warm.plan_cache_hit {
         return Err("repeat run must hit the plan cache".into());
     }
-    if warm.sample_cost.total() != 0 {
-        return Err("replay must not sample".into());
+    if warm.mode != RunMode::Revalidated {
+        return Err(format!(
+            "unchanged data must revalidate, got {:?}",
+            warm.mode
+        ));
+    }
+    if warm.sample_cost.total() > 2 * revalidation_budget(opts.tau) {
+        return Err(format!(
+            "replay spot checks ({}) blew through the revalidation budget ({})",
+            warm.sample_cost.total(),
+            revalidation_budget(opts.tau)
+        ));
     }
     if warm.output != cold.output {
         return Err("replay output differs from seeding run".into());
@@ -224,9 +238,13 @@ fn warm_engine_does_zero_redundant_work_across_a_mix() {
     let served = engine.run_many(&jobs, Parallelism::Threads(4));
     for (i, run) in served.into_iter().enumerate() {
         let run = run.unwrap();
+        let cold = &firsts[i % graphs.len()];
         assert!(run.plan_cache_hit, "warm job {i} missed the plan cache");
-        assert_eq!(run.sample_cost.total(), 0, "warm job {i} sampled");
-        assert_eq!(run.output, firsts[i % graphs.len()].output, "job {i}");
+        assert!(
+            run.sample_cost.total() <= 2 * revalidation_budget(opts.tau),
+            "warm job {i} sampled beyond its guard's spot-check budget"
+        );
+        assert_eq!(run.output, cold.output, "job {i}");
     }
     let after = engine.stats();
     assert_eq!(
@@ -298,4 +316,103 @@ fn warm_replay_leases_every_scratch_buffer_from_the_pool() {
         warm.joined.recycle(&pool);
         warm.output.recycle(&pool);
     }
+}
+
+/// Threaded regression for the invalidation/replay race: a writer loops
+/// `invalidate_document` while readers hammer `ReuseValidated` replays of
+/// the same (unchanged) document. The epoch protocol — bump strictly
+/// before dropping derived data, re-check under the plan-cache lock on
+/// insert — must guarantee that (a) no run is ever served from a plan
+/// versioned against dropped statistics (here: unchanged data, so any
+/// demotion or wrong output is a versioning bug), and (b) the cache never
+/// *ends up* holding a plan whose recorded epochs disagree with the live
+/// ones.
+#[test]
+fn concurrent_invalidation_never_serves_a_stale_versioned_plan() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let mut xml = String::from("<site>");
+    for i in 0..60 {
+        xml.push_str(&format!(
+            "<auction>{}<bidder><personref person=\"p{}\"/></bidder></auction>",
+            if i % 3 == 0 { "<cheap/>" } else { "" },
+            i % 7
+        ));
+    }
+    for p in 0..7 {
+        xml.push_str(&format!("<person id=\"p{p}\"/>"));
+    }
+    xml.push_str("<note>txt</note></site>");
+    let catalog = catalog_for(&xml);
+    let engine = RoxEngine::new(catalog);
+    let graphs: Vec<JoinGraph> = QUERIES
+        .iter()
+        .map(|q| rox_joingraph::compile_query(q).unwrap())
+        .collect();
+    let opts = RoxOptions {
+        plan_reuse: PlanReuse::ReuseValidated,
+        ..options(42)
+    };
+    let references: Vec<_> = graphs
+        .iter()
+        .map(|g| engine.run(g, opts).unwrap().output)
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                engine.invalidate_document("d.xml");
+                std::thread::yield_now();
+            }
+        });
+        let readers: Vec<_> = (0..4)
+            .map(|t| {
+                let engine = &engine;
+                let graphs = &graphs;
+                let references = &references;
+                scope.spawn(move || {
+                    for i in 0..30 {
+                        let qi = (t + i) % graphs.len();
+                        let run = engine.run(&graphs[qi], opts).unwrap();
+                        // The data never changes, so a demotion means a
+                        // replay was validated against one statistics
+                        // version and checked against another.
+                        assert!(
+                            !matches!(run.mode, RunMode::Demoted { .. }),
+                            "reader {t} iteration {i}: demoted on unchanged data"
+                        );
+                        assert_eq!(
+                            run.output, references[qi],
+                            "reader {t} iteration {i}: stale plan served"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    });
+
+    // The cache may hold plans (re-seeded after the last invalidation) but
+    // never one versioned against dropped statistics.
+    for g in &graphs {
+        if let Some(plan) = engine.cached_plan(g) {
+            for (uri, epoch) in &plan.stats_epochs {
+                assert_eq!(
+                    *epoch,
+                    engine.doc_epoch(uri),
+                    "cached plan pinned to a dropped statistics version of {uri}"
+                );
+            }
+        }
+    }
+    // And one more invalidation deterministically forces the next run to
+    // re-optimize.
+    engine.invalidate_document("d.xml");
+    let post = engine.run(&graphs[0], opts).unwrap();
+    assert!(!post.plan_cache_hit, "replay served across an invalidation");
 }
