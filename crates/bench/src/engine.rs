@@ -268,7 +268,8 @@ pub fn to_json(cfg: &EngineBenchConfig, r: &EngineBenchResult) -> String {
         })
         .collect();
     format!(
-        "{{\n  \"config\": {{\"persons\": {}, \"items\": {}, \"auctions\": {}, \"queries\": {}, \"tau\": {}, \"repeats\": {}, \"rounds\": {}}},\n  \"latency\": {{\"cold_ms\": {:.2}, \"warm_optimize_ms\": {:.2}, \"warm_replay_ms\": {:.2}, \"warm_replay_over_cold\": {:.3}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}},\n  \"engine\": {{\"index_builds\": {}, \"base_list_builds\": {}}},\n  \"qps\": [{}],\n  \"anchor_rows\": {}\n}}\n",
+        "{{\n  \"machine\": {},\n  \"config\": {{\"persons\": {}, \"items\": {}, \"auctions\": {}, \"queries\": {}, \"tau\": {}, \"repeats\": {}, \"rounds\": {}}},\n  \"latency\": {{\"cold_ms\": {:.2}, \"warm_optimize_ms\": {:.2}, \"warm_replay_ms\": {:.2}, \"warm_replay_over_cold\": {:.3}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}},\n  \"engine\": {{\"index_builds\": {}, \"base_list_builds\": {}}},\n  \"qps\": [{}],\n  \"anchor_rows\": {}\n}}\n",
+        crate::machine_json(),
         cfg.xmark.persons,
         cfg.xmark.items,
         cfg.xmark.auctions,

@@ -332,7 +332,8 @@ pub fn to_json(cfg: &JoinsBenchConfig, r: &JoinsBenchResult) -> String {
         )
     }
     format!(
-        "{{\n  \"config\": {{\"persons\": {}, \"items\": {}, \"auctions\": {}, \"probe_rounds\": {}, \"sampling_rounds\": {}, \"tau\": {}, \"repeats\": {}}},\n  \"document\": {{\"text_nodes\": {}, \"symbols\": {}}},\n  \"probe_microbench\": {},\n  \"sampling_loop\": {},\n  \"end_to_end\": {{\"total_ms\": {:.2}, \"sampling_ms\": {:.2}, \"output_rows\": {}}}\n}}\n",
+        "{{\n  \"machine\": {},\n  \"config\": {{\"persons\": {}, \"items\": {}, \"auctions\": {}, \"probe_rounds\": {}, \"sampling_rounds\": {}, \"tau\": {}, \"repeats\": {}}},\n  \"document\": {{\"text_nodes\": {}, \"symbols\": {}}},\n  \"probe_microbench\": {},\n  \"sampling_loop\": {},\n  \"end_to_end\": {{\"total_ms\": {:.2}, \"sampling_ms\": {:.2}, \"output_rows\": {}}}\n}}\n",
+        crate::machine_json(),
         cfg.xmark.persons,
         cfg.xmark.items,
         cfg.xmark.auctions,

@@ -18,8 +18,12 @@
 //! | Thread scaling (extension)              | [`scaling_threads`] | `fig_scaling_threads` |
 //! | Dense-join layouts (extension)          | [`joins`]  | `bench_joins` |
 //! | Engine serving layer (extension)        | [`engine`] | `bench_engine` |
+//! | Open-loop tail-latency serving (extension) | [`serving`] | `bench_serving` |
 //! | Plan revalidation & demotion (extension) | [`revalidation`] | `bench_revalidation` |
 //! | Staircase kernels (extension)           | [`staircase`] | `bench_staircase` |
+//!
+//! Every `BENCH_*.json` emitter embeds the [`machine_json`] fragment so a
+//! committed artifact records the hardware it was measured on.
 
 pub mod args;
 pub mod engine;
@@ -30,9 +34,22 @@ pub mod fig8;
 pub mod joins;
 pub mod revalidation;
 pub mod scaling_threads;
+pub mod serving;
 pub mod setup;
 pub mod staircase;
 pub mod table2;
 pub mod table3;
 
 pub use setup::{dblp_catalog, xmark_catalog, DblpSetup};
+
+/// The `"machine"` fragment every `BENCH_*.json` emitter embeds: the
+/// logical core count the run saw and the size of the process-shared
+/// worker pool (benches that build their own pool additionally record
+/// their thread setting in their `config` object).
+pub fn machine_json() -> String {
+    format!(
+        "{{\"logical_cores\": {}, \"shared_pool_workers\": {}}}",
+        rox_par::Parallelism::Auto.threads(),
+        rox_par::WorkerPool::shared().workers()
+    )
+}

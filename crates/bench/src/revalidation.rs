@@ -229,7 +229,8 @@ pub fn run(cfg: &RevalidationBenchConfig) -> RevalidationBenchResult {
 /// (hand-rolled — the workspace is dependency-free by policy).
 pub fn to_json(cfg: &RevalidationBenchConfig, r: &RevalidationBenchResult) -> String {
     format!(
-        "{{\n  \"config\": {{\"persons\": {}, \"items\": {}, \"auctions\": {}, \"inflate\": {}, \"tau\": {}, \"repeats\": {}}},\n  \"no_drift\": {{\"pure_replay_ms\": {:.3}, \"guarded_replay_ms\": {:.3}, \"overhead_pct\": {:.1}, \"spot_checks\": {}, \"spot_check_cost\": {}, \"budget\": {}}},\n  \"drifted\": {{\"guarded_demote_ms\": {:.3}, \"stale_replay_ms\": {:.3}, \"fresh_optimize_ms\": {:.3}, \"demoted_at_edge\": {}}},\n  \"anchor_rows\": {},\n  \"drifted_rows\": {}\n}}\n",
+        "{{\n  \"machine\": {},\n  \"config\": {{\"persons\": {}, \"items\": {}, \"auctions\": {}, \"inflate\": {}, \"tau\": {}, \"repeats\": {}}},\n  \"no_drift\": {{\"pure_replay_ms\": {:.3}, \"guarded_replay_ms\": {:.3}, \"overhead_pct\": {:.1}, \"spot_checks\": {}, \"spot_check_cost\": {}, \"budget\": {}}},\n  \"drifted\": {{\"guarded_demote_ms\": {:.3}, \"stale_replay_ms\": {:.3}, \"fresh_optimize_ms\": {:.3}, \"demoted_at_edge\": {}}},\n  \"anchor_rows\": {},\n  \"drifted_rows\": {}\n}}\n",
+        crate::machine_json(),
         cfg.xmark.persons,
         cfg.xmark.items,
         cfg.xmark.auctions,

@@ -354,7 +354,8 @@ pub fn to_json(cfg: &StaircaseBenchConfig, r: &StaircaseBenchResult) -> String {
         })
         .collect();
     format!(
-        "{{\n  \"config\": {{\"persons\": {}, \"items\": {}, \"auctions\": {}, \"rounds\": {}, \"repeats\": {}}},\n  \"nodes\": {},\n  \"axis_kernels\": [\n    {}\n  ],\n  \"fig8_anchor\": {{\"exec_work\": {}, \"sample_work\": {}, \"rows\": {}, \"wall_ms\": {:.2}}},\n  \"engine_latency\": {{\"cold_ms\": {:.2}, \"warm_replay_ms\": {:.2}, \"warm_pool_misses\": {}, \"baseline_warm_replay_ms\": {:.2}}}\n}}\n",
+        "{{\n  \"machine\": {},\n  \"config\": {{\"persons\": {}, \"items\": {}, \"auctions\": {}, \"rounds\": {}, \"repeats\": {}}},\n  \"nodes\": {},\n  \"axis_kernels\": [\n    {}\n  ],\n  \"fig8_anchor\": {{\"exec_work\": {}, \"sample_work\": {}, \"rows\": {}, \"wall_ms\": {:.2}}},\n  \"engine_latency\": {{\"cold_ms\": {:.2}, \"warm_replay_ms\": {:.2}, \"warm_pool_misses\": {}, \"baseline_warm_replay_ms\": {:.2}}}\n}}\n",
+        crate::machine_json(),
         cfg.xmark.persons,
         cfg.xmark.items,
         cfg.xmark.auctions,

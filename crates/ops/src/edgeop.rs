@@ -34,7 +34,7 @@ use crate::pool::ScratchPool;
 use crate::staircase::{naive_axis, step_join, StepScratch};
 use crate::valjoin::{filter_set, index_value_join_set_pooled};
 use rox_index::{PreSet, SymbolTable, ValueIndex};
-use rox_par::Parallelism;
+use rox_par::{Parallelism, WorkerPool};
 use rox_xmldb::{Document, NodeKind, Pre};
 
 /// Logical classification of a Join Graph edge, decoupled from the graph
@@ -141,6 +141,11 @@ pub struct EdgeOpCtx<'a> {
     /// Worker-thread budget for full-mode partitioned execution (ignored in
     /// sampled mode — cut-off execution is inherently sequential).
     pub par: Parallelism,
+    /// The worker pool the partitioned operators fan out on; `None` uses
+    /// the process-shared pool. The engine passes its own pool here so
+    /// intra-query fan-out and inter-query serving share one set of
+    /// always-on threads.
+    pub workers: Option<&'a WorkerPool>,
 }
 
 /// What one kernel invocation produced, in the shape its mode calls for.
@@ -258,7 +263,14 @@ pub fn execute_edge_op_with(
                         pool: dense.pool,
                     };
                     step_join_partitioned_scratch(
-                        outer_doc, ax, outer, inner, ctx.par, scratch, cost,
+                        outer_doc,
+                        ax,
+                        outer,
+                        inner,
+                        ctx.workers,
+                        ctx.par,
+                        scratch,
+                        cost,
                     )
                 }
             }
@@ -312,6 +324,7 @@ pub fn execute_edge_op_with(
                 dense.table1,
                 dense.table2,
                 dense.pool,
+                ctx.workers,
                 ctx.par,
                 cost,
             );
@@ -404,6 +417,7 @@ mod tests {
             kind1: NodeKind::Text,
             kind2: NodeKind::Text,
             par: Parallelism::Sequential,
+            workers: None,
         }
     }
 
@@ -511,6 +525,7 @@ mod tests {
             kind1: NodeKind::Element,
             kind2: NodeKind::Element,
             par: Parallelism::Sequential,
+            workers: None,
         };
         // Forward: children of each a.
         let mut cost = Cost::new();
@@ -575,6 +590,7 @@ mod tests {
                 kind1: NodeKind::Element,
                 kind2: NodeKind::Element,
                 par: Parallelism::Sequential,
+                workers: None,
             },
             &mut cost,
         );

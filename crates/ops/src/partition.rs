@@ -24,15 +24,22 @@ use crate::cutoff::JoinOut;
 use crate::pool::ScratchPool;
 use crate::staircase::{step_join_kernel, step_join_scratch, StepScratch};
 use rox_index::SymbolTable;
-use rox_par::{chunk_ranges, par_map, Parallelism};
+use rox_par::{chunk_ranges, Parallelism, WorkerPool};
 use rox_xmldb::{Document, Pre};
 
 /// Minimum context tuples per worker thread. A parallel fan-out engages
-/// only once the probe input reaches **twice** this (4096 tuples — see
+/// only once the probe input reaches **twice** this (1024 tuples — see
 /// [`Parallelism::effective_threads`]); below that the partitioned
 /// operators fall back to the sequential path, where the fan-out would
 /// cost more than it saves.
-pub const MIN_PARTITION_INPUT: usize = 2048;
+///
+/// Re-derived for the pooled path: dispatching a batch onto the always-on
+/// [`WorkerPool`] costs roughly a condvar wake plus atomic cursor claims
+/// (~1–3 µs), versus the tens of microseconds a per-call
+/// `std::thread::scope` spawn used to cost. At ~15–30 ns of staircase
+/// probe/merge work per context tuple, 512 tuples ≈ 8–15 µs per worker —
+/// several times the dispatch cost — so the gate drops from 2048 to 512.
+pub const MIN_PARTITION_INPUT: usize = 512;
 
 /// Partitioned [`step_join`](crate::staircase::step_join()): evaluates
 /// `axis::cands` for the full context
@@ -47,19 +54,31 @@ pub fn step_join_partitioned(
     par: Parallelism,
     cost: &mut Cost,
 ) -> JoinOut<Pre> {
-    step_join_partitioned_scratch(doc, axis, ctx, cands, par, StepScratch::default(), cost)
+    step_join_partitioned_scratch(
+        doc,
+        axis,
+        ctx,
+        cands,
+        None,
+        par,
+        StepScratch::default(),
+        cost,
+    )
 }
 
 /// As [`step_join_partitioned`] with caller-provided scratch state (cached
-/// candidate set and/or buffer pool; see [`StepScratch`]). The staircase
-/// kernel is chosen **once** over the full context, then run per morsel —
-/// every kernel charges and emits identically, so this only fixes which
-/// kernel's wall-clock profile the whole call gets.
+/// candidate set and/or buffer pool; see [`StepScratch`]) and an optional
+/// [`WorkerPool`] handle (`None` runs on the process-shared pool). The
+/// staircase kernel is chosen **once** over the full context, then run per
+/// morsel — every kernel charges and emits identically, so this only fixes
+/// which kernel's wall-clock profile the whole call gets.
+#[allow(clippy::too_many_arguments)]
 pub fn step_join_partitioned_scratch(
     doc: &Document,
     axis: Axis,
     ctx: &[Pre],
     cands: &[Pre],
+    workers: Option<&WorkerPool>,
     par: Parallelism,
     scratch: StepScratch<'_>,
     cost: &mut Cost,
@@ -78,7 +97,8 @@ pub fn step_join_partitioned_scratch(
         pool: scratch.pool,
     };
     let morsels = chunk_ranges(ctx.len(), threads * 4);
-    let runs = par_map(threads, morsels.len(), |i| {
+    let pool = workers.unwrap_or_else(|| WorkerPool::shared());
+    let runs = pool.par_map(threads, morsels.len(), |i| {
         let mut local = Cost::new();
         let mut out = step_join_kernel(
             doc,
@@ -143,6 +163,7 @@ pub fn hash_value_join_partitioned_with(
         left_table,
         right_table,
         None,
+        None,
         par,
         cost,
     )
@@ -150,7 +171,8 @@ pub fn hash_value_join_partitioned_with(
 
 /// As [`hash_value_join_partitioned_with`] with the pair buffers leased
 /// from `pool` (the caller returns the final buffer via
-/// [`ScratchPool::give_node_pairs`]).
+/// [`ScratchPool::give_node_pairs`]) and an optional [`WorkerPool`] handle
+/// (`None` runs on the process-shared pool).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn hash_value_join_partitioned_pooled(
     left_doc: &Document,
@@ -160,6 +182,7 @@ pub(crate) fn hash_value_join_partitioned_pooled(
     left_table: Option<&SymbolTable>,
     right_table: Option<&SymbolTable>,
     pool: Option<&ScratchPool>,
+    workers: Option<&WorkerPool>,
     par: Parallelism,
     cost: &mut Cost,
 ) -> Vec<(Pre, Pre)> {
@@ -199,7 +222,8 @@ pub(crate) fn hash_value_join_partitioned_pooled(
         }
     };
     let morsels = chunk_ranges(probe.len(), threads * 4);
-    let runs = par_map(threads, morsels.len(), |i| {
+    let worker_pool = workers.unwrap_or_else(|| WorkerPool::shared());
+    let runs = worker_pool.par_map(threads, morsels.len(), |i| {
         let mut local = Cost::new();
         let mut out = match pool {
             Some(pool) => pool.lease_node_pairs(),

@@ -182,6 +182,7 @@ fn step_ctx<'a>(
         kind1: NodeKind::Element,
         kind2: NodeKind::Element,
         par,
+        workers: None,
     }
 }
 
@@ -299,6 +300,7 @@ proptest! {
                     kind1: NodeKind::Text,
                     kind2: NodeKind::Text,
                     par,
+                    workers: None,
                 },
                 &mut kernel_cost,
             );
@@ -355,6 +357,7 @@ proptest! {
                 kind1: NodeKind::Text,
                 kind2: NodeKind::Text,
                 par: Parallelism::Sequential,
+                workers: None,
             },
             &mut kernel_cost,
         );

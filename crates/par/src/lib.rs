@@ -2,13 +2,19 @@
 
 //! # rox-par — morsel-driven parallel execution primitives
 //!
-//! The parallel substrate behind ROX's candidate-sampling fan-out and the
-//! partitioned physical operators. Built on `std::thread::scope` only (the
-//! build environment vendors no crates.io dependencies), it provides:
+//! The parallel substrate behind ROX's candidate-sampling fan-out, the
+//! partitioned physical operators, and the engine's inter-query serving
+//! path. Built on `std` only (the build environment vendors no crates.io
+//! dependencies), it provides:
 //!
 //! * [`Parallelism`] — the knob threaded through `RoxOptions`/`RoxEnv`;
-//! * [`par_map`] — order-preserving parallel map over a task list, the
-//!   workhorse for "sample every candidate operator concurrently";
+//! * [`WorkerPool`] — an always-on, work-stealing pool: per-worker
+//!   injector deques for `'static` serving jobs, a shared board of
+//!   in-flight `par_map` batches idle workers help drain, parked idle
+//!   workers, graceful shutdown on drop, and per-task panic containment;
+//! * [`par_map`] — order-preserving parallel map over a task list (routed
+//!   through the process-shared pool), the workhorse for "sample every
+//!   candidate operator concurrently";
 //! * [`chunk_ranges`] — deterministic contiguous partitioning used by the
 //!   partitioned staircase/hash joins to split context inputs into morsels
 //!   that can be merged back in document order.
@@ -19,14 +25,20 @@
 //! equivalent. The test-suite and `crates/rox`'s equivalence proptest lean
 //! on this.
 //!
-//! Threads are spawned per call via `std::thread::scope`. That costs a few
-//! tens of microseconds per fan-out, so callers gate parallel execution on
-//! a minimum task volume (see [`Parallelism::effective_threads`] and the
-//! `MIN_*` thresholds in `rox-ops`/`rox-core`).
+//! Workers are spawned **once** and parked while idle; dispatching a
+//! fan-out onto the pool costs roughly a condvar wake (single-digit
+//! microseconds) instead of the tens of microseconds a fresh
+//! `std::thread::scope` spawn used to cost per call. Callers still gate
+//! parallel execution on a minimum task volume so tiny inputs stay on the
+//! calling thread (see [`Parallelism::effective_threads`] and the `MIN_*`
+//! thresholds in `rox-ops`), but the pooled dispatch cost lowers those
+//! thresholds by roughly an order of magnitude.
+
+mod pool;
+
+pub use pool::WorkerPool;
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Degree of intra-query parallelism.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -109,47 +121,22 @@ pub fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
-/// Order-preserving parallel map: applies `f` to `0..tasks` task indices on
-/// `threads` workers and returns the results in task order, exactly as the
-/// sequential `(0..tasks).map(f).collect()` would.
+/// Order-preserving parallel map: applies `f` to `0..tasks` task indices
+/// with a concurrency budget of `threads` and returns the results in task
+/// order, exactly as the sequential `(0..tasks).map(f).collect()` would.
 ///
-/// Work is distributed by an atomic cursor (morsel-driven scheduling), so
-/// stragglers never idle the pool; result placement is by task index, so
-/// scheduling order can never leak into the output.
+/// Runs on the process-shared [`WorkerPool`]: the calling thread drives an
+/// atomic task cursor (morsel-driven scheduling) and parked pool workers
+/// wake to help, so stragglers never idle the pool and no threads are
+/// spawned per call. Result placement is by task index, so scheduling
+/// order can never leak into the output. Safe to call from inside a pool
+/// worker (nested fan-out): the caller always drains its own batch.
 pub fn par_map<T, F>(threads: usize, tasks: usize, f: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize) -> T + Send + Sync,
 {
-    if tasks == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, tasks);
-    if threads == 1 {
-        return (0..tasks).map(f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= tasks {
-                    break;
-                }
-                let value = f(i);
-                *slots[i].lock().expect("result slot") = Some(value);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot")
-                .expect("every task index visited exactly once")
-        })
-        .collect()
+    WorkerPool::shared().par_map(threads, tasks, f)
 }
 
 /// [`par_map`] over the items of a slice, preserving input order.
@@ -157,7 +144,7 @@ pub fn par_map_slice<'a, I, T, F>(threads: usize, items: &'a [I], f: F) -> Vec<T
 where
     I: Sync,
     T: Send,
-    F: Fn(&'a I) -> T + Sync,
+    F: Fn(&'a I) -> T + Send + Sync,
 {
     par_map(threads, items.len(), |i| f(&items[i]))
 }

@@ -23,7 +23,7 @@ use rand::rngs::StdRng;
 use rox_index::sample_sorted;
 use rox_joingraph::{EdgeId, VertexId};
 use rox_ops::{Cost, EdgeOpKind};
-use rox_par::{par_map, Parallelism};
+use rox_par::Parallelism;
 use rox_xmldb::Pre;
 
 /// A path segment being explored.
@@ -189,7 +189,7 @@ pub fn chain_sample(
             .collect();
         let threads = par.effective_threads(tasks.len(), 1);
         let paths_ref = &paths;
-        let runs = par_map(threads, tasks.len(), |t| {
+        let runs = state.env.workers().par_map(threads, tasks.len(), |t| {
             let (i, e) = tasks[t];
             let p = &paths_ref[i];
             let mut input = p.input.clone();

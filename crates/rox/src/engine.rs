@@ -38,13 +38,21 @@
 //! next replay.
 //!
 //! A query runs inside a *session* ([`RoxEngine::session`]) — a thin
-//! [`RoxEnv`] view borrowing the engine's caches — and
-//! [`RoxEngine::run_many`] fans a batch of queries out across worker
-//! threads (`rox_par`), all against the same engine. Results are
-//! bit-identical to fresh standalone runs: every cached structure is
-//! value-equal to the fresh build it replaces, and `run` with
-//! [`PlanReuse::AlwaysOptimize`] (the default) performs the exact same
-//! sampling an un-cached [`crate::run_rox`] would.
+//! [`RoxEnv`] view borrowing the engine's caches — and the engine owns one
+//! always-on [`WorkerPool`] shared by **both** concurrency layers: the
+//! intra-query sampling/partitioned-join fan-out and the inter-query
+//! serving paths. [`RoxEngine::run_many`] fans a batch of queries out over
+//! that pool (results in job order), and [`RoxEngine::try_submit`] is the
+//! open-loop face: it enqueues one query behind a **bounded admission
+//! queue** ([`RoxOptions::max_queued`]) and returns an [`EngineTicket`]
+//! immediately, rejecting with [`ServeError::Overloaded`] when the queue
+//! is full — backpressure instead of unbounded buffering. Nested fan-out
+//! is deadlock-free by construction: every `par_map` caller drives its own
+//! batch, so a worker running a query that fans out inward never waits on
+//! a pool slot. Results are bit-identical to fresh standalone runs: every
+//! cached structure is value-equal to the fresh build it replaces, and
+//! `run` with [`PlanReuse::AlwaysOptimize`] (the default) performs the
+//! exact same sampling an un-cached [`crate::run_rox`] would.
 
 use crate::env::{EnvError, RoxEnv};
 use crate::guard::{self, EdgeExpectation, GuardSpec, GuardVerdict, SpotCheck};
@@ -54,12 +62,12 @@ use crate::state::EdgeExec;
 use rox_index::IndexedStore;
 use rox_joingraph::{EdgeId, JoinGraph, VertexLabel};
 use rox_ops::{Cost, EdgeOpKind, PoolStats, Relation, ScratchPool};
-use rox_par::{par_map, Parallelism};
+use rox_par::{Parallelism, WorkerPool};
 use rox_xmldb::{Catalog, DocId, Pre};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// Plan-cache policy for [`RoxEngine::run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -226,6 +234,153 @@ pub struct CachedPlan {
     doc_uris: Vec<String>,
 }
 
+/// A serving-path error: admission rejection, query failure, or an
+/// aborted job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded admission queue was full at submission time
+    /// ([`RoxOptions::max_queued`]); the job never entered the system.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        queued: usize,
+        /// The bound the job's options asked for.
+        max_queued: usize,
+    },
+    /// The query itself failed (unknown document, ...).
+    Env(EnvError),
+    /// The job was admitted but never completed: it panicked mid-run, or
+    /// the pool shut down while it was still queued.
+    Aborted,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { queued, max_queued } => write!(
+                f,
+                "overloaded: {queued} jobs queued (admission bound {max_queued})"
+            ),
+            ServeError::Env(e) => write!(f, "{e}"),
+            ServeError::Aborted => write!(f, "job aborted before completion"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EnvError> for ServeError {
+    fn from(e: EnvError) -> Self {
+        ServeError::Env(e)
+    }
+}
+
+/// What a completed [`EngineTicket`] resolves to.
+#[derive(Debug)]
+pub struct TicketOutcome {
+    /// The run result (or why it failed).
+    pub result: Result<EngineRun, ServeError>,
+    /// When the worker finished the job — latency measured here excludes
+    /// any delay in the collector picking the ticket up.
+    pub finished_at: Instant,
+}
+
+enum TicketState {
+    Pending,
+    Done(Box<TicketOutcome>),
+    Taken,
+}
+
+struct TicketInner {
+    state: Mutex<TicketState>,
+    cv: Condvar,
+}
+
+impl TicketInner {
+    /// First completion wins; later calls (e.g. the drop guard after a
+    /// normal finish) are no-ops.
+    fn complete(&self, result: Result<EngineRun, ServeError>) -> bool {
+        let mut state = self.state.lock().expect("ticket state");
+        if !matches!(*state, TicketState::Pending) {
+            return false;
+        }
+        *state = TicketState::Done(Box::new(TicketOutcome {
+            result,
+            finished_at: Instant::now(),
+        }));
+        self.cv.notify_all();
+        true
+    }
+}
+
+/// A handle to one query admitted through [`RoxEngine::try_submit`]. The
+/// submitter never blocks; the result is claimed with
+/// [`EngineTicket::wait`]. Every admitted job resolves its ticket exactly
+/// once — on completion, on panic, or (as [`ServeError::Aborted`]) when
+/// the pool shuts down with the job still queued.
+pub struct EngineTicket {
+    inner: Arc<TicketInner>,
+}
+
+impl EngineTicket {
+    /// Block until the job resolves and take its outcome.
+    ///
+    /// Do not call this from inside the same pool's worker (it would
+    /// occupy the worker while waiting on work only that pool can run);
+    /// tickets are for external collectors — dispatch loops, benches,
+    /// request handlers.
+    pub fn wait(self) -> TicketOutcome {
+        let mut state = self.inner.state.lock().expect("ticket state");
+        loop {
+            if matches!(*state, TicketState::Done(_)) {
+                match std::mem::replace(&mut *state, TicketState::Taken) {
+                    TicketState::Done(out) => return *out,
+                    _ => unreachable!("just matched Done"),
+                }
+            }
+            state = self.inner.cv.wait(state).expect("ticket state");
+        }
+    }
+}
+
+/// Completion guard moved into every submitted job closure. Whatever
+/// happens to the closure — runs to completion, panics inside `run`, or
+/// gets dropped unrun at pool shutdown — the drop leg settles the
+/// admission-queue gauge and resolves the ticket, so a collector blocked
+/// in [`EngineTicket::wait`] can never hang and the serving counters
+/// always reconcile.
+struct JobGuard {
+    engine: Arc<RoxEngine>,
+    inner: Arc<TicketInner>,
+    dequeued: bool,
+    finished: bool,
+}
+
+impl JobGuard {
+    /// The job left the admission queue and started running.
+    fn dequeue(&mut self) {
+        if !self.dequeued {
+            self.dequeued = true;
+            self.engine.queued.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    fn finish(&mut self, result: Result<EngineRun, ServeError>) {
+        self.finished = true;
+        self.engine.jobs_served.fetch_add(1, Ordering::Relaxed);
+        self.inner.complete(result);
+    }
+}
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        self.dequeue();
+        if !self.finished {
+            self.engine.jobs_aborted.fetch_add(1, Ordering::Relaxed);
+            self.inner.complete(Err(ServeError::Aborted));
+        }
+    }
+}
+
 /// Counters describing how much work the engine's caches absorbed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
@@ -248,6 +403,20 @@ pub struct EngineStats {
     /// Scratch-pool lease/miss counters (see
     /// [`RoxEngine::scratch_pool`]).
     pub scratch: PoolStats,
+    /// Jobs offered to the serving path ([`RoxEngine::try_submit`] and
+    /// [`RoxEngine::run_many`]), admitted or not.
+    pub jobs_submitted: u64,
+    /// Jobs that ran to completion (successfully or with a query error).
+    pub jobs_served: u64,
+    /// Jobs rejected at admission with [`ServeError::Overloaded`].
+    pub jobs_rejected: u64,
+    /// Admitted jobs that never completed (panicked mid-run, or dropped
+    /// at pool shutdown). At quiescence
+    /// `submitted == served + rejected + aborted`.
+    pub jobs_aborted: u64,
+    /// Jobs currently admitted but not yet started (the live admission
+    /// queue gauge [`RoxOptions::max_queued`] bounds).
+    pub queue_depth: usize,
 }
 
 impl EngineStats {
@@ -373,6 +542,16 @@ pub struct RoxEngine {
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     plan_demotions: AtomicU64,
+    /// The always-on worker pool shared by intra-query fan-out (sampling,
+    /// partitioned joins) and the inter-query serving paths.
+    workers: Arc<WorkerPool>,
+    /// Jobs admitted through [`RoxEngine::try_submit`] but not yet
+    /// started — the gauge the bounded admission queue checks.
+    queued: AtomicUsize,
+    jobs_submitted: AtomicU64,
+    jobs_served: AtomicU64,
+    jobs_rejected: AtomicU64,
+    jobs_aborted: AtomicU64,
 }
 
 /// The bounded plan store behind the engine's mutex: fingerprint → plan
@@ -412,8 +591,19 @@ impl std::fmt::Debug for RoxEngine {
 }
 
 impl RoxEngine {
-    /// An engine over `catalog`, with all caches empty.
+    /// An engine over `catalog`, with all caches empty and a worker pool
+    /// sized to the machine (logical core count, floor of two).
     pub fn new(catalog: Arc<Catalog>) -> Self {
+        Self::with_workers(
+            catalog,
+            Arc::new(WorkerPool::new(Parallelism::Auto.threads().max(2))),
+        )
+    }
+
+    /// As [`RoxEngine::new`] with an explicit worker pool — for serving
+    /// setups that size the pool themselves or share one pool across
+    /// several engines.
+    pub fn with_workers(catalog: Arc<Catalog>, workers: Arc<WorkerPool>) -> Self {
         RoxEngine {
             store: Arc::new(IndexedStore::new(catalog)),
             base_lists: Arc::new(BaseListCache::new()),
@@ -423,7 +613,23 @@ impl RoxEngine {
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
             plan_demotions: AtomicU64::new(0),
+            workers,
+            queued: AtomicUsize::new(0),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_served: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            jobs_aborted: AtomicU64::new(0),
         }
+    }
+
+    /// The engine's always-on worker pool.
+    pub fn workers(&self) -> &Arc<WorkerPool> {
+        &self.workers
+    }
+
+    /// Jobs admitted but not yet started (the live admission-queue depth).
+    pub fn queue_depth(&self) -> usize {
+        self.queued.load(Ordering::Acquire)
     }
 
     /// The catalog this engine serves.
@@ -457,6 +663,7 @@ impl RoxEngine {
             Arc::clone(&self.store),
             Arc::clone(&self.base_lists),
             Arc::clone(&self.scratch),
+            Some(Arc::clone(&self.workers)),
             graph,
             Parallelism::Sequential,
         )
@@ -534,16 +741,101 @@ impl RoxEngine {
         Ok(EngineRun::from_report(report, fingerprint))
     }
 
-    /// Serve a batch of queries concurrently on `par` worker threads, all
-    /// against this engine's shared caches. Results come back in job
-    /// order; each job is exactly one [`RoxEngine::run`].
+    /// Serve a batch of queries concurrently on the engine's worker pool
+    /// with a concurrency window of `par` threads, all against this
+    /// engine's shared caches. Results come back in job order; each job is
+    /// exactly one [`RoxEngine::run`].
+    ///
+    /// The batch is closed-loop, so admission is resolved up front: all
+    /// jobs arrive at once, `par` of them start immediately, the next
+    /// [`RoxOptions::max_queued`] wait their turn, and any job deeper than
+    /// that is rejected with [`ServeError::Overloaded`] — deterministic in
+    /// the job index, exactly what an open-loop submitter racing a full
+    /// queue would see. (For live open-loop traffic use
+    /// [`RoxEngine::try_submit`].)
     pub fn run_many(
         &self,
         jobs: &[(&JoinGraph, RoxOptions)],
         par: Parallelism,
-    ) -> Vec<Result<EngineRun, EnvError>> {
+    ) -> Vec<Result<EngineRun, ServeError>> {
         let threads = par.effective_threads(jobs.len(), 1);
-        par_map(threads, jobs.len(), |i| self.run(jobs[i].0, jobs[i].1))
+        self.jobs_submitted
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        self.workers.par_map(threads, jobs.len(), |i| {
+            let (graph, options) = jobs[i];
+            if let Some(max) = options.max_queued {
+                if i >= threads + max {
+                    self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Overloaded {
+                        queued: max,
+                        max_queued: max,
+                    });
+                }
+            }
+            let run = self.run(graph, options).map_err(ServeError::Env);
+            self.jobs_served.fetch_add(1, Ordering::Relaxed);
+            run
+        })
+    }
+
+    /// Submit one query to the serving pool behind the bounded admission
+    /// queue, without blocking: returns an [`EngineTicket`] immediately,
+    /// or [`ServeError::Overloaded`] when
+    /// [`RoxOptions::max_queued`] jobs are already waiting (backpressure —
+    /// the caller sheds load instead of buffering unboundedly). The
+    /// admission check never blocks and never occupies a worker.
+    ///
+    /// The job owns a clone of `graph`; the ticket resolves when a worker
+    /// finishes the run (or with [`ServeError::Aborted`] if the job
+    /// panics or the pool shuts down first).
+    pub fn try_submit(
+        self: &Arc<Self>,
+        graph: &JoinGraph,
+        options: RoxOptions,
+    ) -> Result<EngineTicket, ServeError> {
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(max) = options.max_queued {
+            // Claim a queue slot only below the bound (CAS loop — a plain
+            // increment could overshoot under contention).
+            let mut depth = self.queued.load(Ordering::Acquire);
+            loop {
+                if depth >= max {
+                    self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Overloaded {
+                        queued: depth,
+                        max_queued: max,
+                    });
+                }
+                match self.queued.compare_exchange_weak(
+                    depth,
+                    depth + 1,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(current) => depth = current,
+                }
+            }
+        } else {
+            self.queued.fetch_add(1, Ordering::AcqRel);
+        }
+        let inner = Arc::new(TicketInner {
+            state: Mutex::new(TicketState::Pending),
+            cv: Condvar::new(),
+        });
+        let mut job = JobGuard {
+            engine: Arc::clone(self),
+            inner: Arc::clone(&inner),
+            dequeued: false,
+            finished: false,
+        };
+        let graph = graph.clone();
+        self.workers.execute(move || {
+            job.dequeue();
+            let result = job.engine.run(&graph, options).map_err(ServeError::Env);
+            job.finish(result);
+        });
+        Ok(EngineTicket { inner })
     }
 
     /// The cached plan for `graph`, if a validated one exists.
@@ -571,6 +863,11 @@ impl RoxEngine {
             plan_demotions: self.plan_demotions.load(Ordering::Relaxed),
             cached_plans: self.plans.lock().expect("plan cache").map.len(),
             scratch: self.scratch.stats(),
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_served: self.jobs_served.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_aborted: self.jobs_aborted.load(Ordering::Relaxed),
+            queue_depth: self.queued.load(Ordering::Acquire),
         }
     }
 
@@ -918,6 +1215,135 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.plan_hits, 8, "every warm job must replay: {stats:?}");
         assert_eq!(stats.plan_misses, 2);
+        assert_eq!(stats.jobs_submitted, 8);
+        assert_eq!(stats.jobs_served, 8);
+        assert_eq!(stats.jobs_rejected, 0);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn try_submit_serves_tickets_and_counts_reconcile() {
+        let engine = Arc::new(engine());
+        let g = compile_query(Q_JOIN).unwrap();
+        let expect = engine.run(&g, RoxOptions::default()).unwrap();
+        let tickets: Vec<EngineTicket> = (0..6)
+            .map(|_| engine.try_submit(&g, RoxOptions::default()).unwrap())
+            .collect();
+        for ticket in tickets {
+            let outcome = ticket.wait();
+            assert_eq!(outcome.result.unwrap().output, expect.output);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_submitted, 6);
+        assert_eq!(stats.jobs_served, 6);
+        assert_eq!(stats.jobs_rejected, 0);
+        assert_eq!(stats.jobs_aborted, 0);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    /// The bounded admission queue: with the lone worker pinned, the first
+    /// `max_queued` submissions are admitted and the next is rejected with
+    /// `Overloaded` — immediately, on the submitter's thread, without ever
+    /// blocking or occupying a worker. After the worker is released every
+    /// admitted ticket resolves and the counters reconcile.
+    #[test]
+    fn saturated_queue_rejects_with_overloaded() {
+        use rox_par::WorkerPool;
+        let cat = Arc::new(Catalog::new());
+        cat.load_str("d.xml", SITE).unwrap();
+        let engine = Arc::new(RoxEngine::with_workers(cat, Arc::new(WorkerPool::new(1))));
+        let g = compile_query(Q_STEP).unwrap();
+
+        // Pin the single worker on a gate so admitted jobs pile up queued.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g2 = Arc::clone(&gate);
+        engine.workers().execute(move || {
+            let (lock, cv) = &*g2;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+
+        let options = RoxOptions {
+            max_queued: Some(2),
+            ..Default::default()
+        };
+        let t1 = engine.try_submit(&g, options).unwrap();
+        let t2 = engine.try_submit(&g, options).unwrap();
+        assert_eq!(engine.queue_depth(), 2);
+        match engine.try_submit(&g, options) {
+            Err(ServeError::Overloaded { queued, max_queued }) => {
+                assert_eq!(queued, 2);
+                assert_eq!(max_queued, 2);
+            }
+            other => panic!("expected Overloaded, got {:?}", other.map(|_| "ticket")),
+        }
+
+        // Release the worker; both admitted jobs must resolve.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        assert!(t1.wait().result.is_ok());
+        assert!(t2.wait().result.is_ok());
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_submitted, 3);
+        assert_eq!(stats.jobs_served, 2);
+        assert_eq!(stats.jobs_rejected, 1);
+        assert_eq!(stats.jobs_aborted, 0);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(
+            stats.jobs_submitted,
+            stats.jobs_served + stats.jobs_rejected + stats.jobs_aborted
+        );
+    }
+
+    /// `run_many`'s closed-loop admission rule is deterministic in the job
+    /// index: with a window of `threads` and a bound of `m`, exactly the
+    /// jobs deeper than `threads + m` come back `Overloaded`.
+    #[test]
+    fn run_many_admission_is_deterministic() {
+        let engine = engine();
+        let g = compile_query(Q_STEP).unwrap();
+        engine.run(&g, reuse()).unwrap();
+        let options = RoxOptions {
+            max_queued: Some(1),
+            ..reuse()
+        };
+        let jobs: Vec<(&JoinGraph, RoxOptions)> = (0..6).map(|_| (&g, options)).collect();
+        // Threads(2) over 6 jobs → a window of 2, so jobs 0..3 are
+        // admitted (2 running + 1 queued) and 3..6 are rejected.
+        let runs = engine.run_many(&jobs, Parallelism::Threads(2));
+        for (i, run) in runs.iter().enumerate() {
+            if i < 3 {
+                assert!(run.is_ok(), "job {i} should be admitted");
+            } else {
+                assert!(
+                    matches!(run, Err(ServeError::Overloaded { .. })),
+                    "job {i} should be rejected"
+                );
+            }
+        }
+        let stats = engine.stats();
+        // The seeding run() does not go through the serving path.
+        assert_eq!(stats.jobs_submitted, 6);
+        assert_eq!(stats.jobs_served, 3);
+        assert_eq!(stats.jobs_rejected, 3);
+    }
+
+    /// A query failure inside an admitted job comes back through the
+    /// ticket as `ServeError::Env`, and still counts as served.
+    #[test]
+    fn ticket_surfaces_query_errors() {
+        let engine = Arc::new(engine());
+        let g = compile_query(r#"for $a in doc("missing.xml")//a return $a"#).unwrap();
+        let outcome = engine.try_submit(&g, RoxOptions::default()).unwrap().wait();
+        assert!(matches!(outcome.result, Err(ServeError::Env(_))));
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_served, 1);
+        assert_eq!(stats.jobs_rejected, 0);
     }
 
     /// A document with enough structure that drift ratios clear the

@@ -21,7 +21,7 @@ use crate::engine::BaseListCache;
 use rox_index::IndexedStore;
 use rox_joingraph::{JoinGraph, VertexId, VertexLabel};
 use rox_ops::ScratchPool;
-use rox_par::Parallelism;
+use rox_par::{Parallelism, WorkerPool};
 use rox_xmldb::{Catalog, DocId, Document, NodeKind, Pre};
 use std::sync::{Arc, RwLock};
 
@@ -48,6 +48,10 @@ pub struct RoxEnv {
     /// [`crate::run_plan_with_env_parallel`], so a shared engine never
     /// needs `&mut` access.
     parallelism: Parallelism,
+    /// The worker pool full edge executions fan out on — the owning
+    /// engine's always-on pool, or `None` for standalone environments
+    /// (which run on the process-shared pool).
+    workers: Option<Arc<WorkerPool>>,
 }
 
 /// An environment construction error (unknown document, ...).
@@ -94,6 +98,7 @@ impl RoxEnv {
             Arc::new(IndexedStore::new(catalog)),
             Arc::new(BaseListCache::new()),
             Arc::new(ScratchPool::new()),
+            None,
             graph,
             parallelism,
         )
@@ -106,6 +111,7 @@ impl RoxEnv {
         store: Arc<IndexedStore>,
         shared_lists: Arc<BaseListCache>,
         pool: Arc<ScratchPool>,
+        workers: Option<Arc<WorkerPool>>,
         graph: &JoinGraph,
         parallelism: Parallelism,
     ) -> Result<Self, EnvError> {
@@ -126,6 +132,7 @@ impl RoxEnv {
             vertex_doc,
             parallelism,
             pool,
+            workers,
         })
     }
 
@@ -137,6 +144,15 @@ impl RoxEnv {
     /// The scratch pool full edge executions lease their buffers from.
     pub fn pool(&self) -> &ScratchPool {
         &self.pool
+    }
+
+    /// The worker pool intra-query fan-outs (sampling, partitioned joins)
+    /// run on: the owning engine's pool, or the process-shared one for
+    /// standalone environments.
+    pub fn workers(&self) -> &WorkerPool {
+        self.workers
+            .as_deref()
+            .unwrap_or_else(|| WorkerPool::shared())
     }
 
     /// The indexed store.
@@ -290,11 +306,13 @@ mod tests {
             Arc::clone(&store),
             Arc::clone(&lists),
             Arc::clone(&pool),
+            None,
             &g1,
             Parallelism::Sequential,
         )
         .unwrap();
-        let env2 = RoxEnv::from_shared(store, lists, pool, &g2, Parallelism::Sequential).unwrap();
+        let env2 =
+            RoxEnv::from_shared(store, lists, pool, None, &g2, Parallelism::Sequential).unwrap();
         let item1 = g1.var_vertices["i"];
         let item2 = g2.var_vertices["x"];
         let a = env1.base_list(&g1, item1);

@@ -18,7 +18,7 @@
 use crate::state::EvalState;
 use rox_joingraph::{EdgeId, VertexId};
 use rox_ops::{execute_edge_op_with, Cost, DenseState, EdgeOpCtx, EdgeOpKind, ExecMode};
-use rox_par::{par_map, Parallelism};
+use rox_par::Parallelism;
 use rox_xmldb::Pre;
 
 /// Output of one sampled edge execution.
@@ -80,6 +80,7 @@ pub fn sampled_edge_exec(
                 // sampling parallelizes one level up, across candidate
                 // edges.
                 par: Parallelism::Sequential,
+                workers: None,
             },
             DenseState {
                 set2: to_set.as_deref(),
@@ -100,6 +101,7 @@ pub fn sampled_edge_exec(
                 kind1: to_kind,
                 kind2: from_kind,
                 par: Parallelism::Sequential,
+                workers: None,
             },
             DenseState {
                 set1: to_set.as_deref(),
@@ -162,7 +164,7 @@ pub fn estimate_cards(
     // Every task is a full sampled operator run — coarse enough that one
     // task per thread already pays for the fan-out.
     let threads = par.effective_threads(edges.len(), 1);
-    let runs = par_map(threads, edges.len(), |i| {
+    let runs = state.env.workers().par_map(threads, edges.len(), |i| {
         let mut local = Cost::new();
         let w = estimate_card(state, edges[i], tau, &mut local);
         (w, local)

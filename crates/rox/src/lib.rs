@@ -61,7 +61,8 @@ pub mod state;
 
 pub use chain::{ChainTrace, PathSnapshot};
 pub use engine::{
-    BaseListCache, CachedPlan, EngineRun, EngineStats, PlanReuse, RoxEngine, RunMode,
+    BaseListCache, CachedPlan, EngineRun, EngineStats, EngineTicket, PlanReuse, RoxEngine, RunMode,
+    ServeError, TicketOutcome,
 };
 pub use enumerate::{
     analyze_star, classical_join_order, enumerate_join_orders, plan_edges, JoinOrder, Member,

@@ -61,6 +61,14 @@ pub struct RoxOptions {
     /// call has no plan cache and always optimizes, whatever this says).
     /// The default reproduces the paper's per-query optimization.
     pub plan_reuse: crate::engine::PlanReuse,
+    /// Extension: bound on the engine's serving admission queue. With
+    /// `Some(m)`, [`RoxEngine::try_submit`](crate::RoxEngine::try_submit)
+    /// rejects a job (`ServeError::Overloaded`) once `m` admitted jobs are
+    /// already waiting to start, and
+    /// [`RoxEngine::run_many`](crate::RoxEngine::run_many) rejects the
+    /// jobs deeper than `threads + m` in its batch — explicit backpressure
+    /// instead of unbounded buffering. `None` (default) admits everything.
+    pub max_queued: Option<usize>,
 }
 
 impl Default for RoxOptions {
@@ -74,6 +82,7 @@ impl Default for RoxOptions {
             effort_budget: None,
             parallelism: Parallelism::Sequential,
             plan_reuse: crate::engine::PlanReuse::AlwaysOptimize,
+            max_queued: None,
         }
     }
 }

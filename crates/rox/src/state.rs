@@ -479,6 +479,7 @@ impl<'a> EvalState<'a> {
                 kind1,
                 kind2,
                 par: self.parallelism,
+                workers: Some(self.env.workers()),
             },
             dense,
             &mut self.exec_cost,
