@@ -1,0 +1,38 @@
+//! Snapshot-storage benchmark binary: cold-start latency (XML re-parse vs
+//! page-oriented `open_snapshot`) and the buffer-pool sweep at 100%, 50%
+//! and 25% frame budgets. Writes the machine-readable `BENCH_storage.json`
+//! consumed by CI.
+//!
+//! ```text
+//! cargo run --release -p rox-bench --bin bench_storage -- \
+//!     [--smoke] [--out BENCH_storage.json] [--persons 3000] \
+//!     [--items 2500] [--auctions 2500] [--repeats 3]
+//! ```
+
+use rox_bench::args::Args;
+use rox_bench::storage::{self, StorageBenchConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = if args.has("smoke") {
+        StorageBenchConfig::smoke()
+    } else {
+        StorageBenchConfig::default()
+    };
+    cfg.xmark.persons = args.get("persons", cfg.xmark.persons);
+    cfg.xmark.items = args.get("items", cfg.xmark.items);
+    cfg.xmark.auctions = args.get("auctions", cfg.xmark.auctions);
+    cfg.repeats = args.get("repeats", cfg.repeats);
+    let out_path = args.get("out", "BENCH_storage.json".to_string());
+
+    println!(
+        "snapshot storage bench — XMark persons={} items={} auctions={}, pools {:?}",
+        cfg.xmark.persons, cfg.xmark.items, cfg.xmark.auctions, cfg.pool_fractions
+    );
+    let r = storage::run(&cfg);
+    print!("{}", storage::render(&r));
+
+    let json = storage::to_json(&cfg, &r);
+    std::fs::write(&out_path, &json).expect("write BENCH_storage.json");
+    println!("\nwrote {out_path}");
+}

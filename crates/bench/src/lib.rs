@@ -21,6 +21,7 @@
 //! | Open-loop tail-latency serving (extension) | [`serving`] | `bench_serving` |
 //! | Plan revalidation & demotion (extension) | [`revalidation`] | `bench_revalidation` |
 //! | Staircase kernels (extension)           | [`staircase`] | `bench_staircase` |
+//! | Snapshot storage & buffer pool (extension) | [`storage`] | `bench_storage` |
 //!
 //! Every `BENCH_*.json` emitter embeds the [`machine_json`] fragment so a
 //! committed artifact records the hardware it was measured on.
@@ -37,6 +38,7 @@ pub mod scaling_threads;
 pub mod serving;
 pub mod setup;
 pub mod staircase;
+pub mod storage;
 pub mod table2;
 pub mod table3;
 

@@ -1,0 +1,359 @@
+//! Snapshot-storage benchmarks: cold-start latency (XML re-parse vs
+//! page-oriented `open_snapshot`) and a buffer-pool sweep at shrinking
+//! frame budgets (the `bench_storage` binary, which emits the
+//! machine-readable `BENCH_storage.json` consumed by CI).
+//!
+//! Two measured regimes, both over the paper's Q1 on an XMark document:
+//!
+//! 1. **Cold start** — from nothing resident to a servable catalog. The
+//!    *ready* phase is the storage comparison proper: re-parsing the
+//!    serialized XML text (`Catalog::load_str`) and building every index
+//!    from scratch, vs `Snapshot::open` plus decoding every document and
+//!    index segment through the buffer pool. Time to the *first query
+//!    answer* (which adds the identical optimizer run on top of either
+//!    path) is reported alongside, and outputs are asserted bit-identical
+//!    before any timing is reported.
+//! 2. **Pool sweep** — the same snapshot opened with frame budgets of
+//!    100%, 50% and 25% of the catalog's pages. Each point replays the
+//!    query after an explicit `release_residency` sweep and reports the
+//!    pool's hit/miss/eviction ledger — larger-than-RAM service at a
+//!    quarter of the pages must still produce bit-identical rows.
+
+use rox_core::{RoxEngine, RoxOptions};
+use rox_datagen::{generate_xmark, xmark_query, XmarkConfig};
+use rox_index::{DocSource, IndexedStore};
+use rox_storage::{SaveReport, Snapshot};
+use rox_xmldb::{serialize_document, Catalog};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of the storage benchmarks.
+#[derive(Debug, Clone)]
+pub struct StorageBenchConfig {
+    /// XMark document shape.
+    pub xmark: XmarkConfig,
+    /// Timed repetitions per measurement (the minimum is reported).
+    pub repeats: usize,
+    /// Frame budgets for the pool sweep, as fractions of the snapshot's
+    /// page count.
+    pub pool_fractions: Vec<f64>,
+}
+
+impl Default for StorageBenchConfig {
+    fn default() -> Self {
+        StorageBenchConfig {
+            xmark: XmarkConfig {
+                persons: 3000,
+                items: 2500,
+                auctions: 2500,
+                ..XmarkConfig::default()
+            },
+            repeats: 3,
+            pool_fractions: vec![1.0, 0.5, 0.25],
+        }
+    }
+}
+
+impl StorageBenchConfig {
+    /// A seconds-scale configuration for CI smoke runs.
+    pub fn smoke() -> Self {
+        StorageBenchConfig {
+            xmark: XmarkConfig {
+                persons: 300,
+                items: 250,
+                auctions: 250,
+                ..XmarkConfig::default()
+            },
+            repeats: 2,
+            pool_fractions: vec![1.0, 0.5, 0.25],
+        }
+    }
+}
+
+/// One point of the buffer-pool sweep.
+#[derive(Debug, Clone)]
+pub struct PoolPoint {
+    /// Frame budget as a fraction of the snapshot's pages.
+    pub fraction: f64,
+    /// The resulting frame count (floor 1).
+    pub frames: usize,
+    /// First query on the freshly opened snapshot (pages all miss).
+    pub cold_query: Duration,
+    /// Replay after a `release_residency` sweep: documents re-fault
+    /// through whatever the pool still holds.
+    pub warm_replay: Duration,
+    /// Pool hits at the end of the point.
+    pub hits: u64,
+    /// Pool misses at the end of the point.
+    pub misses: u64,
+    /// Pool evictions at the end of the point.
+    pub evictions: u64,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+}
+
+/// Everything the `bench_storage` binary reports.
+#[derive(Debug, Clone)]
+pub struct StorageBenchResult {
+    /// The saved snapshot's shape.
+    pub report: SaveReport,
+    /// Size of the serialized XML the parse baseline re-reads.
+    pub xml_bytes: usize,
+    /// Ready via XML re-parse: parse + shred + build every index.
+    pub parse_ready: Duration,
+    /// Ready via snapshot: open + decode every document + index segment.
+    pub snapshot_ready: Duration,
+    /// `parse_ready / snapshot_ready` — the storage-layer speedup.
+    pub speedup: f64,
+    /// First query answer on a parse-path cold engine (adds one
+    /// optimizer run on top of `parse_ready`).
+    pub parse_first_answer: Duration,
+    /// First query answer on a snapshot-path cold engine.
+    pub snapshot_first_answer: Duration,
+    /// Output rows of the anchor query (sanity anchor; all paths agree).
+    pub anchor_rows: usize,
+    /// The pool sweep, one point per configured fraction.
+    pub sweep: Vec<PoolPoint>,
+}
+
+fn best_of(repeats: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    (0..repeats.max(1))
+        .map(|_| f())
+        .min()
+        .expect("at least one repeat")
+}
+
+fn snapshot_path() -> PathBuf {
+    std::env::temp_dir().join(format!("rox-bench-storage-{}.rox", std::process::id()))
+}
+
+/// Run the storage benchmarks.
+pub fn run(cfg: &StorageBenchConfig) -> StorageBenchResult {
+    let graph = rox_joingraph::compile_query(&xmark_query("<", 145.0)).unwrap();
+    let options = RoxOptions::default();
+
+    // Seed corpus: generate once, save the snapshot, serialize the XML
+    // text the parse baseline will re-read.
+    let seed_catalog = Arc::new(Catalog::new());
+    generate_xmark(&seed_catalog, "xmark.xml", &cfg.xmark);
+    let seed_engine = RoxEngine::new(Arc::clone(&seed_catalog));
+    let reference = seed_engine.run(&graph, options).unwrap().output;
+    let anchor_rows = reference.len();
+    let path = snapshot_path();
+    let report = seed_engine.save_snapshot(&path).expect("save snapshot");
+    let xml = {
+        let id = seed_catalog.resolve("xmark.xml").unwrap();
+        serialize_document(&seed_catalog.doc(id))
+    };
+
+    // ---- 1a. Ready phase: re-parse + index build vs open + decode. ----
+    let parse_ready = best_of(cfg.repeats, || {
+        let t = Instant::now();
+        let catalog = Arc::new(Catalog::new());
+        catalog.load_str("xmark.xml", &xml).unwrap();
+        let store = IndexedStore::new(Arc::clone(&catalog));
+        for id in catalog.doc_ids() {
+            store.doc(id);
+            store.indexes(id);
+        }
+        t.elapsed()
+    });
+    let snapshot_ready = best_of(cfg.repeats, || {
+        let t = Instant::now();
+        let (catalog, source) = Snapshot::open(&path, None).expect("open snapshot");
+        let store = IndexedStore::with_source(
+            Arc::clone(&catalog),
+            Arc::clone(&source) as Arc<dyn DocSource>,
+        );
+        for id in catalog.doc_ids() {
+            store.doc(id);
+            store.indexes(id);
+        }
+        let wall = t.elapsed();
+        assert_eq!(store.build_count(), 0, "snapshot path rebuilt indexes");
+        wall
+    });
+    let speedup = parse_ready.as_secs_f64() / snapshot_ready.as_secs_f64().max(f64::EPSILON);
+
+    // ---- 1b. Time to first answer (ready + one identical optimizer run),
+    // where bit-identity of the two paths is asserted. ----
+    let parse_first_answer = best_of(cfg.repeats, || {
+        let t = Instant::now();
+        let catalog = Arc::new(Catalog::new());
+        catalog.load_str("xmark.xml", &xml).unwrap();
+        let engine = RoxEngine::new(catalog);
+        let r = engine.run(&graph, options).unwrap();
+        let wall = t.elapsed();
+        assert_eq!(r.output, reference, "parse-path output diverged");
+        wall
+    });
+    let snapshot_first_answer = best_of(cfg.repeats, || {
+        let t = Instant::now();
+        let engine = RoxEngine::open_snapshot(&path, None).expect("open snapshot");
+        let r = engine.run(&graph, options).unwrap();
+        let wall = t.elapsed();
+        assert_eq!(r.output, reference, "snapshot-path output diverged");
+        assert_eq!(
+            engine.stats().index_builds,
+            0,
+            "snapshot path rebuilt indexes"
+        );
+        wall
+    });
+
+    // ---- 2. Pool sweep: shrinking frame budgets. ----
+    let mut sweep = Vec::new();
+    for &fraction in &cfg.pool_fractions {
+        let frames = ((report.pages as f64 * fraction) as usize).max(1);
+        let engine = RoxEngine::open_snapshot(&path, Some(frames)).expect("open snapshot");
+        let cold_query = {
+            let t = Instant::now();
+            let r = engine.run(&graph, options).unwrap();
+            let wall = t.elapsed();
+            assert_eq!(r.output, reference, "pool {fraction} cold output diverged");
+            wall
+        };
+        let warm_replay = best_of(cfg.repeats, || {
+            engine.release_residency();
+            let t = Instant::now();
+            let r = engine.run(&graph, options).unwrap();
+            let wall = t.elapsed();
+            assert_eq!(r.output, reference, "pool {fraction} replay diverged");
+            wall
+        });
+        let s = engine.stats().pages;
+        assert!(s.resident <= s.capacity, "pool ledger incoherent: {s:?}");
+        assert!(s.evictions <= s.misses, "pool ledger incoherent: {s:?}");
+        sweep.push(PoolPoint {
+            fraction,
+            frames,
+            cold_query,
+            warm_replay,
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+            hit_rate: s.hits as f64 / ((s.hits + s.misses) as f64).max(1.0),
+        });
+    }
+
+    std::fs::remove_file(&path).ok();
+    StorageBenchResult {
+        report,
+        xml_bytes: xml.len(),
+        parse_ready,
+        snapshot_ready,
+        speedup,
+        parse_first_answer,
+        snapshot_first_answer,
+        anchor_rows,
+        sweep,
+    }
+}
+
+/// Render the result as the `BENCH_storage.json` document (hand-rolled —
+/// the workspace is dependency-free by policy).
+pub fn to_json(cfg: &StorageBenchConfig, r: &StorageBenchResult) -> String {
+    let sweep = r
+        .sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"fraction\": {:.2}, \"frames\": {}, \"cold_query_ms\": {:.3}, \"warm_replay_ms\": {:.3}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}}",
+                p.fraction,
+                p.frames,
+                p.cold_query.as_secs_f64() * 1e3,
+                p.warm_replay.as_secs_f64() * 1e3,
+                p.hits,
+                p.misses,
+                p.evictions,
+                p.hit_rate,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"machine\": {},\n  \"config\": {{\"persons\": {}, \"items\": {}, \"auctions\": {}, \"repeats\": {}}},\n  \"snapshot\": {{\"docs\": {}, \"pages\": {}, \"file_bytes\": {}, \"page_size\": {}, \"xml_bytes\": {}}},\n  \"cold_start\": {{\"parse_ready_ms\": {:.3}, \"snapshot_ready_ms\": {:.3}, \"speedup\": {:.2}, \"parse_first_answer_ms\": {:.3}, \"snapshot_first_answer_ms\": {:.3}}},\n  \"anchor_rows\": {},\n  \"pool_sweep\": [\n{}\n  ]\n}}\n",
+        crate::machine_json(),
+        cfg.xmark.persons,
+        cfg.xmark.items,
+        cfg.xmark.auctions,
+        cfg.repeats,
+        r.report.docs,
+        r.report.pages,
+        r.report.file_bytes,
+        r.report.page_size,
+        r.xml_bytes,
+        r.parse_ready.as_secs_f64() * 1e3,
+        r.snapshot_ready.as_secs_f64() * 1e3,
+        r.speedup,
+        r.parse_first_answer.as_secs_f64() * 1e3,
+        r.snapshot_first_answer.as_secs_f64() * 1e3,
+        r.anchor_rows,
+        sweep,
+    )
+}
+
+/// Render a human-readable summary table.
+pub fn render(r: &StorageBenchResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "snapshot   {} docs, {} pages × {} B = {} B (xml {} B)",
+        r.report.docs, r.report.pages, r.report.page_size, r.report.file_bytes, r.xml_bytes
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "ready      parse {:>10.3?}  snapshot {:>10.3?}  speedup {:.2}x",
+        r.parse_ready, r.snapshot_ready, r.speedup
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "1st answer parse {:>10.3?}  snapshot {:>10.3?}",
+        r.parse_first_answer, r.snapshot_first_answer
+    )
+    .unwrap();
+    for p in &r.sweep {
+        writeln!(
+            out,
+            "pool {:>4.0}%  frames {:>6}  cold {:>10.3?}  warm-replay {:>10.3?}  hit-rate {:.1}% ({} evictions)",
+            p.fraction * 100.0,
+            p.frames,
+            p.cold_query,
+            p.warm_replay,
+            p.hit_rate * 100.0,
+            p.evictions
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_consistent() {
+        let cfg = StorageBenchConfig {
+            xmark: XmarkConfig::tiny(),
+            repeats: 1,
+            pool_fractions: vec![1.0, 0.25],
+        };
+        let r = run(&cfg);
+        assert!(r.anchor_rows > 0, "anchor query returned nothing");
+        assert_eq!(r.sweep.len(), 2);
+        assert!(
+            r.sweep.iter().all(|p| p.hits + p.misses > 0),
+            "pool saw no traffic"
+        );
+        let json = to_json(&cfg, &r);
+        assert!(json.contains("\"cold_start\""));
+        assert!(json.contains("\"pool_sweep\""));
+        let table = render(&r);
+        assert!(table.contains("speedup"));
+    }
+}

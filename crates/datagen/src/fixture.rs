@@ -1,0 +1,153 @@
+//! Shared, disk-cached workload fixtures for heavyweight test binaries.
+//!
+//! Cargo compiles every integration-test file into its own binary, and
+//! each used to regenerate its XMark corpus from scratch — the single
+//! most expensive part of the heavyweight suites. With the storage layer
+//! in place, the first binary to need a given configuration generates it
+//! once and [`Snapshot::save`]s it to a shared path; every later binary
+//! (and every later run) [`Snapshot::open`]s the file and faults the
+//! prebuilt documents in instead of regenerating.
+//!
+//! Concurrency-safe by construction: writers save to a process-unique
+//! temp file and `rename` it into place (atomic on POSIX), so parallel
+//! test binaries racing on a cold cache each produce a valid file and one
+//! wins. A corrupt or torn file fails [`Snapshot::open`]'s checksums and
+//! is silently regenerated.
+
+use crate::xmark::{generate_xmark, XmarkConfig};
+use rox_index::IndexedStore;
+use rox_storage::{Snapshot, SNAPSHOT_VERSION};
+use rox_xmldb::Catalog;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// FNV-1a over the configuration string — a stable fixture-file key.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Where fixtures live: `CARGO_TARGET_TMPDIR` when the harness exports
+/// it, the system temp directory otherwise.
+fn fixture_dir() -> PathBuf {
+    std::env::var_os("CARGO_TARGET_TMPDIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir)
+}
+
+fn fixture_path(uri: &str, cfg: &XmarkConfig) -> PathBuf {
+    // Every generator knob (and the snapshot format version) is part of
+    // the key, so a config or format change can never reuse a stale file.
+    let key = format!(
+        "v{SNAPSHOT_VERSION}|{uri}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        cfg.persons,
+        cfg.items,
+        cfg.auctions,
+        cfg.province_fraction.to_bits(),
+        cfg.quantity_one_fraction.to_bits(),
+        cfg.reserve_fraction.to_bits(),
+        cfg.price_max.to_bits(),
+        cfg.price_per_bidder.to_bits(),
+        cfg.seed,
+    );
+    fixture_dir().join(format!(
+        "rox-fixture-xmark-{:016x}.snap",
+        fnv1a(key.as_bytes())
+    ))
+}
+
+/// A catalog holding the XMark document `uri` generated under `cfg`,
+/// loaded from the shared fixture snapshot when one exists and generated
+/// (then saved for the next binary) otherwise. The returned catalog is
+/// fully resident — safe to hand to any engine or `run_rox` call with no
+/// backing source attached.
+pub fn shared_xmark_catalog(uri: &str, cfg: &XmarkConfig) -> Arc<Catalog> {
+    let path = fixture_path(uri, cfg);
+    if let Ok((catalog, source)) = Snapshot::open(&path, None) {
+        if catalog.resolve(uri).is_some() {
+            // Materialize everything: later users expect plain resident
+            // documents, not a fault-on-touch catalog.
+            let store = IndexedStore::with_source(Arc::clone(&catalog), source);
+            for id in catalog.doc_ids() {
+                let _ = store.doc(id);
+            }
+            return catalog;
+        }
+    }
+    let catalog = Arc::new(Catalog::new());
+    generate_xmark(&catalog, uri, cfg);
+    // Best-effort cache fill: a failed save only costs the next binary a
+    // regeneration. Temp-then-rename keeps racing writers atomic.
+    let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+    let store = IndexedStore::new(Arc::clone(&catalog));
+    if Snapshot::save(&tmp, &store).is_ok() {
+        if std::fs::rename(&tmp, &path).is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+    } else {
+        std::fs::remove_file(&tmp).ok();
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A config no other test uses, so this test owns its fixture file.
+    fn private_cfg() -> XmarkConfig {
+        XmarkConfig {
+            persons: 13,
+            items: 11,
+            auctions: 9,
+            seed: 0xF1C7,
+            ..XmarkConfig::default()
+        }
+    }
+
+    #[test]
+    fn fixture_roundtrip_matches_fresh_generation() {
+        let cfg = private_cfg();
+        let path = fixture_path("fix.xml", &cfg);
+        std::fs::remove_file(&path).ok();
+        // Cold: generates and saves.
+        let first = shared_xmark_catalog("fix.xml", &cfg);
+        assert!(path.exists(), "fixture not saved to {}", path.display());
+        // Warm: loads from the snapshot.
+        let second = shared_xmark_catalog("fix.xml", &cfg);
+        let (a, b) = (
+            first.doc_by_uri("fix.xml").unwrap(),
+            second.doc_by_uri("fix.xml").unwrap(),
+        );
+        assert_eq!(a.node_count(), b.node_count());
+        let (ca, cb) = (a.columns(), b.columns());
+        assert_eq!(ca.size, cb.size);
+        assert_eq!(ca.kind, cb.kind);
+        assert_eq!(ca.name, cb.name);
+        assert_eq!(ca.value, cb.value);
+        b.check_invariants().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_fixture_regenerates() {
+        let cfg = XmarkConfig {
+            seed: 0xBAD,
+            ..private_cfg()
+        };
+        let path = fixture_path("fix.xml", &cfg);
+        std::fs::write(&path, b"not a snapshot at all").unwrap();
+        let catalog = shared_xmark_catalog("fix.xml", &cfg);
+        assert!(catalog.resolve("fix.xml").is_some());
+        catalog
+            .doc_by_uri("fix.xml")
+            .unwrap()
+            .check_invariants()
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

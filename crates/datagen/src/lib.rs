@@ -11,13 +11,18 @@
 //!   the `current` price (§3.2's correlation);
 //! * [`dblp`] — the 23 venues of Table 3 with per-research-area author
 //!   pools (correlated within-area join selectivities), ×n replication,
-//!   the query template of §4.1, and the correlation measure `C` of §4.3.
+//!   the query template of §4.1, and the correlation measure `C` of §4.3;
+//! * [`fixture`] — disk-cached fixture snapshots (`rox-storage`), so
+//!   heavyweight test binaries share one generated corpus instead of
+//!   regenerating it per binary.
 
 pub mod dblp;
+pub mod fixture;
 pub mod xmark;
 
 pub use dblp::{
     correlation, dblp_query, generate_dblp, group_of, grouped_combinations, join_size, venue_index,
     venue_uri, Area, DblpConfig, DblpCorpus, Venue, VENUES,
 };
+pub use fixture::shared_xmark_catalog;
 pub use xmark::{generate_xmark, xmark_query, XmarkConfig};

@@ -62,6 +62,38 @@ impl SymbolTable {
         SymbolTable { offsets, values }
     }
 
+    /// Reassemble a table from raw CSR arrays (the snapshot decode path).
+    /// Returns `None` — instead of risking a panicking lookup later — when
+    /// the arrays are not a well-formed CSR: offsets must be monotone,
+    /// start at 0, and end exactly at `values.len()`.
+    pub fn from_raw(offsets: Vec<u32>, values: Vec<Pre>) -> Option<Self> {
+        if offsets.is_empty() {
+            return if values.is_empty() {
+                Some(SymbolTable::default())
+            } else {
+                None
+            };
+        }
+        if offsets[0] != 0
+            || *offsets.last().unwrap() as usize != values.len()
+            || offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return None;
+        }
+        Some(SymbolTable { offsets, values })
+    }
+
+    /// The raw CSR offsets array (`universe + 1` entries; empty for a
+    /// default-built table) — the snapshot encode path's payload.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw CSR values array, parallel to [`SymbolTable::offsets`].
+    pub fn values(&self) -> &[Pre] {
+        &self.values
+    }
+
     /// The nodes grouped under `sym`, in build order; empty when `sym` was
     /// absent from (or beyond) the build input. Two array reads.
     #[inline]

@@ -50,6 +50,51 @@ impl ElementIndex {
         }
     }
 
+    /// Reassemble an index from its serialized parts (the snapshot decode
+    /// path). The name groups arrive as `(symbol, pres)` pairs; order of
+    /// the pairs is irrelevant because they land in a `HashMap`, so the
+    /// symbol-sorted order the snapshot encoder writes decodes to a
+    /// value-equal index.
+    pub fn from_parts(
+        by_name: Vec<(Symbol, Vec<Pre>)>,
+        attr_by_name: Vec<(Symbol, Vec<Pre>)>,
+        all_elements: Vec<Pre>,
+        all_text: Vec<Pre>,
+        all_attributes: Vec<Pre>,
+    ) -> Self {
+        ElementIndex {
+            by_name: by_name.into_iter().collect(),
+            attr_by_name: attr_by_name.into_iter().collect(),
+            all_elements,
+            all_text,
+            all_attributes,
+        }
+    }
+
+    /// The element name groups as `(symbol, pres)` pairs sorted by symbol —
+    /// the deterministic serialization order of the snapshot encoder.
+    pub fn name_groups(&self) -> Vec<(Symbol, &[Pre])> {
+        let mut groups: Vec<(Symbol, &[Pre])> = self
+            .by_name
+            .iter()
+            .map(|(s, v)| (*s, v.as_slice()))
+            .collect();
+        groups.sort_by_key(|(s, _)| *s);
+        groups
+    }
+
+    /// The attribute name groups, symbol-sorted like
+    /// [`ElementIndex::name_groups`].
+    pub fn attr_name_groups(&self) -> Vec<(Symbol, &[Pre])> {
+        let mut groups: Vec<(Symbol, &[Pre])> = self
+            .attr_by_name
+            .iter()
+            .map(|(s, v)| (*s, v.as_slice()))
+            .collect();
+        groups.sort_by_key(|(s, _)| *s);
+        groups
+    }
+
     /// `D³ₑₗₜ(q)`: all elements named `q`, sorted on pre. The count is the
     /// slice length — available without touching the nodes.
     pub fn lookup(&self, qname: Symbol) -> &[Pre] {

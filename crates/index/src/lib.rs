@@ -31,5 +31,5 @@ pub mod value;
 pub use dense::{PreSet, SymbolTable};
 pub use element::ElementIndex;
 pub use sampling::{sample_sorted, sample_values};
-pub use store::{DocIndexes, IndexedStore};
+pub use store::{DocIndexes, DocSource, IndexedStore};
 pub use value::ValueIndex;

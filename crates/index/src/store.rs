@@ -34,9 +34,38 @@ impl DocIndexes {
     }
 }
 
+/// A backing source that can fault documents and prebuilt indices into
+/// the store on first touch — implemented by the snapshot storage layer
+/// (`rox-storage`), which decodes them from checksummed pages through a
+/// bounded buffer pool.
+///
+/// Defined here (not in the storage crate) so [`IndexedStore`] can fault
+/// through it without `rox-index` depending on `rox-storage`: the storage
+/// crate depends on this crate and implements the trait.
+pub trait DocSource: Send + Sync {
+    /// Decode the document `id` from storage, or `None` when the source
+    /// has no content for it (e.g. the id postdates the snapshot).
+    fn document(&self, id: DocId) -> Option<Arc<Document>>;
+
+    /// Decode the prebuilt indices for `id`, or `None` to make the store
+    /// build them from the resident document instead. Must return `None`
+    /// after [`DocSource::mark_stale`]`(id)` — a snapshot must never serve
+    /// an index for a document epoch it no longer matches.
+    fn indexes(&self, id: DocId) -> Option<Arc<DocIndexes>>;
+
+    /// Note that the live document `id` has diverged from the stored one
+    /// (reload/invalidate): stored *index* segments for it are dead. The
+    /// stored document segment stays decodable — it is only used while no
+    /// newer resident copy exists, and an invalidation always leaves one.
+    fn mark_stale(&self, id: DocId);
+}
+
 /// A document catalog plus lazily built per-document indices.
 pub struct IndexedStore {
     catalog: Arc<Catalog>,
+    /// Faults documents/indices in from persistent storage on first touch;
+    /// `None` for a purely in-memory store (everything parsed/built live).
+    source: Option<Arc<dyn DocSource>>,
     /// doc → once-cell holding its built indices. The outer map is only
     /// ever locked to fetch/insert a (cheap) cell; the expensive
     /// [`DocIndexes::build`] happens inside the cell, outside both locks'
@@ -45,6 +74,10 @@ pub struct IndexedStore {
     /// How many times [`DocIndexes::build`] ran — the "warm queries do
     /// zero redundant index work" observable the engine tests assert on.
     builds: AtomicUsize,
+    /// How many documents/index sets were decoded from the [`DocSource`]
+    /// instead of being parsed/built — the cold-start observable of the
+    /// storage benchmark.
+    loads: AtomicUsize,
 }
 
 impl IndexedStore {
@@ -52,8 +85,23 @@ impl IndexedStore {
     pub fn new(catalog: Arc<Catalog>) -> Self {
         IndexedStore {
             catalog,
+            source: None,
             indexes: RwLock::new(HashMap::new()),
             builds: AtomicUsize::new(0),
+            loads: AtomicUsize::new(0),
+        }
+    }
+
+    /// Wrap a catalog backed by a persistent source: non-resident
+    /// documents and unbuilt indices are faulted in through `source`
+    /// on first touch instead of panicking/building.
+    pub fn with_source(catalog: Arc<Catalog>, source: Arc<dyn DocSource>) -> Self {
+        IndexedStore {
+            catalog,
+            source: Some(source),
+            indexes: RwLock::new(HashMap::new()),
+            builds: AtomicUsize::new(0),
+            loads: AtomicUsize::new(0),
         }
     }
 
@@ -62,9 +110,29 @@ impl IndexedStore {
         &self.catalog
     }
 
-    /// The document with id `id`.
+    /// The backing source, when this store faults from persistent storage.
+    pub fn source(&self) -> Option<&Arc<dyn DocSource>> {
+        self.source.as_ref()
+    }
+
+    /// The document with id `id`, faulting it in from the backing source
+    /// when it is not resident. Under a first-touch race the catalog's
+    /// first [`Catalog::fill`] wins and every racer gets the winner.
+    ///
+    /// # Panics
+    /// Panics when the document is neither resident nor available from a
+    /// source — same contract as [`Catalog::doc`].
     pub fn doc(&self, id: DocId) -> Arc<Document> {
-        self.catalog.doc(id)
+        if let Some(doc) = self.catalog.get(id) {
+            return doc;
+        }
+        if let Some(source) = &self.source {
+            if let Some(doc) = source.document(id) {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                return self.catalog.fill(id, doc);
+            }
+        }
+        panic!("document {id:?} is not resident and has no backing source")
     }
 
     /// The indices of document `id`, building them on first access.
@@ -88,8 +156,14 @@ impl IndexedStore {
             }
         };
         Arc::clone(cell.get_or_init(|| {
+            if let Some(source) = &self.source {
+                if let Some(decoded) = source.indexes(id) {
+                    self.loads.fetch_add(1, Ordering::Relaxed);
+                    return decoded;
+                }
+            }
             self.builds.fetch_add(1, Ordering::Relaxed);
-            Arc::new(DocIndexes::build(&self.catalog.doc(id)))
+            Arc::new(DocIndexes::build(&self.doc(id)))
         }))
     }
 
@@ -100,8 +174,35 @@ impl IndexedStore {
         self.builds.load(Ordering::Relaxed)
     }
 
-    /// Drop cached indices (used after re-loading a document).
+    /// How many documents/index sets were decoded from the backing
+    /// [`DocSource`] (0 for an in-memory store).
+    pub fn load_count(&self) -> usize {
+        self.loads.load(Ordering::Relaxed)
+    }
+
+    /// Drop the in-memory residency of `id` — the resident document *and*
+    /// its index cell — **without** declaring the stored snapshot stale
+    /// (contrast [`IndexedStore::invalidate`]): the next touch faults both
+    /// back in through the backing source. This is the knob buffer-pool
+    /// sweeps turn to re-measure cold faults at different pool sizes.
+    /// Returns whether a document was resident.
+    pub fn release(&self, id: DocId) -> bool {
+        let was_resident = self.catalog.evict(id);
+        self.indexes
+            .write()
+            .expect("index cache poisoned")
+            .remove(&id);
+        was_resident
+    }
+
+    /// Drop cached indices (used after re-loading a document). Also marks
+    /// the backing source stale for `id`, so the next [`IndexedStore::indexes`]
+    /// call rebuilds from the live document instead of decoding a stored
+    /// index from a superseded epoch.
     pub fn invalidate(&self, id: DocId) {
+        if let Some(source) = &self.source {
+            source.mark_stale(id);
+        }
         self.indexes
             .write()
             .expect("index cache poisoned")
@@ -144,6 +245,102 @@ mod tests {
         store.invalidate(id);
         assert_eq!(store.indexes(id).element.count(b), 2);
         assert_eq!(store.build_count(), 2);
+    }
+
+    /// A test source that "stores" prebuilt documents and serves them on
+    /// fault, mimicking the snapshot storage layer.
+    struct MapSource {
+        docs: HashMap<DocId, Arc<Document>>,
+        stale: std::sync::Mutex<std::collections::HashSet<DocId>>,
+    }
+
+    impl DocSource for MapSource {
+        fn document(&self, id: DocId) -> Option<Arc<Document>> {
+            self.docs.get(&id).cloned()
+        }
+        fn indexes(&self, id: DocId) -> Option<Arc<DocIndexes>> {
+            if self.stale.lock().unwrap().contains(&id) {
+                return None;
+            }
+            self.docs.get(&id).map(|d| Arc::new(DocIndexes::build(d)))
+        }
+        fn mark_stale(&self, id: DocId) {
+            self.stale.lock().unwrap().insert(id);
+        }
+    }
+
+    #[test]
+    fn store_faults_documents_from_source() {
+        let cat = Arc::new(Catalog::new());
+        let id = cat.reserve("lazy.xml");
+        let doc = rox_xmldb::parse_document("lazy.xml", "<a><b/><b/></a>").unwrap();
+        let source = Arc::new(MapSource {
+            docs: HashMap::from([(id, doc)]),
+            stale: Default::default(),
+        });
+        let store = IndexedStore::with_source(Arc::clone(&cat), source);
+        assert!(cat.get(id).is_none());
+        let d = store.doc(id);
+        assert_eq!(d.uri(), "lazy.xml");
+        // Faulting made it resident: the catalog now serves it directly.
+        assert!(Arc::ptr_eq(&cat.doc(id), &d));
+        assert_eq!(store.load_count(), 1);
+        // Indexes decode from the source, not a live build.
+        let idx = store.indexes(id);
+        assert_eq!(idx.element.elements().len(), 3);
+        assert_eq!(store.build_count(), 0);
+        assert_eq!(store.load_count(), 2);
+    }
+
+    #[test]
+    fn release_refaults_without_declaring_staleness() {
+        let cat = Arc::new(Catalog::new());
+        let id = cat.reserve("lazy.xml");
+        let doc = rox_xmldb::parse_document("lazy.xml", "<a><b/></a>").unwrap();
+        let source = Arc::new(MapSource {
+            docs: HashMap::from([(id, doc)]),
+            stale: Default::default(),
+        });
+        let store = IndexedStore::with_source(Arc::clone(&cat), source);
+        store.doc(id);
+        store.indexes(id);
+        assert_eq!(store.load_count(), 2);
+        assert!(store.release(id));
+        assert!(cat.get(id).is_none());
+        // Both fault back in from the (still valid) source — no rebuild.
+        store.doc(id);
+        store.indexes(id);
+        assert_eq!(store.load_count(), 4);
+        assert_eq!(store.build_count(), 0);
+    }
+
+    #[test]
+    fn invalidate_marks_source_stale() {
+        let cat = Arc::new(Catalog::new());
+        let id = cat.load_str("a.xml", "<a><b/></a>").unwrap();
+        let stored = cat.doc(id);
+        let source = Arc::new(MapSource {
+            docs: HashMap::from([(id, stored)]),
+            stale: Default::default(),
+        });
+        let store = IndexedStore::with_source(Arc::clone(&cat), source);
+        assert_eq!(store.indexes(id).element.elements().len(), 2);
+        assert_eq!(store.build_count(), 0);
+        // Reload the live document, then invalidate: the stored index is
+        // from a dead epoch and must not be served again.
+        cat.load_str("a.xml", "<a><b/><b/></a>").unwrap();
+        store.invalidate(id);
+        assert_eq!(store.indexes(id).element.elements().len(), 3);
+        assert_eq!(store.build_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no backing source")]
+    fn doc_panics_without_residency_or_source() {
+        let cat = Arc::new(Catalog::new());
+        let id = cat.reserve("ghost.xml");
+        let store = IndexedStore::new(cat);
+        let _ = store.doc(id);
     }
 
     #[test]

@@ -95,6 +95,44 @@ impl ValueIndex {
         }
     }
 
+    /// Reassemble an index from its serialized parts (the snapshot decode
+    /// path). The numeric runs must already be sorted the way
+    /// [`ValueIndex::build`] sorts them — the snapshot encoder writes them
+    /// verbatim, so decoding preserves that order bit-for-bit.
+    pub fn from_parts(
+        text_by_value: SymbolTable,
+        attr_by_value: SymbolTable,
+        numeric_text: Vec<(f64, Pre)>,
+        numeric_attr: Vec<(f64, Pre)>,
+    ) -> Self {
+        ValueIndex {
+            text_by_value,
+            attr_by_value,
+            numeric_text,
+            numeric_attr,
+        }
+    }
+
+    /// The text-value CSR table — the snapshot encode path's payload.
+    pub fn text_table(&self) -> &SymbolTable {
+        &self.text_by_value
+    }
+
+    /// The attribute-value CSR table.
+    pub fn attr_table(&self) -> &SymbolTable {
+        &self.attr_by_value
+    }
+
+    /// The sorted numeric text run, as built.
+    pub fn numeric_text_run(&self) -> &[(f64, Pre)] {
+        &self.numeric_text
+    }
+
+    /// The sorted numeric attribute run, as built.
+    pub fn numeric_attr_run(&self) -> &[(f64, Pre)] {
+        &self.numeric_attr
+    }
+
     /// `D³ₜₑₓₜ(v)`: text nodes with exactly value `v` (interned symbol),
     /// sorted on pre. Two array reads, no hashing.
     pub fn text_eq(&self, value: Symbol) -> &[Pre] {

@@ -63,8 +63,10 @@ use rox_index::IndexedStore;
 use rox_joingraph::{EdgeId, JoinGraph, VertexLabel};
 use rox_ops::{Cost, EdgeOpKind, PoolStats, Relation, ScratchPool};
 use rox_par::{Parallelism, WorkerPool};
+use rox_storage::{PoolStats as PagePoolStats, SaveReport, Snapshot, SnapshotSource, StorageError};
 use rox_xmldb::{Catalog, DocId, Pre};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -381,6 +383,47 @@ impl Drop for JobGuard {
     }
 }
 
+/// An observer of document storage events. The engine routes every
+/// [`RoxEngine::invalidate_document`] / [`RoxEngine::reindex_document`]
+/// through the registered sinks *before* any derived data is dropped —
+/// this is how snapshot-backed state learns that a stored epoch is dead
+/// and must never be served again ([`RoxEngine::open_snapshot`] registers
+/// a sink that marks the snapshot's per-document index segments stale).
+pub trait StorageEventSink: Send + Sync {
+    /// `uri` was reloaded/replaced; `epoch` is its *new* statistics epoch.
+    /// Persistent state derived from the old content (stored indexes,
+    /// cached segments) is dead. `id` is `None` when the URI was never
+    /// registered in the catalog.
+    fn document_invalidated(&self, uri: &str, id: Option<DocId>, epoch: u64);
+
+    /// `uri` changed in place (no epoch bump): derived index data must be
+    /// refreshed from the live document, but plans stay servable.
+    fn document_reindexed(&self, uri: &str, id: Option<DocId>);
+}
+
+/// The sink [`RoxEngine::open_snapshot`] registers: both event kinds make
+/// the snapshot's stored *index* segments for the document unservable (the
+/// stored document segment stays, as the content ground truth for ids that
+/// were never reloaded — and both events always leave a newer resident
+/// copy, so it is never consulted for this id again).
+struct SnapshotStalenessSink {
+    source: Arc<SnapshotSource>,
+}
+
+impl StorageEventSink for SnapshotStalenessSink {
+    fn document_invalidated(&self, _uri: &str, id: Option<DocId>, _epoch: u64) {
+        if let Some(id) = id {
+            rox_index::DocSource::mark_stale(&*self.source, id);
+        }
+    }
+
+    fn document_reindexed(&self, _uri: &str, id: Option<DocId>) {
+        if let Some(id) = id {
+            rox_index::DocSource::mark_stale(&*self.source, id);
+        }
+    }
+}
+
 /// Counters describing how much work the engine's caches absorbed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
@@ -417,6 +460,16 @@ pub struct EngineStats {
     /// Jobs currently admitted but not yet started (the live admission
     /// queue gauge [`RoxOptions::max_queued`] bounds).
     pub queue_depth: usize,
+    /// Buffer-pool traffic of the snapshot backing this engine — page
+    /// hits/misses/evictions and frame occupancy. All zero for an
+    /// in-memory engine (no snapshot).
+    pub pages: PagePoolStats,
+    /// Total pages in the backing snapshot file (0 without one) — the
+    /// 100% mark the pool's `capacity` is a fraction of.
+    pub snapshot_pages: u64,
+    /// Documents/index sets decoded from the snapshot instead of being
+    /// parsed/built (the store's fault counter).
+    pub storage_loads: usize,
 }
 
 impl EngineStats {
@@ -552,6 +605,12 @@ pub struct RoxEngine {
     jobs_served: AtomicU64,
     jobs_rejected: AtomicU64,
     jobs_aborted: AtomicU64,
+    /// The snapshot this engine was opened from, when it was
+    /// ([`RoxEngine::open_snapshot`]); carries the buffer pool whose
+    /// counters [`RoxEngine::stats`] surfaces.
+    snapshot: Option<Arc<SnapshotSource>>,
+    /// Observers of invalidate/reindex events (see [`StorageEventSink`]).
+    storage_sinks: RwLock<Vec<Arc<dyn StorageEventSink>>>,
 }
 
 /// The bounded plan store behind the engine's mutex: fingerprint → plan
@@ -604,8 +663,55 @@ impl RoxEngine {
     /// setups that size the pool themselves or share one pool across
     /// several engines.
     pub fn with_workers(catalog: Arc<Catalog>, workers: Arc<WorkerPool>) -> Self {
+        Self::from_store(Arc::new(IndexedStore::new(catalog)), workers, None)
+    }
+
+    /// Open a snapshot file (see [`rox_storage::Snapshot`]) and serve
+    /// queries straight off it: every stored URI resolves immediately, and
+    /// document content plus prebuilt indices are *faulted in on first
+    /// touch* through a buffer pool of `frames` pages (`None` sizes the
+    /// pool to the whole file). The cold path this replaces — re-parsing
+    /// and re-shredding the XML, then rebuilding every index — never runs.
+    ///
+    /// The engine registers a [`StorageEventSink`] that marks stored index
+    /// segments stale on [`RoxEngine::invalidate_document`] /
+    /// [`RoxEngine::reindex_document`], so the snapshot can never serve an
+    /// index from a superseded epoch.
+    pub fn open_snapshot(path: &Path, frames: Option<usize>) -> Result<Self, StorageError> {
+        let (catalog, source) = Snapshot::open(path, frames)?;
+        let store = Arc::new(IndexedStore::with_source(
+            catalog,
+            Arc::<SnapshotSource>::clone(&source),
+        ));
+        let engine = Self::from_store(
+            store,
+            Arc::new(WorkerPool::new(Parallelism::Auto.threads().max(2))),
+            Some(Arc::clone(&source)),
+        );
+        engine.register_storage_sink(Arc::new(SnapshotStalenessSink { source }));
+        Ok(engine)
+    }
+
+    /// Persist this engine's catalog — documents, symbol heap, and the
+    /// element/value indices (building any missing ones) — as a snapshot
+    /// page file at `path`, ready for [`RoxEngine::open_snapshot`].
+    pub fn save_snapshot(&self, path: &Path) -> Result<SaveReport, StorageError> {
+        Snapshot::save(path, &self.store)
+    }
+
+    /// The snapshot this engine serves from, if opened via
+    /// [`RoxEngine::open_snapshot`].
+    pub fn snapshot(&self) -> Option<&Arc<SnapshotSource>> {
+        self.snapshot.as_ref()
+    }
+
+    fn from_store(
+        store: Arc<IndexedStore>,
+        workers: Arc<WorkerPool>,
+        snapshot: Option<Arc<SnapshotSource>>,
+    ) -> Self {
         RoxEngine {
-            store: Arc::new(IndexedStore::new(catalog)),
+            store,
             base_lists: Arc::new(BaseListCache::new()),
             scratch: Arc::new(ScratchPool::new()),
             plans: Mutex::new(PlanCache::default()),
@@ -619,7 +725,45 @@ impl RoxEngine {
             jobs_served: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
             jobs_aborted: AtomicU64::new(0),
+            snapshot,
+            storage_sinks: RwLock::new(Vec::new()),
         }
+    }
+
+    /// Register an observer of invalidate/reindex events. Sinks are
+    /// notified *before* any derived data is dropped, in registration
+    /// order.
+    pub fn register_storage_sink(&self, sink: Arc<dyn StorageEventSink>) {
+        self.storage_sinks
+            .write()
+            .expect("storage sinks")
+            .push(sink);
+    }
+
+    /// Drop the in-memory residency of every snapshot-backed document —
+    /// resident node tables, index cells, and base lists — without
+    /// touching epochs, plans, or the snapshot's validity. The next query
+    /// faults everything back in through the buffer pool; benchmark
+    /// sweeps use this to measure warm-replay latency at different pool
+    /// sizes. Returns the number of documents released (always 0 for an
+    /// engine without a snapshot — releasing would lose the only copy).
+    pub fn release_residency(&self) -> usize {
+        let Some(source) = &self.snapshot else {
+            return 0;
+        };
+        let mut released = 0;
+        for id in self.catalog().doc_ids() {
+            // A stale document's only current copy is the resident one —
+            // evicting it would re-fault the superseded stored content.
+            if source.is_stale(id) {
+                continue;
+            }
+            if self.store.release(id) {
+                released += 1;
+            }
+            self.base_lists.invalidate_doc(id);
+        }
+        released
     }
 
     /// The engine's always-on worker pool.
@@ -868,6 +1012,17 @@ impl RoxEngine {
             jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
             jobs_aborted: self.jobs_aborted.load(Ordering::Relaxed),
             queue_depth: self.queued.load(Ordering::Acquire),
+            pages: self
+                .snapshot
+                .as_ref()
+                .map(|s| s.pool_stats())
+                .unwrap_or_default(),
+            snapshot_pages: self
+                .snapshot
+                .as_ref()
+                .map(|s| s.page_count() as u64)
+                .unwrap_or(0),
+            storage_loads: self.store.load_count(),
         }
     }
 
@@ -918,13 +1073,20 @@ impl RoxEngine {
     /// serve, nor re-insert, a plan versioned against the dropped
     /// statistics.
     pub fn invalidate_document(&self, uri: &str) {
-        *self
-            .doc_epochs
-            .write()
-            .expect("doc epochs")
-            .entry(uri.to_string())
-            .or_insert(0) += 1;
-        if let Some(id) = self.catalog().resolve(uri) {
+        let epoch = {
+            let mut epochs = self.doc_epochs.write().expect("doc epochs");
+            let e = epochs.entry(uri.to_string()).or_insert(0);
+            *e += 1;
+            *e
+        };
+        let id = self.catalog().resolve(uri);
+        // Storage sinks first: persistent state derived from the old
+        // content (stored index segments) must be unservable before the
+        // in-memory derived data is dropped and can be refilled.
+        for sink in self.storage_sinks.read().expect("storage sinks").iter() {
+            sink.document_invalidated(uri, id, epoch);
+        }
+        if let Some(id) = id {
             self.store.invalidate(id);
             self.base_lists.invalidate_doc(id);
         }
@@ -942,7 +1104,11 @@ impl RoxEngine {
     /// `ReuseValidated` replay revalidates them against the new data,
     /// demoting mid-query if the content drifted past the thresholds.
     pub fn reindex_document(&self, uri: &str) {
-        if let Some(id) = self.catalog().resolve(uri) {
+        let id = self.catalog().resolve(uri);
+        for sink in self.storage_sinks.read().expect("storage sinks").iter() {
+            sink.document_reindexed(uri, id);
+        }
+        if let Some(id) = id {
             self.store.invalidate(id);
             self.base_lists.invalidate_doc(id);
         }

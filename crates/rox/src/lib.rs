@@ -62,7 +62,7 @@ pub mod state;
 pub use chain::{ChainTrace, PathSnapshot};
 pub use engine::{
     BaseListCache, CachedPlan, EngineRun, EngineStats, EngineTicket, PlanReuse, RoxEngine, RunMode,
-    ServeError, TicketOutcome,
+    ServeError, StorageEventSink, TicketOutcome,
 };
 pub use enumerate::{
     analyze_star, classical_join_order, enumerate_join_orders, plan_edges, JoinOrder, Member,

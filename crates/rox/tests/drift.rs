@@ -49,12 +49,11 @@ impl DriftInjector {
         }
     }
 
-    /// Engine over a generated XMark document.
+    /// Engine over a generated XMark document, loaded from the shared
+    /// fixture snapshot when a previous binary already generated it.
     fn new_xmark(uri: &str, cfg: &XmarkConfig) -> Self {
-        let catalog = Arc::new(Catalog::new());
-        generate_xmark(&catalog, uri, cfg);
         DriftInjector {
-            engine: RoxEngine::new(catalog),
+            engine: RoxEngine::new(rox_datagen::shared_xmark_catalog(uri, cfg)),
         }
     }
 

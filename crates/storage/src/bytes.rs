@@ -1,0 +1,352 @@
+//! Little-endian byte codec for snapshot segments.
+//!
+//! A *segment* is a logical byte stream stored across a contiguous run of
+//! pages (each segment starts on a fresh page; its last page may be
+//! partially filled). [`ByteWriter`] builds the stream in memory at save
+//! time; [`SegmentReader`] replays it at open time by faulting the
+//! underlying pages through the buffer pool one at a time — so decoding a
+//! document pins at most one page, whatever the segment size.
+//!
+//! All integers are little-endian; `f64` travels as its raw bit pattern
+//! (`to_bits`/`from_bits`), which keeps NaN payloads and signed zeros
+//! bit-identical across a save/open roundtrip.
+
+use crate::error::{Result, StorageError};
+use crate::file::FileManager;
+use crate::pool::{BufferPool, PageRef};
+
+/// An in-memory little-endian byte stream builder.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty stream.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its raw bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(u32::try_from(s.len()).expect("string too long for snapshot"));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.put_u32(u32::try_from(vs.len()).expect("slice too long for snapshot"));
+        for &v in vs {
+            self.put_u32(v);
+        }
+    }
+
+    /// The finished stream.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A sequential reader over one segment, faulting pages through the pool.
+pub struct SegmentReader<'a> {
+    pool: &'a BufferPool,
+    file: &'a FileManager,
+    first_page: u32,
+    len: u64,
+    pos: u64,
+    current: Option<(u32, PageRef<'a>)>,
+}
+
+impl<'a> SegmentReader<'a> {
+    /// A reader over the `len` bytes starting at `first_page`.
+    pub fn new(pool: &'a BufferPool, file: &'a FileManager, first_page: u32, len: u64) -> Self {
+        SegmentReader {
+            pool,
+            file,
+            first_page,
+            len,
+            pos: 0,
+            current: None,
+        }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> u64 {
+        self.len - self.pos
+    }
+
+    /// Fill `out` from the stream, faulting pages as needed.
+    pub fn read_exact(&mut self, out: &mut [u8]) -> Result<()> {
+        let payload = self.file.payload_per_page() as u64;
+        let mut written = 0;
+        while written < out.len() {
+            if self.pos >= self.len {
+                return Err(StorageError::Format(format!(
+                    "segment truncated: wanted {} more bytes at offset {}",
+                    out.len() - written,
+                    self.pos
+                )));
+            }
+            let page_id = self.first_page + (self.pos / payload) as u32;
+            let in_page = (self.pos % payload) as usize;
+            if self.current.as_ref().map(|(id, _)| *id) != Some(page_id) {
+                // Unpin the previous page first: with a single-frame pool
+                // the old pin would otherwise block its own replacement.
+                self.current = None;
+                let page = self.pool.fetch(self.file, page_id)?;
+                self.current = Some((page_id, page));
+            }
+            let data: &[u8] = self.current.as_ref().map(|(_, p)| &**p).unwrap();
+            if in_page >= data.len() {
+                return Err(StorageError::Corrupt {
+                    page: page_id,
+                    reason: format!(
+                        "payload of {} bytes shorter than segment offset {in_page}",
+                        data.len()
+                    ),
+                });
+            }
+            let take = (data.len() - in_page)
+                .min(out.len() - written)
+                .min((self.len - self.pos) as usize);
+            out[written..written + take].copy_from_slice(&data[in_page..in_page + take]);
+            written += take;
+            self.pos += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        let mut b = [0u8; 1];
+        self.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+
+    /// Read a `u16`.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        let mut b = [0u8; 2];
+        self.read_exact(&mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    /// Read a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Read an `f64` from its raw bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let len = self.get_u32()? as u64;
+        if len > self.remaining() {
+            return Err(StorageError::Format(format!(
+                "string of {len} bytes exceeds remaining segment"
+            )));
+        }
+        let mut bytes = vec![0u8; len as usize];
+        self.read_exact(&mut bytes)?;
+        String::from_utf8(bytes)
+            .map_err(|e| StorageError::Format(format!("invalid UTF-8 in snapshot string: {e}")))
+    }
+
+    /// Read a run of `n` `u8`s in one bulk copy.
+    pub fn get_u8_run(&mut self, n: usize) -> Result<Vec<u8>> {
+        if n as u64 > self.remaining() {
+            return Err(StorageError::Format(format!(
+                "u8 run of {n} entries exceeds remaining segment"
+            )));
+        }
+        let mut bytes = vec![0u8; n];
+        self.read_exact(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    /// Read a run of `n` `u16`s in one bulk copy.
+    pub fn get_u16_run(&mut self, n: usize) -> Result<Vec<u16>> {
+        if n as u64 * 2 > self.remaining() {
+            return Err(StorageError::Format(format!(
+                "u16 run of {n} entries exceeds remaining segment"
+            )));
+        }
+        let mut bytes = vec![0u8; n * 2];
+        self.read_exact(&mut bytes)?;
+        Ok(bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Read a run of `n` `u32`s in one bulk copy (no length prefix —
+    /// the caller knows the count).
+    pub fn get_u32_run(&mut self, n: usize) -> Result<Vec<u32>> {
+        if n as u64 * 4 > self.remaining() {
+            return Err(StorageError::Format(format!(
+                "u32 run of {n} entries exceeds remaining segment"
+            )));
+        }
+        let mut bytes = vec![0u8; n * 4];
+        self.read_exact(&mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Read a length-prefixed `u32` vector.
+    pub fn get_u32_vec(&mut self) -> Result<Vec<u32>> {
+        let len = self.get_u32()? as u64;
+        if len * 4 > self.remaining() {
+            return Err(StorageError::Format(format!(
+                "u32 run of {len} entries exceeds remaining segment"
+            )));
+        }
+        let mut bytes = vec![0u8; len as usize * 4];
+        self.read_exact(&mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{encode_page, PAGE_HEADER};
+    use std::io::Write;
+
+    /// Write `stream` as a page file with tiny pages so multi-page reads
+    /// are exercised, returning the segment length.
+    fn stream_file(
+        name: &str,
+        stream: &[u8],
+        page_size: usize,
+    ) -> (std::path::PathBuf, FileManager, u64) {
+        let mut path = std::env::temp_dir();
+        path.push(format!("rox-storage-bytes-{}-{name}", std::process::id()));
+        let payload = page_size - PAGE_HEADER;
+        let mut f = std::fs::File::create(&path).unwrap();
+        let mut pages = 0u32;
+        for chunk in stream.chunks(payload) {
+            f.write_all(&encode_page(pages, chunk, page_size)).unwrap();
+            pages += 1;
+        }
+        if stream.is_empty() {
+            f.write_all(&encode_page(0, &[], page_size)).unwrap();
+            pages = 1;
+        }
+        drop(f);
+        let fm = FileManager::new(std::fs::File::open(&path).unwrap(), page_size, pages);
+        (path, fm, stream.len() as u64)
+    }
+
+    #[test]
+    fn values_roundtrip_across_page_boundaries() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_str("staircase");
+        w.put_u32_slice(&[1, 2, 3, u32::MAX]);
+        let stream = w.into_bytes();
+        // 24-byte pages = 8-byte payloads: every value spans pages.
+        let (path, fm, len) = stream_file("values", &stream, 24);
+        let pool = BufferPool::new(2);
+        let mut r = SegmentReader::new(&pool, &fm, 0, len);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_str().unwrap(), "staircase");
+        assert_eq!(r.get_u32_vec().unwrap(), vec![1, 2, 3, u32::MAX]);
+        assert_eq!(r.remaining(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_segment_errors_cleanly() {
+        let mut w = ByteWriter::new();
+        w.put_u32(42);
+        let stream = w.into_bytes();
+        let (path, fm, _) = stream_file("truncated", &stream, 64);
+        let pool = BufferPool::new(2);
+        // Claim the segment is longer than it is: the reader must fail on
+        // the short page, not fabricate bytes.
+        let mut r = SegmentReader::new(&pool, &fm, 0, 100);
+        assert_eq!(r.get_u32().unwrap(), 42);
+        assert!(r.get_u32().is_err());
+        // And a reader that runs off the declared length errors too.
+        let mut r2 = SegmentReader::new(&pool, &fm, 0, 4);
+        assert_eq!(r2.get_u32().unwrap(), 42);
+        assert!(r2.get_u8().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn absurd_length_prefixes_are_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX); // a length prefix pointing far past the segment
+        let stream = w.into_bytes();
+        let (path, fm, len) = stream_file("absurd", &stream, 64);
+        let pool = BufferPool::new(2);
+        let mut r = SegmentReader::new(&pool, &fm, 0, len);
+        assert!(r.get_str().is_err());
+        let mut r2 = SegmentReader::new(&pool, &fm, 0, len);
+        assert!(r2.get_u32_vec().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

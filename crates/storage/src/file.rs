@@ -1,0 +1,175 @@
+//! The page file manager: positioned page reads over one snapshot file.
+//!
+//! The file is an array of `page_size`-byte pages (see [`crate::page`]).
+//! Reads are positioned (`pread` on unix, so no seek state to serialize),
+//! validate the page in place and hand back a [`PagePayload`] that derefs
+//! to the checksummed payload without copying it out of the raw page.
+
+use crate::error::{Result, StorageError};
+use crate::page::{decode_page, PAGE_HEADER};
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+/// Read access to one snapshot page file.
+pub struct FileManager {
+    file: Mutex<File>,
+    page_size: usize,
+    page_count: u32,
+}
+
+impl FileManager {
+    /// Wrap an open file whose page size is already known (parsed from the
+    /// header page — see [`read_header_payload`]).
+    pub fn new(file: File, page_size: usize, page_count: u32) -> Self {
+        FileManager {
+            file: Mutex::new(file),
+            page_size,
+            page_count,
+        }
+    }
+
+    /// The page size this file was written with.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Payload capacity of one full page.
+    pub fn payload_per_page(&self) -> usize {
+        self.page_size - PAGE_HEADER
+    }
+
+    /// Total pages in the file, including the header page.
+    pub fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    /// Read and validate page `page_id`, returning its payload.
+    ///
+    /// The returned [`PagePayload`] keeps the raw page and dereferences to
+    /// the payload slice — validation never copies the payload out.
+    pub fn read_page(&self, page_id: u32) -> Result<PagePayload> {
+        if page_id >= self.page_count {
+            return Err(StorageError::Format(format!(
+                "page {page_id} beyond file end ({} pages)",
+                self.page_count
+            )));
+        }
+        let mut raw = vec![0u8; self.page_size];
+        let offset = page_id as u64 * self.page_size as u64;
+        {
+            let file = self.file.lock();
+            read_at(&file, &mut raw, offset)?;
+        }
+        let len = decode_page(page_id, &raw)?.len();
+        Ok(PagePayload { raw, len })
+    }
+}
+
+#[cfg(unix)]
+fn read_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_at(mut file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::io::{Seek, SeekFrom};
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(buf)
+}
+
+/// A validated page: the raw on-disk bytes plus the payload length.
+/// Dereferences to the payload slice.
+pub struct PagePayload {
+    raw: Vec<u8>,
+    len: usize,
+}
+
+impl std::ops::Deref for PagePayload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.raw[PAGE_HEADER..PAGE_HEADER + self.len]
+    }
+}
+
+/// Read and validate the header page (page 0) of the file at `path`
+/// *without knowing the page size yet*: the fixed 16-byte page header
+/// carries the payload length, so the payload can be read and checksummed
+/// first and the page size parsed out of it afterwards.
+///
+/// Returns the opened file and the header payload.
+pub fn read_header_payload(path: &Path) -> Result<(File, Vec<u8>)> {
+    let mut file = File::open(path)?;
+    let mut head = [0u8; PAGE_HEADER];
+    file.read_exact(&mut head)?;
+    let payload_len = u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize;
+    // An absurd length means this is not a snapshot; bound the read before
+    // trusting it.
+    if payload_len > 1 << 20 {
+        return Err(StorageError::Corrupt {
+            page: 0,
+            reason: format!("header payload length {payload_len} is implausible"),
+        });
+    }
+    let mut raw = vec![0u8; PAGE_HEADER + payload_len];
+    raw[..PAGE_HEADER].copy_from_slice(&head);
+    file.read_exact(&mut raw[PAGE_HEADER..])?;
+    let payload = decode_page(0, &raw)?.to_vec();
+    Ok((file, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::encode_page;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rox-storage-file-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn reads_pages_back() {
+        let path = temp_path("roundtrip");
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(&encode_page(0, b"zero", 128)).unwrap();
+            f.write_all(&encode_page(1, b"one", 128)).unwrap();
+        }
+        let fm = FileManager::new(File::open(&path).unwrap(), 128, 2);
+        assert_eq!(&*fm.read_page(0).unwrap(), b"zero");
+        assert_eq!(&*fm.read_page(1).unwrap(), b"one");
+        assert!(fm.read_page(2).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_page_reads_without_page_size() {
+        let path = temp_path("header");
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(&encode_page(0, b"header payload", 256))
+                .unwrap();
+        }
+        let (_file, payload) = read_header_payload(&path).unwrap();
+        assert_eq!(payload, b"header payload");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        let path = temp_path("corrupt-header");
+        {
+            let mut page = encode_page(0, b"header payload", 256);
+            page[20] ^= 0xFF;
+            let mut f = File::create(&path).unwrap();
+            f.write_all(&page).unwrap();
+        }
+        assert!(read_header_payload(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # rox-storage — page-oriented snapshot storage with a buffer pool
+//!
+//! Cold starts used to mean re-parsing and re-shredding every XML source.
+//! This crate persists a shredded catalog — the Pre-columnar node tables,
+//! the shared interner's symbol heap, and the prebuilt element/value
+//! indices — as a page file, and faults it back in *lazily* through a
+//! bounded buffer pool:
+//!
+//! * [`page`] — the fixed-size page format: 16-byte checksummed header
+//!   (magic, page id, payload length, CRC-32C) + little-endian payload.
+//!   Corruption is a detected [`StorageError::Corrupt`], never silent.
+//! * [`mod@file`] — positioned page reads over one snapshot file.
+//! * [`pool`] — the buffer manager: bounded frames, pin/unpin, clock
+//!   (second-chance) replacement, hit/miss/eviction counters. Catalogs
+//!   larger than the pool work; the ledger stays coherent.
+//! * [`bytes`] — the segment codec: logical byte streams spanning pages,
+//!   decoded by pinning one page at a time.
+//! * [`snapshot`] — [`Snapshot::save`] / [`Snapshot::open`] plus
+//!   [`SnapshotSource`], the [`rox_index::DocSource`] implementation that
+//!   the engine's `IndexedStore` faults documents and indices through.
+//!
+//! The encoder is deterministic (documents in id order, index groups
+//! sorted by symbol, `f64` as raw bits): saving the same catalog twice
+//! yields byte-identical files, which CI's golden-fixture guard uses to
+//! detect accidental format changes.
+
+pub mod bytes;
+pub mod error;
+pub mod file;
+pub mod page;
+pub mod pool;
+pub mod snapshot;
+
+pub use error::{Result, StorageError};
+pub use page::{crc32c, DEFAULT_PAGE_SIZE, PAGE_HEADER};
+pub use pool::{BufferPool, PoolStats};
+pub use snapshot::{SaveReport, Snapshot, SnapshotSource, SNAPSHOT_VERSION};

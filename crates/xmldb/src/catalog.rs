@@ -41,7 +41,10 @@ pub struct Catalog {
 
 #[derive(Default)]
 struct CatalogInner {
-    docs: Vec<Arc<Document>>,
+    /// `None` marks a slot reserved by [`Catalog::reserve`] whose document
+    /// has not been made resident yet (snapshot-backed catalogs fault
+    /// documents in on first touch via [`Catalog::fill`]).
+    docs: Vec<Option<Arc<Document>>>,
     by_uri: HashMap<String, DocId>,
 }
 
@@ -54,8 +57,15 @@ impl Default for Catalog {
 impl Catalog {
     /// Create an empty catalog.
     pub fn new() -> Self {
+        Self::with_interner(Arc::new(Interner::new()))
+    }
+
+    /// Create an empty catalog around an existing interner — the snapshot
+    /// open path restores the symbol heap first and hands it here, so the
+    /// symbols referenced by lazily decoded documents resolve identically.
+    pub fn with_interner(interner: Arc<Interner>) -> Self {
         Catalog {
-            interner: Arc::new(Interner::new()),
+            interner,
             inner: RwLock::new(CatalogInner::default()),
         }
     }
@@ -77,13 +87,67 @@ impl Catalog {
     pub fn insert(&self, uri: &str, doc: Arc<Document>) -> DocId {
         let mut inner = self.inner.write();
         if let Some(&id) = inner.by_uri.get(uri) {
-            inner.docs[id.index()] = doc.with_id(id);
+            inner.docs[id.index()] = Some(doc.with_id(id));
             return id;
         }
         let id = DocId(u32::try_from(inner.docs.len()).expect("catalog overflow"));
-        inner.docs.push(doc.with_id(id));
+        inner.docs.push(Some(doc.with_id(id)));
         inner.by_uri.insert(uri.to_string(), id);
         id
+    }
+
+    /// Reserve an id for `uri` without making a document resident — the
+    /// snapshot open path registers every stored URI up front (so
+    /// `fn:doc` resolution works immediately) and faults content in later
+    /// through [`Catalog::fill`]. Reserving an already registered URI
+    /// returns its existing id and leaves any resident document alone.
+    pub fn reserve(&self, uri: &str) -> DocId {
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_uri.get(uri) {
+            return id;
+        }
+        let id = DocId(u32::try_from(inner.docs.len()).expect("catalog overflow"));
+        inner.docs.push(None);
+        inner.by_uri.insert(uri.to_string(), id);
+        id
+    }
+
+    /// The resident document at `id`, or `None` for a reserved slot whose
+    /// content has not been faulted in (or an id this catalog never
+    /// issued).
+    pub fn get(&self, id: DocId) -> Option<Arc<Document>> {
+        self.inner.read().docs.get(id.index())?.clone()
+    }
+
+    /// Make a document resident in a reserved slot. Under a first-touch
+    /// race the first fill wins and every caller gets the winner — the
+    /// same memoization contract the index store uses.
+    ///
+    /// # Panics
+    /// Panics on an id not issued by this catalog.
+    pub fn fill(&self, id: DocId, doc: Arc<Document>) -> Arc<Document> {
+        let mut inner = self.inner.write();
+        let slot = &mut inner.docs[id.index()];
+        match slot {
+            Some(resident) => Arc::clone(resident),
+            None => {
+                let doc = doc.with_id(id);
+                *slot = Some(Arc::clone(&doc));
+                doc
+            }
+        }
+    }
+
+    /// Drop the resident document at `id`, returning whether one was
+    /// resident. The reservation itself (id and URI) stays — a
+    /// snapshot-backed store faults the content back in on the next touch.
+    /// A no-op (returning `false`) for ids this catalog never issued.
+    pub fn evict(&self, id: DocId) -> bool {
+        let mut inner = self.inner.write();
+        match inner.docs.get_mut(id.index()) {
+            Some(slot) => slot.take().is_some(),
+            None => false,
+        }
     }
 
     /// Builder bound to this catalog's interner; [`Catalog::insert`] the result.
@@ -99,18 +163,23 @@ impl Catalog {
     /// Fetch a document by id.
     ///
     /// # Panics
-    /// Panics on an id not issued by this catalog.
+    /// Panics on an id not issued by this catalog, or on a reserved slot
+    /// whose document is not resident (snapshot-backed access goes through
+    /// the index store, which faults pages in instead of calling this).
     pub fn doc(&self, id: DocId) -> Arc<Document> {
-        Arc::clone(&self.inner.read().docs[id.index()])
+        self.inner.read().docs[id.index()]
+            .clone()
+            .unwrap_or_else(|| panic!("document {id:?} is not resident"))
     }
 
-    /// Fetch a document by URI.
+    /// Fetch a document by URI (`None` for unknown URIs and non-resident
+    /// reserved slots).
     pub fn doc_by_uri(&self, uri: &str) -> Option<Arc<Document>> {
         let inner = self.inner.read();
         inner
             .by_uri
             .get(uri)
-            .map(|id| Arc::clone(&inner.docs[id.index()]))
+            .and_then(|id| inner.docs[id.index()].clone())
     }
 
     /// Number of loaded documents.
@@ -229,6 +298,65 @@ mod tests {
         let b = cat.load_str("b.xml", "<b/>").unwrap();
         assert_ne!(a, b);
         assert_eq!(cat.doc_ids(), vec![a, b]);
+    }
+
+    #[test]
+    fn reserve_and_fill_fault_documents_in() {
+        let cat = Catalog::new();
+        let id = cat.reserve("lazy.xml");
+        assert_eq!(cat.resolve("lazy.xml"), Some(id));
+        assert!(cat.get(id).is_none());
+        assert!(cat.doc_by_uri("lazy.xml").is_none());
+        assert_eq!(cat.len(), 1);
+        // Reserving again is idempotent.
+        assert_eq!(cat.reserve("lazy.xml"), id);
+        let mut b = cat.builder("lazy.xml");
+        b.start_element("a");
+        b.end_element();
+        let filled = cat.fill(id, Arc::new(b.finish(DocId(0))));
+        assert_eq!(filled.id(), id);
+        assert!(Arc::ptr_eq(&cat.doc(id), &filled));
+        // First fill wins: a second fill returns the resident document.
+        let mut b2 = cat.builder("lazy.xml");
+        b2.start_element("b");
+        b2.end_element();
+        let loser = cat.fill(id, Arc::new(b2.finish(DocId(0))));
+        assert!(Arc::ptr_eq(&loser, &filled));
+    }
+
+    #[test]
+    fn evict_drops_residency_but_keeps_the_reservation() {
+        let cat = Catalog::new();
+        let id = cat.load_str("a.xml", "<a/>").unwrap();
+        assert!(cat.evict(id));
+        assert!(!cat.evict(id)); // already gone
+        assert_eq!(cat.resolve("a.xml"), Some(id));
+        assert!(cat.get(id).is_none());
+        // Refilling works like any reserved slot.
+        let mut b = cat.builder("a.xml");
+        b.start_element("a");
+        b.end_element();
+        cat.fill(id, Arc::new(b.finish(DocId(0))));
+        assert!(cat.get(id).is_some());
+        // Unknown ids are a no-op.
+        assert!(!cat.evict(DocId(99)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn doc_panics_on_unfilled_reservation() {
+        let cat = Catalog::new();
+        let id = cat.reserve("lazy.xml");
+        let _ = cat.doc(id);
+    }
+
+    #[test]
+    fn with_interner_shares_symbols() {
+        let i = Arc::new(crate::interner::Interner::new());
+        let pre = i.intern("shared");
+        let cat = Catalog::with_interner(Arc::clone(&i));
+        let id = cat.load_str("a.xml", "<x>shared</x>").unwrap();
+        assert_eq!(cat.doc(id).value(2), pre);
     }
 
     #[test]

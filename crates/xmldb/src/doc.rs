@@ -248,6 +248,81 @@ impl Document {
         Arc::make_mut(&mut self).id = id;
         self
     }
+
+    /// Borrow the raw struct-of-arrays columns — the exact on-disk payload
+    /// of a snapshot's document segment. Column `i` of each slice
+    /// describes the node with preorder rank `i`.
+    pub fn columns(&self) -> DocumentColumns<'_> {
+        DocumentColumns {
+            size: &self.size,
+            level: &self.level,
+            parent: &self.parent,
+            kind: &self.kind,
+            name: &self.name,
+            value: &self.value,
+        }
+    }
+
+    /// Reassemble a document from raw columns (the snapshot decode path).
+    /// All columns must have equal length; symbols must belong to
+    /// `interner`. The encoding invariants are *not* re-checked here —
+    /// storage validates page checksums instead, and
+    /// [`Document::check_invariants`] stays available to callers that want
+    /// the full structural audit.
+    ///
+    /// # Panics
+    /// Panics when the column lengths disagree or every column is empty.
+    #[allow(clippy::too_many_arguments)] // one parameter per column, on purpose
+    pub fn from_columns(
+        id: DocId,
+        uri: String,
+        size: Vec<u32>,
+        level: Vec<u16>,
+        parent: Vec<Pre>,
+        kind: Vec<NodeKind>,
+        name: Vec<Symbol>,
+        value: Vec<Symbol>,
+        interner: Arc<Interner>,
+    ) -> Self {
+        let n = size.len();
+        assert!(n > 0, "a document has at least its root node");
+        assert!(
+            level.len() == n
+                && parent.len() == n
+                && kind.len() == n
+                && name.len() == n
+                && value.len() == n,
+            "document columns must have equal length"
+        );
+        Document {
+            id,
+            uri,
+            size,
+            level,
+            parent,
+            kind,
+            name,
+            value,
+            interner,
+        }
+    }
+}
+
+/// Borrowed view of a document's struct-of-arrays columns (see
+/// [`Document::columns`]).
+pub struct DocumentColumns<'a> {
+    /// Subtree sizes.
+    pub size: &'a [u32],
+    /// Depths below the root.
+    pub level: &'a [u16],
+    /// Parent preorder ranks.
+    pub parent: &'a [Pre],
+    /// Node kinds.
+    pub kind: &'a [NodeKind],
+    /// Interned names.
+    pub name: &'a [Symbol],
+    /// Interned values.
+    pub value: &'a [Symbol],
 }
 
 impl Clone for Document {

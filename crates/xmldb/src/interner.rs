@@ -8,6 +8,7 @@
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A dense identifier for an interned string.
 ///
@@ -45,8 +46,10 @@ pub struct Interner {
 
 #[derive(Default)]
 struct InternerInner {
-    strings: Vec<Box<str>>,
-    lookup: HashMap<Box<str>, Symbol>,
+    // The same allocation backs both the dense table and the lookup key —
+    // `Arc<str>` keeps interning to one allocation per distinct string.
+    strings: Vec<Arc<str>>,
+    lookup: HashMap<Arc<str>, Symbol>,
 }
 
 impl Interner {
@@ -68,9 +71,9 @@ impl Interner {
             return *sym;
         }
         let sym = Symbol(u32::try_from(inner.strings.len()).expect("interner overflow"));
-        let boxed: Box<str> = s.into();
-        inner.strings.push(boxed.clone());
-        inner.lookup.insert(boxed, sym);
+        let shared: Arc<str> = s.into();
+        inner.strings.push(Arc::clone(&shared));
+        inner.lookup.insert(shared, sym);
         sym
     }
 
@@ -90,6 +93,71 @@ impl Interner {
     /// Number of distinct interned strings.
     pub fn len(&self) -> usize {
         self.inner.read().strings.len()
+    }
+
+    /// Dump every interned string in symbol order (symbol `i` is
+    /// `dump()[i]`) — the serialization order the snapshot's symbol heap
+    /// uses. An interner restored via [`Interner::from_strings`] from this
+    /// dump assigns bit-identical symbols.
+    pub fn dump(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .strings
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    /// Rebuild an interner from a symbol-ordered string dump (the inverse
+    /// of [`Interner::dump`]): string `i` gets symbol `i`, so a document
+    /// whose columns reference the dumped symbols resolves identically.
+    ///
+    /// # Panics
+    /// Panics when the dump does not start with the empty string (every
+    /// interner's symbol 0) or contains duplicates.
+    pub fn from_strings<I, S>(strings: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        match Self::try_from_strings(strings) {
+            Ok(interner) => interner,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Interner::from_strings`]: returns a description of the
+    /// defect instead of panicking, so callers restoring an interner from
+    /// untrusted bytes (the snapshot path) can surface a clean error.
+    pub fn try_from_strings<I, S>(strings: I) -> std::result::Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let interner = Interner::default();
+        {
+            let mut inner = interner.inner.write();
+            let strings = strings.into_iter();
+            let (expected, _) = strings.size_hint();
+            inner.strings.reserve(expected);
+            inner.lookup.reserve(expected);
+            for (i, s) in strings.enumerate() {
+                let s = s.as_ref();
+                if i == 0 && !s.is_empty() {
+                    return Err("symbol 0 must be the empty string".to_string());
+                }
+                let sym = Symbol(u32::try_from(i).map_err(|_| "interner overflow")?);
+                let shared: Arc<str> = s.into();
+                inner.strings.push(Arc::clone(&shared));
+                if inner.lookup.insert(shared, sym).is_some() {
+                    return Err(format!("duplicate string {s:?} in interner dump"));
+                }
+            }
+        }
+        if interner.inner.read().strings.is_empty() {
+            return Err("interner dump must contain at least the empty string".to_string());
+        }
+        Ok(interner)
     }
 
     /// True when only the implicit empty string is present.
@@ -142,6 +210,35 @@ mod tests {
         i.intern("a");
         assert_eq!(i.len(), 3); // "", "a", "b"
         assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn dump_restore_roundtrips_symbols() {
+        let i = Interner::new();
+        let a = i.intern("auction");
+        let b = i.intern("bidder");
+        let dump = i.dump();
+        assert_eq!(dump[0], "");
+        let restored = Interner::from_strings(&dump);
+        assert_eq!(restored.len(), i.len());
+        assert_eq!(restored.get("auction"), Some(a));
+        assert_eq!(restored.get("bidder"), Some(b));
+        assert_eq!(restored.resolve(a), "auction");
+        // Restored interner keeps interning past the dump.
+        let c = restored.intern("fresh");
+        assert_eq!(c.index(), dump.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol 0")]
+    fn restore_rejects_missing_empty_string() {
+        let _ = Interner::from_strings(["nonempty"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn restore_rejects_duplicates() {
+        let _ = Interner::from_strings(["", "x", "x"]);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod stats;
 pub mod value;
 
 pub use catalog::{Catalog, DocId};
-pub use doc::{Document, DocumentBuilder};
+pub use doc::{Document, DocumentBuilder, DocumentColumns};
 pub use interner::{Interner, Symbol};
 pub use node::{NodeId, NodeKind, Pre};
 pub use parser::{parse_document, ParseError};
