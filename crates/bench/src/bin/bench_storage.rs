@@ -32,6 +32,23 @@ fn main() {
     let r = storage::run(&cfg);
     print!("{}", storage::render(&r));
 
+    // The compressed format must beat the source text on a real XMark
+    // fixture (the v1 raw-column format lost this by ~2.5×), and the
+    // half-size pool must serve warm replays partly from its frames.
+    assert!(
+        r.report.file_bytes < r.xml_bytes as u64,
+        "snapshot ({} B) must be smaller than the XML it replaces ({} B)",
+        r.report.file_bytes,
+        r.xml_bytes
+    );
+    for p in &r.sweep {
+        assert!(
+            p.hit_rate > 0.0,
+            "pool at {:.0}% of the catalog served zero hits",
+            p.fraction * 100.0
+        );
+    }
+
     let json = storage::to_json(&cfg, &r);
     std::fs::write(&out_path, &json).expect("write BENCH_storage.json");
     println!("\nwrote {out_path}");

@@ -22,7 +22,7 @@
 use rox_core::{RoxEngine, RoxOptions};
 use rox_datagen::{generate_xmark, xmark_query, XmarkConfig};
 use rox_index::{DocSource, IndexedStore};
-use rox_storage::{SaveReport, Snapshot};
+use rox_storage::{RunCodec, SaveReport, Snapshot};
 use rox_xmldb::{serialize_document, Catalog};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -83,12 +83,18 @@ pub struct PoolPoint {
     /// Replay after a `release_residency` sweep: documents re-fault
     /// through whatever the pool still holds.
     pub warm_replay: Duration,
-    /// Pool hits at the end of the point.
+    /// Pool hits at the end of the point (re-use + prefetch-served).
     pub hits: u64,
     /// Pool misses at the end of the point.
     pub misses: u64,
     /// Pool evictions at the end of the point.
     pub evictions: u64,
+    /// Pages brought in by readahead batches (subset of `misses`).
+    pub prefetched: u64,
+    /// Demand fetches served by a frame readahead brought in.
+    pub prefetch_hits: u64,
+    /// Ghost-list re-misses re-admitted straight to the protected cohort.
+    pub ghost_promotions: u64,
     /// `hits / (hits + misses)`.
     pub hit_rate: f64,
 }
@@ -104,6 +110,14 @@ pub struct StorageBenchResult {
     pub parse_ready: Duration,
     /// Ready via snapshot: open + decode every document + index segment.
     pub snapshot_ready: Duration,
+    /// Ready via [`RoxEngine::open_snapshot_prefetched`]: the decode
+    /// fans out across the engine's worker pool.
+    pub snapshot_ready_prefetched: Duration,
+    /// Decode tasks the prefetched open dispatched through the pool.
+    pub par_decode_tasks: u64,
+    /// Per-segment codec choices, from the snapshot directory's codec
+    /// masks: `(segment, distinct codecs its packed runs chose)`.
+    pub segment_codecs: Vec<(String, Vec<RunCodec>)>,
     /// `parse_ready / snapshot_ready` — the storage-layer speedup.
     pub speedup: f64,
     /// First query answer on a parse-path cold engine (adds one
@@ -176,6 +190,29 @@ pub fn run(cfg: &StorageBenchConfig) -> StorageBenchResult {
     });
     let speedup = parse_ready.as_secs_f64() / snapshot_ready.as_secs_f64().max(f64::EPSILON);
 
+    // The eager cold path: open + decode everything up front, the
+    // per-segment decode fanned across the engine's worker pool.
+    let mut par_decode_tasks = 0u64;
+    let snapshot_ready_prefetched = best_of(cfg.repeats, || {
+        let t = Instant::now();
+        let engine = RoxEngine::open_snapshot_prefetched(&path, None).expect("open prefetched");
+        let wall = t.elapsed();
+        let stats = engine.stats();
+        assert_eq!(stats.index_builds, 0, "prefetched path rebuilt indexes");
+        assert!(
+            stats.storage_par_decodes > 0,
+            "decode must dispatch through the worker pool: {stats:?}"
+        );
+        par_decode_tasks = stats.storage_par_decodes;
+        wall
+    });
+
+    // Per-segment codec choices, straight from the snapshot directory.
+    let segment_codecs = {
+        let (_, source) = Snapshot::open(&path, None).expect("open snapshot");
+        source.segment_codecs()
+    };
+
     // ---- 1b. Time to first answer (ready + one identical optimizer run),
     // where bit-identity of the two paths is asserted. ----
     let parse_first_answer = best_of(cfg.repeats, || {
@@ -233,6 +270,9 @@ pub fn run(cfg: &StorageBenchConfig) -> StorageBenchResult {
             hits: s.hits,
             misses: s.misses,
             evictions: s.evictions,
+            prefetched: s.prefetched,
+            prefetch_hits: s.prefetch_hits,
+            ghost_promotions: s.ghost_promotions,
             hit_rate: s.hits as f64 / ((s.hits + s.misses) as f64).max(1.0),
         });
     }
@@ -243,6 +283,9 @@ pub fn run(cfg: &StorageBenchConfig) -> StorageBenchResult {
         xml_bytes: xml.len(),
         parse_ready,
         snapshot_ready,
+        snapshot_ready_prefetched,
+        par_decode_tasks,
+        segment_codecs,
         speedup,
         parse_first_answer,
         snapshot_first_answer,
@@ -259,7 +302,7 @@ pub fn to_json(cfg: &StorageBenchConfig, r: &StorageBenchResult) -> String {
         .iter()
         .map(|p| {
             format!(
-                "    {{\"fraction\": {:.2}, \"frames\": {}, \"cold_query_ms\": {:.3}, \"warm_replay_ms\": {:.3}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}}",
+                "    {{\"fraction\": {:.2}, \"frames\": {}, \"cold_query_ms\": {:.3}, \"warm_replay_ms\": {:.3}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"prefetched\": {}, \"prefetch_hits\": {}, \"ghost_promotions\": {}, \"hit_rate\": {:.4}}}",
                 p.fraction,
                 p.frames,
                 p.cold_query.as_secs_f64() * 1e3,
@@ -267,13 +310,29 @@ pub fn to_json(cfg: &StorageBenchConfig, r: &StorageBenchResult) -> String {
                 p.hits,
                 p.misses,
                 p.evictions,
+                p.prefetched,
+                p.prefetch_hits,
+                p.ghost_promotions,
                 p.hit_rate,
             )
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let codecs = r
+        .segment_codecs
+        .iter()
+        .map(|(segment, set)| {
+            let names = set
+                .iter()
+                .map(|codec| format!("\"{}\"", codec.name()))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("    {{\"segment\": \"{segment}\", \"codecs\": [{names}]}}")
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     format!(
-        "{{\n  \"machine\": {},\n  \"config\": {{\"persons\": {}, \"items\": {}, \"auctions\": {}, \"repeats\": {}}},\n  \"snapshot\": {{\"docs\": {}, \"pages\": {}, \"file_bytes\": {}, \"page_size\": {}, \"xml_bytes\": {}}},\n  \"cold_start\": {{\"parse_ready_ms\": {:.3}, \"snapshot_ready_ms\": {:.3}, \"speedup\": {:.2}, \"parse_first_answer_ms\": {:.3}, \"snapshot_first_answer_ms\": {:.3}}},\n  \"anchor_rows\": {},\n  \"pool_sweep\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"machine\": {},\n  \"config\": {{\"persons\": {}, \"items\": {}, \"auctions\": {}, \"repeats\": {}}},\n  \"snapshot\": {{\"docs\": {}, \"pages\": {}, \"file_bytes\": {}, \"page_size\": {}, \"xml_bytes\": {}, \"payload_bytes\": {}, \"raw_payload_bytes\": {}, \"compression_ratio\": {:.4}}},\n  \"segment_codecs\": [\n{}\n  ],\n  \"cold_start\": {{\"parse_ready_ms\": {:.3}, \"snapshot_ready_ms\": {:.3}, \"snapshot_ready_prefetched_ms\": {:.3}, \"par_decode_tasks\": {}, \"speedup\": {:.2}, \"parse_first_answer_ms\": {:.3}, \"snapshot_first_answer_ms\": {:.3}}},\n  \"anchor_rows\": {},\n  \"pool_sweep\": [\n{}\n  ]\n}}\n",
         crate::machine_json(),
         cfg.xmark.persons,
         cfg.xmark.items,
@@ -284,8 +343,14 @@ pub fn to_json(cfg: &StorageBenchConfig, r: &StorageBenchResult) -> String {
         r.report.file_bytes,
         r.report.page_size,
         r.xml_bytes,
+        r.report.payload_bytes,
+        r.report.raw_payload_bytes,
+        r.report.payload_bytes as f64 / (r.report.raw_payload_bytes as f64).max(1.0),
+        codecs,
         r.parse_ready.as_secs_f64() * 1e3,
         r.snapshot_ready.as_secs_f64() * 1e3,
+        r.snapshot_ready_prefetched.as_secs_f64() * 1e3,
+        r.par_decode_tasks,
         r.speedup,
         r.parse_first_answer.as_secs_f64() * 1e3,
         r.snapshot_first_answer.as_secs_f64() * 1e3,
@@ -306,8 +371,30 @@ pub fn render(r: &StorageBenchResult) -> String {
     .unwrap();
     writeln!(
         out,
+        "payload    {} B packed vs {} B raw columns ({:.1}% ratio)",
+        r.report.payload_bytes,
+        r.report.raw_payload_bytes,
+        100.0 * r.report.payload_bytes as f64 / (r.report.raw_payload_bytes as f64).max(1.0)
+    )
+    .unwrap();
+    for (segment, set) in &r.segment_codecs {
+        let names = set
+            .iter()
+            .map(|codec| codec.name())
+            .collect::<Vec<_>>()
+            .join(" ");
+        writeln!(out, "codecs     {segment}: {names}").unwrap();
+    }
+    writeln!(
+        out,
         "ready      parse {:>10.3?}  snapshot {:>10.3?}  speedup {:.2}x",
         r.parse_ready, r.snapshot_ready, r.speedup
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "ready      prefetched snapshot {:>10.3?} ({} pool decode tasks)",
+        r.snapshot_ready_prefetched, r.par_decode_tasks
     )
     .unwrap();
     writeln!(
@@ -350,10 +437,19 @@ mod tests {
             r.sweep.iter().all(|p| p.hits + p.misses > 0),
             "pool saw no traffic"
         );
+        assert!(
+            r.report.payload_bytes < r.report.raw_payload_bytes,
+            "packed columns must beat raw columns"
+        );
+        assert!(r.par_decode_tasks > 0, "no pool-dispatched decode tasks");
+        assert!(!r.segment_codecs.is_empty(), "no codec directory reported");
         let json = to_json(&cfg, &r);
         assert!(json.contains("\"cold_start\""));
         assert!(json.contains("\"pool_sweep\""));
+        assert!(json.contains("\"segment_codecs\""));
+        assert!(json.contains("\"payload_bytes\""));
         let table = render(&r);
         assert!(table.contains("speedup"));
+        assert!(table.contains("codecs"));
     }
 }

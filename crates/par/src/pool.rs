@@ -181,6 +181,10 @@ struct Shared {
     next_batch_id: AtomicU64,
     /// Round-robin submission cursor for `execute`.
     next_queue: AtomicUsize,
+    /// Lifetime count of task indices routed through `par_map` (including
+    /// its sequential fallbacks) — lets callers assert work was dispatched
+    /// through this pool even on single-core machines.
+    batch_tasks: AtomicU64,
     /// Parking lot. Producers bump state *then* notify while holding the
     /// lock, so a worker that re-checks for work under the lock before
     /// waiting can never miss a wakeup.
@@ -236,6 +240,7 @@ impl WorkerPool {
             batches: Mutex::new(Vec::new()),
             next_batch_id: AtomicU64::new(1),
             next_queue: AtomicUsize::new(0),
+            batch_tasks: AtomicU64::new(0),
             signal: Mutex::new(()),
             signal_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -267,6 +272,13 @@ impl WorkerPool {
     /// Number of always-on worker threads.
     pub fn workers(&self) -> usize {
         self.shared.queues.len()
+    }
+
+    /// Lifetime count of task indices routed through
+    /// [`par_map`](Self::par_map), including its sequential fallbacks.
+    /// Monotone — callers assert dispatch by comparing before/after.
+    pub fn batch_tasks(&self) -> u64 {
+        self.shared.batch_tasks.load(Ordering::Relaxed)
     }
 
     /// True when the calling thread is one of this pool's workers. Callers
@@ -308,6 +320,9 @@ impl WorkerPool {
         if tasks == 0 {
             return Vec::new();
         }
+        self.shared
+            .batch_tasks
+            .fetch_add(tasks as u64, Ordering::Relaxed);
         let max_threads = max_threads.clamp(1, tasks);
         if max_threads == 1 || tasks == 1 {
             return (0..tasks).map(f).collect();

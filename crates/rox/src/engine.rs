@@ -470,6 +470,10 @@ pub struct EngineStats {
     /// Documents/index sets decoded from the snapshot instead of being
     /// parsed/built (the store's fault counter).
     pub storage_loads: usize,
+    /// Segment-decode tasks the snapshot fanned out across the worker
+    /// pool ([`RoxEngine::preload_snapshot`]); stays 0 on the lazy
+    /// first-touch path.
+    pub storage_par_decodes: u64,
 }
 
 impl EngineStats {
@@ -690,6 +694,44 @@ impl RoxEngine {
         );
         engine.register_storage_sink(Arc::new(SnapshotStalenessSink { source }));
         Ok(engine)
+    }
+
+    /// As [`RoxEngine::open_snapshot`], then immediately
+    /// [`RoxEngine::preload_snapshot`]: every stored document and index
+    /// set is decoded up front, fanned out across the engine's worker
+    /// pool, so the first query after open runs entirely warm. The lazy
+    /// `open_snapshot` stays the default — an engine serving a small
+    /// working set out of a large snapshot should not pay for segments it
+    /// never touches.
+    pub fn open_snapshot_prefetched(
+        path: &Path,
+        frames: Option<usize>,
+    ) -> Result<Self, StorageError> {
+        let engine = Self::open_snapshot(path, frames)?;
+        engine.preload_snapshot()?;
+        Ok(engine)
+    }
+
+    /// Eagerly decode every non-stale stored document and index set into
+    /// residency, dispatching the per-segment decode work across the
+    /// engine's worker pool (two tasks per document: node columns and
+    /// index segments — see [`SnapshotSource::decode_all`]). Page reads
+    /// under the decode go through the buffer pool with scan hints and
+    /// readahead, so a pool smaller than the file still ends the preload
+    /// with its frames holding the *tail* of each segment, not a
+    /// thrashed prefix. Returns the number of documents made resident
+    /// (0 for an engine without a snapshot).
+    pub fn preload_snapshot(&self) -> Result<usize, StorageError> {
+        let Some(source) = &self.snapshot else {
+            return Ok(0);
+        };
+        let threads = Parallelism::Auto.threads().max(2);
+        let decoded = source.decode_all(&self.workers, threads)?;
+        let installed = decoded.len();
+        for (id, doc, indexes) in decoded {
+            self.store.install(id, doc, indexes);
+        }
+        Ok(installed)
     }
 
     /// Persist this engine's catalog — documents, symbol heap, and the
@@ -1023,6 +1065,7 @@ impl RoxEngine {
                 .map(|s| s.page_count() as u64)
                 .unwrap_or(0),
             storage_loads: self.store.load_count(),
+            storage_par_decodes: self.snapshot.as_ref().map(|s| s.par_decodes()).unwrap_or(0),
         }
     }
 

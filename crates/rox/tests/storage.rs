@@ -92,6 +92,86 @@ fn eviction_pressure_keeps_results_and_ledger_coherent() {
     std::fs::remove_file(&path).ok();
 }
 
+/// The scan-resistance regression: under a pool half the catalog's size,
+/// warm replays (residency released between rounds) must be *served
+/// partly from the pool* — the two-cohort replacer keeps each segment's
+/// reused pages resident where a recency-only replacer let every scan
+/// flush them (this exact assertion was 0 hits before the 2Q policy).
+#[test]
+fn half_pool_warm_replay_keeps_reused_pages_resident() {
+    let path = snap_path("halfpool");
+    // A document big enough that half its pages is a real pool (small
+    // pages keep the test deterministic and fast).
+    let mut xml = String::from("<site>");
+    for i in 0..150 {
+        xml.push_str(&format!(
+            "<open_auction><bidder><increase>{}</increase></bidder><current>{}</current></open_auction>",
+            i % 40,
+            i * 3
+        ));
+    }
+    xml.push_str("</site>");
+    let fresh = parsed_engine(&xml);
+    let expected = run(&fresh);
+    let report = rox_storage::Snapshot::save_with_page_size(&path, fresh.store(), 256).unwrap();
+    let frames = (report.pages as usize / 2).max(1);
+
+    let engine = RoxEngine::open_snapshot(&path, Some(frames)).unwrap();
+    for round in 0..3 {
+        if round > 0 {
+            engine.release_residency();
+        }
+        assert_eq!(run(&engine), expected, "round {round} output diverged");
+    }
+    let s = engine.stats().pages;
+    assert!(s.hits > 0, "half-size pool served zero page hits: {s:?}");
+    assert_eq!(
+        s.hits,
+        s.probation_hits + s.protected_hits + s.prefetch_hits,
+        "hit ledger incoherent: {s:?}"
+    );
+    assert!(s.prefetched > 0, "scan readahead never ran: {s:?}");
+    assert!(
+        s.ghost_promotions > 0,
+        "replayed pages never re-admitted protected: {s:?}"
+    );
+    assert!(s.evictions <= s.misses, "ledger incoherent: {s:?}");
+    std::fs::remove_file(&path).ok();
+}
+
+/// The eager cold path: a prefetched open decodes everything up front,
+/// fanning the per-segment work across the engine's worker pool, so the
+/// first query touches no storage at all.
+#[test]
+fn prefetched_open_is_resident_before_the_first_query() {
+    let path = snap_path("prefetched");
+    let fresh = parsed_engine(SITE_V1);
+    let expected = run(&fresh);
+    fresh.save_snapshot(&path).unwrap();
+
+    let engine = RoxEngine::open_snapshot_prefetched(&path, None).unwrap();
+    let id = engine.catalog().resolve("site.xml").unwrap();
+    assert!(
+        engine.catalog().get(id).is_some(),
+        "document must be resident before the first query"
+    );
+    let after_open = engine.stats();
+    assert!(
+        after_open.storage_par_decodes >= 2,
+        "decode must dispatch through the worker pool: {after_open:?}"
+    );
+    assert!(after_open.storage_loads >= 2, "doc + indexes installed");
+
+    assert_eq!(run(&engine), expected, "prefetched output diverged");
+    let stats = engine.stats();
+    assert_eq!(stats.index_builds, 0, "indexes must decode, not rebuild");
+    assert_eq!(
+        stats.storage_loads, after_open.storage_loads,
+        "the warm query must not fault anything else in"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
 /// Records every event the engine routes through the sink.
 #[derive(Default)]
 struct RecordingSink {

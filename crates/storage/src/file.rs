@@ -65,6 +65,40 @@ impl FileManager {
         let len = decode_page(page_id, &raw)?.len();
         Ok(PagePayload { raw, len })
     }
+
+    /// Read and validate the `count` pages starting at `first` with one
+    /// positioned read, returning their payloads in order. This is the
+    /// readahead path: one `pread` per contiguous run instead of one per
+    /// page.
+    pub fn read_pages(&self, first: u32, count: u32) -> Result<Vec<PagePayload>> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let end = first
+            .checked_add(count)
+            .filter(|&e| e <= self.page_count)
+            .ok_or_else(|| {
+                StorageError::Format(format!(
+                    "pages {first}..{} beyond file end ({} pages)",
+                    first as u64 + count as u64,
+                    self.page_count
+                ))
+            })?;
+        let mut raw = vec![0u8; self.page_size * count as usize];
+        let offset = first as u64 * self.page_size as u64;
+        {
+            let file = self.file.lock();
+            read_at(&file, &mut raw, offset)?;
+        }
+        (first..end)
+            .map(|page_id| {
+                let at = (page_id - first) as usize * self.page_size;
+                let one = raw[at..at + self.page_size].to_vec();
+                let len = decode_page(page_id, &one)?.len();
+                Ok(PagePayload { raw: one, len })
+            })
+            .collect()
+    }
 }
 
 #[cfg(unix)]
@@ -144,6 +178,25 @@ mod tests {
         assert_eq!(&*fm.read_page(0).unwrap(), b"zero");
         assert_eq!(&*fm.read_page(1).unwrap(), b"one");
         assert!(fm.read_page(2).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bulk_reads_validate_every_page() {
+        let path = temp_path("bulk");
+        {
+            let mut f = File::create(&path).unwrap();
+            for (id, body) in [b"zero" as &[u8], b"one", b"two"].iter().enumerate() {
+                f.write_all(&encode_page(id as u32, body, 128)).unwrap();
+            }
+        }
+        let fm = FileManager::new(File::open(&path).unwrap(), 128, 3);
+        let pages = fm.read_pages(1, 2).unwrap();
+        assert_eq!(&*pages[0], b"one");
+        assert_eq!(&*pages[1], b"two");
+        assert!(fm.read_pages(2, 2).is_err());
+        assert!(fm.read_pages(u32::MAX, 2).is_err());
+        assert!(fm.read_pages(0, 0).unwrap().is_empty());
         std::fs::remove_file(&path).ok();
     }
 

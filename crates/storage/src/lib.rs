@@ -11,12 +11,15 @@
 //! * [`page`] — the fixed-size page format: 16-byte checksummed header
 //!   (magic, page id, payload length, CRC-32C) + little-endian payload.
 //!   Corruption is a detected [`StorageError::Corrupt`], never silent.
-//! * [`mod@file`] — positioned page reads over one snapshot file.
-//! * [`pool`] — the buffer manager: bounded frames, pin/unpin, clock
-//!   (second-chance) replacement, hit/miss/eviction counters. Catalogs
-//!   larger than the pool work; the ledger stays coherent.
+//! * [`mod@file`] — positioned page reads over one snapshot file, one
+//!   page at a time or a contiguous run per `pread` (readahead).
+//! * [`pool`] — the buffer manager: bounded frames, pin/unpin, a
+//!   scan-resistant two-cohort (2Q-style) replacer with a ghost list,
+//!   batched prefetch, and a coherent hit/miss/eviction ledger. Catalogs
+//!   larger than the pool work.
 //! * [`bytes`] — the segment codec: logical byte streams spanning pages,
-//!   decoded by pinning one page at a time.
+//!   decoded by pinning one page at a time, with delta+varint /
+//!   bitpacked integer runs ([`bytes::RunCodec`]) chosen per run.
 //! * [`snapshot`] — [`Snapshot::save`] / [`Snapshot::open`] plus
 //!   [`SnapshotSource`], the [`rox_index::DocSource`] implementation that
 //!   the engine's `IndexedStore` faults documents and indices through.
@@ -33,7 +36,8 @@ pub mod page;
 pub mod pool;
 pub mod snapshot;
 
+pub use bytes::RunCodec;
 pub use error::{Result, StorageError};
 pub use page::{crc32c, DEFAULT_PAGE_SIZE, PAGE_HEADER};
-pub use pool::{BufferPool, PoolStats};
+pub use pool::{BufferPool, FetchHint, PoolStats};
 pub use snapshot::{SaveReport, Snapshot, SnapshotSource, SNAPSHOT_VERSION};

@@ -24,11 +24,14 @@ pub const PAGE_HEADER: usize = 16;
 /// Default page size used by [`crate::Snapshot::save`]; any power-of-two
 /// size ≥ 64 works, the file records the size it was written with.
 ///
-/// 16 KiB rather than the classic 4 KiB: cold starts fault whole segments
-/// sequentially, so fewer, larger pages means a quarter of the syscalls
-/// and frame-table operations for the same bytes, while staying small
-/// enough that a sparse working set does not drag in much dead payload.
-pub const DEFAULT_PAGE_SIZE: usize = 16384;
+/// The classic 4 KiB. Larger pages used to pay for themselves by cutting
+/// syscalls on sequential segment faults, but scan readahead now batches
+/// contiguous pages into one positioned read anyway
+/// ([`crate::BufferPool::prefetch`]), while each segment still wastes
+/// half a page of padding on average — which, with packed columns, can
+/// dominate a small corpus. Smaller pages also give the buffer pool
+/// finer eviction granularity under tight frame budgets.
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
 
 /// Smallest accepted page size (header + a useful payload).
 pub const MIN_PAGE_SIZE: usize = 64;

@@ -8,7 +8,7 @@
 //! | field        | type  | meaning                                  |
 //! |--------------|-------|------------------------------------------|
 //! | magic        | 8 B   | `"ROXSNAP1"`                             |
-//! | version      | `u32` | format version (currently 1)             |
+//! | version      | `u32` | format version (currently 2)             |
 //! | page_size    | `u32` | page size the file was written with      |
 //! | page_count   | `u32` | total pages including this one           |
 //! | symbols seg  | `u32`+`u64` | first page + byte length           |
@@ -22,6 +22,15 @@
 //! The header page is written last, so a crash mid-save leaves a file
 //! that fails header validation instead of a plausible half-snapshot.
 //!
+//! Since format version 2 every integer column travels as a *packed run*
+//! ([`crate::bytes::RunCodec`]): sorted `Pre` postings, CSR offsets, and
+//! near-sequential node columns as delta + varint, high-entropy symbol
+//! columns bitpacked to the width of their largest value — whichever is
+//! smaller per run, the choice tagged in the stream and summarized per
+//! segment in the directory (`u8` codec masks). Only `f64` payloads and
+//! the symbol heap's string blob stay raw. This is what turns a snapshot
+//! ~2.5× the source XML into one smaller than it.
+//!
 //! ## Determinism
 //!
 //! The encoder is fully deterministic for a given catalog state: documents
@@ -30,25 +39,27 @@
 //! which is what the committed golden fixture in CI leans on to detect
 //! accidental format changes.
 
-use crate::bytes::{ByteWriter, SegmentReader};
+use crate::bytes::{ByteReader, ByteWriter, RunCodec, SegmentReader, SliceReader};
 use crate::error::{Result, StorageError};
 use crate::file::{read_header_payload, FileManager};
 use crate::page::{encode_page, DEFAULT_PAGE_SIZE, MIN_PAGE_SIZE, PAGE_HEADER};
 use crate::pool::{BufferPool, PoolStats};
 use parking_lot::RwLock;
 use rox_index::{DocIndexes, DocSource, ElementIndex, IndexedStore, SymbolTable, ValueIndex};
+use rox_par::WorkerPool;
 use rox_xmldb::{Catalog, DocId, Document, Interner, NodeKind, Pre, Symbol};
 use std::collections::HashSet;
 use std::fs::File;
 use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// File magic of a snapshot header page payload.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"ROXSNAP1";
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// What one [`Snapshot::save`] wrote.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +72,12 @@ pub struct SaveReport {
     pub file_bytes: u64,
     /// Page size used.
     pub page_size: usize,
+    /// Logical segment bytes actually written (compressed).
+    pub payload_bytes: u64,
+    /// What the segments would have occupied with raw 4-byte columns
+    /// (the v1 format) — `payload_bytes / raw_payload_bytes` is the
+    /// compression ratio before page framing.
+    pub raw_payload_bytes: u64,
 }
 
 /// Location of one segment: first page and logical byte length.
@@ -70,11 +87,14 @@ struct SegmentLoc {
     len: u64,
 }
 
-/// One directory entry: where a document and its indices live.
+/// One directory entry: where a document and its indices live, plus the
+/// [`RunCodec`] mask each segment's packed runs used.
 struct DocEntry {
     uri: String,
     doc_seg: SegmentLoc,
+    doc_mask: u8,
     index_seg: SegmentLoc,
+    index_mask: u8,
 }
 
 /// Namespace for snapshot save/open.
@@ -107,31 +127,39 @@ impl Snapshot {
         let mut next_page = 1u32; // page 0 is the header
         let mut entries = Vec::new();
         let mut segments: Vec<(u32, Vec<u8>)> = Vec::new();
-        let mut place = |bytes: Vec<u8>, next_page: &mut u32| -> SegmentLoc {
+        let mut payload_bytes = 0u64;
+        let mut raw_payload_bytes = 0u64;
+        let mut place = |w: ByteWriter, next_page: &mut u32| -> (SegmentLoc, u8) {
+            let mask = w.codec_mask();
+            payload_bytes += w.len() as u64;
+            raw_payload_bytes += w.raw_len();
+            let bytes = w.into_bytes();
             let loc = SegmentLoc {
                 first_page: *next_page,
                 len: bytes.len() as u64,
             };
             *next_page += pages_of(bytes.len() as u64);
             segments.push((loc.first_page, bytes));
-            loc
+            (loc, mask)
         };
         for id in catalog.doc_ids() {
             let doc = store.doc(id);
             let indexes = store.indexes(id);
-            let doc_seg = place(encode_document(&doc), &mut next_page);
-            let index_seg = place(encode_indexes(&indexes), &mut next_page);
+            let (doc_seg, doc_mask) = place(encode_document(&doc), &mut next_page);
+            let (index_seg, index_mask) = place(encode_indexes(&indexes), &mut next_page);
             entries.push(DocEntry {
                 uri: doc.uri().to_string(),
                 doc_seg,
+                doc_mask,
                 index_seg,
+                index_mask,
             });
         }
 
         // Symbol heap after all documents/indices are encoded, so every
         // symbol they reference is present.
-        let symbols_seg = place(encode_symbols(catalog.interner()), &mut next_page);
-        let dir_seg = place(encode_directory(&entries), &mut next_page);
+        let (symbols_seg, _) = place(encode_symbols(catalog.interner()), &mut next_page);
+        let (dir_seg, _) = place(encode_directory(&entries), &mut next_page);
         let page_count = next_page;
 
         // Header payload.
@@ -169,6 +197,8 @@ impl Snapshot {
             pages: page_count,
             file_bytes: page_count as u64 * page_size as u64,
             page_size,
+            payload_bytes,
+            raw_payload_bytes,
         })
     }
 
@@ -217,13 +247,18 @@ impl Snapshot {
         let file = FileManager::new(file, page_size, page_count);
         let pool = BufferPool::new(frames.unwrap_or(page_count as usize));
 
+        // Each segment is drained in one readahead-batched scan and
+        // decoded from memory (see [`SegmentReader::read_all`]).
         let interner = {
-            let mut r = SegmentReader::new(&pool, &file, symbols_seg.first_page, symbols_seg.len);
-            Arc::new(decode_symbols(&mut r)?)
+            let bytes =
+                SegmentReader::new_scan(&pool, &file, symbols_seg.first_page, symbols_seg.len)
+                    .read_all()?;
+            Arc::new(decode_symbols(&mut SliceReader::new(&bytes))?)
         };
         let dir = {
-            let mut r = SegmentReader::new(&pool, &file, dir_seg.first_page, dir_seg.len);
-            decode_directory(&mut r)?
+            let bytes = SegmentReader::new_scan(&pool, &file, dir_seg.first_page, dir_seg.len)
+                .read_all()?;
+            decode_directory(&mut SliceReader::new(&bytes))?
         };
         let catalog = Arc::new(Catalog::with_interner(Arc::clone(&interner)));
         for (i, entry) in dir.iter().enumerate() {
@@ -241,6 +276,7 @@ impl Snapshot {
             dir,
             interner,
             stale: RwLock::new(HashSet::new()),
+            par_decodes: AtomicU64::new(0),
         });
         Ok((catalog, source))
     }
@@ -257,6 +293,8 @@ pub struct SnapshotSource {
     /// Documents whose live copy diverged from the stored one: their
     /// stored *index* segments must never be served again.
     stale: RwLock<HashSet<DocId>>,
+    /// Segments decoded by [`SnapshotSource::decode_all`] fan-outs.
+    par_decodes: AtomicU64,
 }
 
 impl SnapshotSource {
@@ -286,12 +324,14 @@ impl SnapshotSource {
         let Some(entry) = self.dir.get(id.index()) else {
             return Ok(None);
         };
-        let mut r = SegmentReader::new(
+        let bytes = SegmentReader::new_scan(
             &self.pool,
             &self.file,
             entry.doc_seg.first_page,
             entry.doc_seg.len,
-        );
+        )
+        .read_all()?;
+        let mut r = SliceReader::new(&bytes);
         let doc = decode_document(&mut r, id, &entry.uri, &self.interner)?;
         Ok(Some(Arc::new(doc)))
     }
@@ -305,19 +345,81 @@ impl SnapshotSource {
         let Some(entry) = self.dir.get(id.index()) else {
             return Ok(None);
         };
-        let mut r = SegmentReader::new(
+        let bytes = SegmentReader::new_scan(
             &self.pool,
             &self.file,
             entry.index_seg.first_page,
             entry.index_seg.len,
-        );
-        let indexes = decode_indexes(&mut r)?;
+        )
+        .read_all()?;
+        let indexes = decode_indexes(&mut SliceReader::new(&bytes))?;
         // Re-check staleness after the decode: an invalidation that raced
         // the decode must win, never the stale indices.
         if self.stale.read().contains(&id) {
             return Ok(None);
         }
         Ok(Some(Arc::new(indexes)))
+    }
+
+    /// Decode **every** stored document and its indices, fanning the
+    /// per-segment decode across `workers` with a budget of `threads`
+    /// (the warm-everything cold path: one readahead-batched scan per
+    /// segment instead of page-at-a-time faulting on first touch).
+    /// Results come back in directory order; stale documents get
+    /// `None` indices, exactly as [`SnapshotSource::try_indexes`] would
+    /// serve them.
+    pub fn decode_all(&self, workers: &WorkerPool, threads: usize) -> Result<Vec<DecodedEntry>> {
+        // Two tasks per document — document and index segments decode
+        // independently, so a single huge document still splits in two.
+        let tasks = self.dir.len() * 2;
+        let results = workers.par_map(threads.max(2), tasks, |t| {
+            let id = DocId((t / 2) as u32);
+            self.par_decodes.fetch_add(1, Ordering::Relaxed);
+            if t % 2 == 0 {
+                self.try_document(id).map(DecodedHalf::Doc)
+            } else {
+                self.try_indexes(id).map(DecodedHalf::Indexes)
+            }
+        });
+        let mut out = Vec::with_capacity(self.dir.len());
+        let mut halves = results.into_iter();
+        for i in 0..self.dir.len() {
+            let id = DocId(i as u32);
+            let doc = match halves.next().expect("one doc half per entry")? {
+                DecodedHalf::Doc(Some(doc)) => doc,
+                _ => {
+                    return Err(StorageError::Format(format!(
+                        "directory entry {i} has no document segment"
+                    )))
+                }
+            };
+            let indexes = match halves.next().expect("one index half per entry")? {
+                DecodedHalf::Indexes(idx) => idx,
+                DecodedHalf::Doc(_) => unreachable!("odd task index decodes indexes"),
+            };
+            out.push((id, doc, indexes));
+        }
+        Ok(out)
+    }
+
+    /// Segments decoded through [`SnapshotSource::decode_all`] fan-outs.
+    pub fn par_decodes(&self) -> u64 {
+        self.par_decodes.load(Ordering::Relaxed)
+    }
+
+    /// Per-segment codec choices, in directory order: segment name
+    /// (`uri#doc` / `uri#index`) and the [`RunCodec`]s its packed runs
+    /// used.
+    pub fn segment_codecs(&self) -> Vec<(String, Vec<RunCodec>)> {
+        let mut out = Vec::with_capacity(self.dir.len() * 2);
+        for e in &self.dir {
+            out.push((format!("{}#doc", e.uri), RunCodec::from_mask(e.doc_mask)));
+            out.push((
+                format!("{}#index", e.uri),
+                RunCodec::from_mask(e.index_mask),
+            ));
+        }
+        out
     }
 
     /// Documents currently marked stale.
@@ -330,6 +432,16 @@ impl SnapshotSource {
     pub fn is_stale(&self, id: DocId) -> bool {
         self.stale.read().contains(&id)
     }
+}
+
+/// One [`SnapshotSource::decode_all`] result: a document and its stored
+/// indices (`None` when the document is marked stale).
+pub type DecodedEntry = (DocId, Arc<Document>, Option<Arc<DocIndexes>>);
+
+/// One half of a [`SnapshotSource::decode_all`] task's result.
+enum DecodedHalf {
+    Doc(Option<Arc<Document>>),
+    Indexes(Option<Arc<DocIndexes>>),
 }
 
 impl DocSource for SnapshotSource {
@@ -348,46 +460,26 @@ impl DocSource for SnapshotSource {
     }
 }
 
-fn encode_document(doc: &Document) -> Vec<u8> {
+fn encode_document(doc: &Document) -> ByteWriter {
     let cols = doc.columns();
     let n = cols.size.len();
     let mut w = ByteWriter::new();
     w.put_u32(u32::try_from(n).expect("node count overflow"));
-    for &v in cols.size {
-        w.put_u32(v);
-    }
-    for &v in cols.level {
-        w.put_u16(v);
-    }
-    for &v in cols.parent {
-        w.put_u32(v);
-    }
-    for &k in cols.kind {
-        w.put_u8(k as u8);
-    }
-    for &s in cols.name {
-        w.put_u32(s.0);
-    }
-    for &s in cols.value {
-        w.put_u32(s.0);
-    }
-    w.into_bytes()
+    w.put_packed_u32s(cols.size);
+    let level: Vec<u32> = cols.level.iter().map(|&v| u32::from(v)).collect();
+    w.put_packed_u32s(&level);
+    w.put_packed_u32s(cols.parent);
+    let kind: Vec<u32> = cols.kind.iter().map(|&k| k as u32).collect();
+    w.put_packed_u32s(&kind);
+    let name: Vec<u32> = cols.name.iter().map(|&s| s.0).collect();
+    w.put_packed_u32s(&name);
+    let value: Vec<u32> = cols.value.iter().map(|&s| s.0).collect();
+    w.put_packed_u32s(&value);
+    w
 }
 
-fn kind_from_u8(b: u8) -> Result<NodeKind> {
-    Ok(match b {
-        0 => NodeKind::Document,
-        1 => NodeKind::Element,
-        2 => NodeKind::Text,
-        3 => NodeKind::Attribute,
-        4 => NodeKind::Comment,
-        5 => NodeKind::ProcessingInstruction,
-        _ => return Err(StorageError::Format(format!("invalid node kind tag {b}"))),
-    })
-}
-
-fn decode_document(
-    r: &mut SegmentReader<'_>,
+fn decode_document<R: ByteReader>(
+    r: &mut R,
     id: DocId,
     uri: &str,
     interner: &Arc<Interner>,
@@ -398,17 +490,38 @@ fn decode_document(
             "document segment with zero nodes".to_string(),
         ));
     }
-    let size = r.get_u32_run(n)?;
-    let level = r.get_u16_run(n)?;
-    let parent = r.get_u32_run(n)?;
-    let kind = r
-        .get_u8_run(n)?
-        .into_iter()
-        .map(kind_from_u8)
-        .collect::<Result<Vec<_>>>()?;
+    let size = r.get_packed_u32s(n)?;
+    // Validate whole columns up front, then convert in tight cast loops:
+    // per-element `try_from` with a `Result` collect defeats
+    // vectorization, which shows at hundreds of thousands of nodes.
+    let level_raw = r.get_packed_u32s(n)?;
+    if let Some(&bad) = level_raw.iter().find(|&&v| v > u32::from(u16::MAX)) {
+        return Err(StorageError::Format(format!(
+            "level {bad} exceeds u16 range"
+        )));
+    }
+    let level: Vec<u16> = level_raw.iter().map(|&v| v as u16).collect();
+    let parent = r.get_packed_u32s(n)?;
+    let kind_raw = r.get_packed_u32s(n)?;
+    if let Some(&bad) = kind_raw.iter().find(|&&v| v > 5) {
+        return Err(StorageError::Format(format!("invalid node kind tag {bad}")));
+    }
+    // Tags are ≤ 5 after the check above; padding the table to 8 and
+    // masking keeps the lookup branch- and bounds-check-free.
+    const KINDS: [NodeKind; 8] = [
+        NodeKind::Document,
+        NodeKind::Element,
+        NodeKind::Text,
+        NodeKind::Attribute,
+        NodeKind::Comment,
+        NodeKind::ProcessingInstruction,
+        NodeKind::Document,
+        NodeKind::Document,
+    ];
+    let kind: Vec<NodeKind> = kind_raw.iter().map(|&v| KINDS[(v & 7) as usize]).collect();
     let symbol_bound = interner.len() as u32;
-    let get_symbols = |r: &mut SegmentReader<'_>| -> Result<Vec<Symbol>> {
-        let raw = r.get_u32_run(n)?;
+    let get_symbols = |r: &mut R| -> Result<Vec<Symbol>> {
+        let raw = r.get_packed_u32s(n)?;
         if let Some(&bad) = raw.iter().find(|&&s| s >= symbol_bound) {
             return Err(StorageError::Format(format!(
                 "symbol {bad} beyond heap of {symbol_bound}"
@@ -435,69 +548,70 @@ fn encode_groups(w: &mut ByteWriter, groups: &[(Symbol, &[Pre])]) {
     w.put_u32(groups.len() as u32);
     for (sym, pres) in groups {
         w.put_u32(sym.0);
-        w.put_u32_slice(pres);
+        w.put_packed_u32_vec(pres);
     }
 }
 
-fn decode_groups(r: &mut SegmentReader<'_>) -> Result<Vec<(Symbol, Vec<Pre>)>> {
+fn decode_groups<R: ByteReader>(r: &mut R) -> Result<Vec<(Symbol, Vec<Pre>)>> {
     let count = r.get_u32()? as usize;
     let mut groups = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
         let sym = Symbol(r.get_u32()?);
-        groups.push((sym, r.get_u32_vec()?));
+        groups.push((sym, r.get_packed_u32_vec()?));
     }
     Ok(groups)
 }
 
+/// Numeric runs split their columns: the `f64` values stay raw bits (any
+/// bit pattern must survive), the sorted `Pre` column packs.
 fn encode_numeric_run(w: &mut ByteWriter, run: &[(f64, Pre)]) {
     w.put_u32(run.len() as u32);
-    for &(v, p) in run {
+    for &(v, _) in run {
         w.put_f64(v);
-        w.put_u32(p);
     }
+    let pres: Vec<u32> = run.iter().map(|&(_, p)| p).collect();
+    w.put_packed_u32s(&pres);
 }
 
-fn decode_numeric_run(r: &mut SegmentReader<'_>) -> Result<Vec<(f64, Pre)>> {
+fn decode_numeric_run<R: ByteReader>(r: &mut R) -> Result<Vec<(f64, Pre)>> {
     let count = r.get_u32()? as u64;
-    if count * 12 > r.remaining() {
+    if count * 8 > r.remaining() {
         return Err(StorageError::Format(format!(
             "numeric run of {count} entries exceeds remaining segment"
         )));
     }
-    let mut bytes = vec![0u8; count as usize * 12];
-    r.read_exact(&mut bytes)?;
-    Ok(bytes
-        .chunks_exact(12)
-        .map(|c| {
-            let v = f64::from_bits(u64::from_le_bytes(c[..8].try_into().unwrap()));
-            let p = u32::from_le_bytes(c[8..].try_into().unwrap());
-            (v, p)
-        })
-        .collect())
+    let values: Vec<f64> = r.with_run(count as usize * 8, |bytes| {
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect())
+    })?;
+    let pres = r.get_packed_u32s(count as usize)?;
+    Ok(values.into_iter().zip(pres).collect())
 }
 
-fn encode_indexes(indexes: &DocIndexes) -> Vec<u8> {
+fn encode_indexes(indexes: &DocIndexes) -> ByteWriter {
     let mut w = ByteWriter::new();
     encode_groups(&mut w, &indexes.element.name_groups());
     encode_groups(&mut w, &indexes.element.attr_name_groups());
-    w.put_u32_slice(indexes.element.elements());
-    w.put_u32_slice(indexes.element.text_nodes());
-    w.put_u32_slice(indexes.element.attributes());
+    w.put_packed_u32_vec(indexes.element.elements());
+    w.put_packed_u32_vec(indexes.element.text_nodes());
+    w.put_packed_u32_vec(indexes.element.attributes());
     for table in [indexes.value.text_table(), indexes.value.attr_table()] {
-        w.put_u32_slice(table.offsets());
-        w.put_u32_slice(table.values());
+        w.put_packed_u32_vec(table.offsets());
+        w.put_packed_u32_vec(table.values());
     }
     encode_numeric_run(&mut w, indexes.value.numeric_text_run());
     encode_numeric_run(&mut w, indexes.value.numeric_attr_run());
-    w.into_bytes()
+    w
 }
 
-fn decode_indexes(r: &mut SegmentReader<'_>) -> Result<DocIndexes> {
+fn decode_indexes<R: ByteReader>(r: &mut R) -> Result<DocIndexes> {
     let by_name = decode_groups(r)?;
     let attr_by_name = decode_groups(r)?;
-    let all_elements = r.get_u32_vec()?;
-    let all_text = r.get_u32_vec()?;
-    let all_attributes = r.get_u32_vec()?;
+    let all_elements = r.get_packed_u32_vec()?;
+    let all_text = r.get_packed_u32_vec()?;
+    let all_attributes = r.get_packed_u32_vec()?;
     let element = ElementIndex::from_parts(
         by_name,
         attr_by_name,
@@ -505,9 +619,9 @@ fn decode_indexes(r: &mut SegmentReader<'_>) -> Result<DocIndexes> {
         all_text,
         all_attributes,
     );
-    let table = |r: &mut SegmentReader<'_>| -> Result<SymbolTable> {
-        let offsets = r.get_u32_vec()?;
-        let values = r.get_u32_vec()?;
+    let table = |r: &mut R| -> Result<SymbolTable> {
+        let offsets = r.get_packed_u32_vec()?;
+        let values = r.get_packed_u32_vec()?;
         SymbolTable::from_raw(offsets, values)
             .ok_or_else(|| StorageError::Format("malformed CSR value table".to_string()))
     };
@@ -519,69 +633,76 @@ fn decode_indexes(r: &mut SegmentReader<'_>) -> Result<DocIndexes> {
     Ok(DocIndexes { element, value })
 }
 
-fn encode_symbols(interner: &Interner) -> Vec<u8> {
+fn encode_symbols(interner: &Interner) -> ByteWriter {
     let strings = interner.dump();
     let mut w = ByteWriter::new();
     w.put_u32(strings.len() as u32);
     for s in &strings {
         w.put_str(s);
     }
-    w.into_bytes()
+    w
 }
 
-fn decode_symbols(r: &mut SegmentReader<'_>) -> Result<Interner> {
+fn decode_symbols<R: ByteReader>(r: &mut R) -> Result<Interner> {
     let count = r.get_u32()? as usize;
     if count == 0 {
         return Err(StorageError::Format(
             "symbol heap must contain at least the empty string".to_string(),
         ));
     }
-    // Pull the whole heap in one bulk copy and slice the strings out of it:
-    // per-string segment reads and intermediate `String`s would dominate
-    // cold starts on catalogs with tens of thousands of symbols.
-    let blob = r.get_u8_run(r.remaining() as usize)?;
-    let mut strings = Vec::with_capacity(count.min(1 << 20));
-    let mut at = 0usize;
-    for _ in 0..count {
-        let end = at
-            .checked_add(4)
-            .filter(|&e| e <= blob.len())
-            .ok_or_else(|| StorageError::Format("symbol heap truncated mid-length".to_string()))?;
-        let len = u32::from_le_bytes(blob[at..end].try_into().unwrap()) as usize;
-        at = end;
-        let end = at
-            .checked_add(len)
-            .filter(|&e| e <= blob.len())
-            .ok_or_else(|| {
-                StorageError::Format(format!("symbol of {len} bytes exceeds remaining heap"))
-            })?;
-        let s = std::str::from_utf8(&blob[at..end])
-            .map_err(|e| StorageError::Format(format!("invalid UTF-8 in symbol heap: {e}")))?;
-        strings.push(s);
-        at = end;
-    }
-    if !strings[0].is_empty() {
-        return Err(StorageError::Format(
-            "symbol 0 of the heap is not the empty string".to_string(),
-        ));
-    }
-    Interner::try_from_strings(&strings).map_err(StorageError::Format)
+    // Process the whole heap as one run — borrowed in place from a
+    // drained segment — and slice the strings out of it: per-string
+    // segment reads and intermediate `String`s would dominate cold
+    // starts on catalogs with tens of thousands of symbols.
+    let heap = r.remaining() as usize;
+    r.with_run(heap, |blob| {
+        let mut strings = Vec::with_capacity(count.min(1 << 20));
+        let mut at = 0usize;
+        for _ in 0..count {
+            let end = at
+                .checked_add(4)
+                .filter(|&e| e <= blob.len())
+                .ok_or_else(|| {
+                    StorageError::Format("symbol heap truncated mid-length".to_string())
+                })?;
+            let len = u32::from_le_bytes(blob[at..end].try_into().unwrap()) as usize;
+            at = end;
+            let end = at
+                .checked_add(len)
+                .filter(|&e| e <= blob.len())
+                .ok_or_else(|| {
+                    StorageError::Format(format!("symbol of {len} bytes exceeds remaining heap"))
+                })?;
+            let s = std::str::from_utf8(&blob[at..end])
+                .map_err(|e| StorageError::Format(format!("invalid UTF-8 in symbol heap: {e}")))?;
+            strings.push(s);
+            at = end;
+        }
+        if !strings[0].is_empty() {
+            return Err(StorageError::Format(
+                "symbol 0 of the heap is not the empty string".to_string(),
+            ));
+        }
+        Interner::try_from_strings(&strings).map_err(StorageError::Format)
+    })
 }
 
-fn encode_directory(entries: &[DocEntry]) -> Vec<u8> {
+fn encode_directory(entries: &[DocEntry]) -> ByteWriter {
     let mut w = ByteWriter::new();
     w.put_u32(entries.len() as u32);
     for e in entries {
         w.put_str(&e.uri);
         w.put_u32(e.doc_seg.first_page);
         w.put_u64(e.doc_seg.len);
+        w.put_u8(e.doc_mask);
         w.put_u32(e.index_seg.first_page);
         w.put_u64(e.index_seg.len);
+        w.put_u8(e.index_mask);
     }
-    w.into_bytes()
+    w
 }
 
-fn decode_directory(r: &mut SegmentReader<'_>) -> Result<Vec<DocEntry>> {
+fn decode_directory<R: ByteReader>(r: &mut R) -> Result<Vec<DocEntry>> {
     let count = r.get_u32()? as usize;
     let mut entries = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
@@ -590,14 +711,18 @@ fn decode_directory(r: &mut SegmentReader<'_>) -> Result<Vec<DocEntry>> {
             first_page: r.get_u32()?,
             len: r.get_u64()?,
         };
+        let doc_mask = r.get_u8()?;
         let index_seg = SegmentLoc {
             first_page: r.get_u32()?,
             len: r.get_u64()?,
         };
+        let index_mask = r.get_u8()?;
         entries.push(DocEntry {
             uri,
             doc_seg,
+            doc_mask,
             index_seg,
+            index_mask,
         });
     }
     Ok(entries)
@@ -661,6 +786,47 @@ mod tests {
         assert_eq!(idx.element.count(price), 2);
         let chair = catalog.interner().get("chair").unwrap();
         assert_eq!(idx.value.text_eq(chair).len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn packed_columns_shrink_and_decode_all_fans_out() {
+        let path = temp_snapshot("packed");
+        let store = sample_store();
+        let report = Snapshot::save_with_page_size(&path, &store, 128).unwrap();
+        assert!(
+            report.payload_bytes < report.raw_payload_bytes,
+            "packed segments must beat raw columns: {report:?}"
+        );
+
+        let (catalog, source) = Snapshot::open(&path, None).unwrap();
+        // Every stored segment reports which codecs its runs used.
+        let codecs = source.segment_codecs();
+        assert_eq!(codecs.len(), 4);
+        assert!(codecs
+            .iter()
+            .any(|(name, cs)| name.ends_with("#doc") && !cs.is_empty()));
+
+        // decode_all fans both segments of every document through the
+        // worker pool and returns directory order.
+        let workers = WorkerPool::new(2);
+        let before = workers.batch_tasks();
+        let all = source.decode_all(&workers, 2).unwrap();
+        assert_eq!(workers.batch_tasks() - before, 4);
+        assert_eq!(source.par_decodes(), 4);
+        assert_eq!(all.len(), 2);
+        for (id, doc, indexes) in all {
+            let orig = store.doc(id);
+            assert_eq!(doc.columns().name, orig.columns().name);
+            let idx = indexes.expect("nothing stale");
+            assert_eq!(idx.element.elements(), store.indexes(id).element.elements());
+        }
+
+        // Stale documents come back without stored indices.
+        let id = catalog.resolve("tiny.xml").unwrap();
+        source.mark_stale(id);
+        let all = source.decode_all(&workers, 2).unwrap();
+        assert!(all[id.index()].2.is_none());
         std::fs::remove_file(&path).ok();
     }
 

@@ -66,6 +66,23 @@ fn current_code_writes_the_committed_golden_bytes() {
     );
 }
 
+/// The v1 fixture is kept committed precisely so this guard can prove
+/// old-format files are *rejected with a version message*, never
+/// silently misread as the current format.
+#[test]
+fn previous_format_version_is_rejected_clearly() {
+    let v1 = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/corpus-v1.snap");
+    let msg = match Snapshot::open(&v1, None) {
+        Ok(_) => panic!("v1 fixture must not open"),
+        Err(e) => e.to_string(),
+    };
+    assert!(
+        msg.contains("unsupported snapshot version 1")
+            && msg.contains(&format!("expected {SNAPSHOT_VERSION}")),
+        "unclear version-mismatch error: {msg}"
+    );
+}
+
 #[test]
 fn committed_golden_file_stays_readable() {
     let (expected, _) = golden_store();
