@@ -1,0 +1,63 @@
+//! Durability benchmark binary: WAL append latency, group-commit fsync
+//! batching, and recovery replay time vs a snapshot-only cold start.
+//! Writes the machine-readable `BENCH_RECOVERY.json` consumed by CI.
+//!
+//! ```text
+//! cargo run --release -p rox-bench --bin bench_recovery -- \
+//!     [--smoke] [--out BENCH_RECOVERY.json] [--persons 3000] \
+//!     [--items 2500] [--auctions 2500] [--mutations 2000] \
+//!     [--threads 8] [--repeats 3]
+//! ```
+
+use rox_bench::args::Args;
+use rox_bench::recovery::{self, RecoveryBenchConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = if args.has("smoke") {
+        RecoveryBenchConfig::smoke()
+    } else {
+        RecoveryBenchConfig::default()
+    };
+    cfg.xmark.persons = args.get("persons", cfg.xmark.persons);
+    cfg.xmark.items = args.get("items", cfg.xmark.items);
+    cfg.xmark.auctions = args.get("auctions", cfg.xmark.auctions);
+    cfg.mutations = args.get("mutations", cfg.mutations);
+    cfg.threads = args.get("threads", cfg.threads);
+    cfg.ops_per_thread = args.get("ops-per-thread", cfg.ops_per_thread);
+    cfg.repeats = args.get("repeats", cfg.repeats);
+    let out_path = args.get("out", "BENCH_RECOVERY.json".to_string());
+
+    println!(
+        "durability bench — XMark persons={} items={} auctions={}, {} mutations, {} committers × {}",
+        cfg.xmark.persons,
+        cfg.xmark.items,
+        cfg.xmark.auctions,
+        cfg.mutations,
+        cfg.threads,
+        cfg.ops_per_thread
+    );
+    let r = recovery::run(&cfg);
+    print!("{}", recovery::render(&r));
+
+    // The log must actually batch under concurrency (never more fsyncs
+    // than commits), and a checkpoint must make recovery strictly
+    // cheaper than replaying the whole mutation tail.
+    assert!(
+        r.group_fsyncs <= r.group_commits,
+        "more fsyncs ({}) than commits ({})",
+        r.group_fsyncs,
+        r.group_commits
+    );
+    assert!(
+        r.recover_snapshot_only <= r.recover_with_log,
+        "snapshot-only recovery ({:?}) slower than replaying {} records ({:?})",
+        r.recover_snapshot_only,
+        r.replayed,
+        r.recover_with_log
+    );
+
+    let json = recovery::to_json(&cfg, &r);
+    std::fs::write(&out_path, &json).expect("write BENCH_RECOVERY.json");
+    println!("\nwrote {out_path}");
+}

@@ -33,6 +33,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod joins;
+pub mod recovery;
 pub mod revalidation;
 pub mod scaling_threads;
 pub mod serving;

@@ -1,0 +1,369 @@
+//! Durability benchmarks: WAL append latency, group-commit fsync
+//! batching, and recovery replay time against a snapshot-only cold
+//! start (the `bench_recovery` binary, which emits the machine-readable
+//! `BENCH_RECOVERY.json` consumed by CI).
+//!
+//! Three measured regimes over an XMark corpus plus a pool of small
+//! mutable side documents (so each logged record carries a realistic,
+//! bounded document image instead of the whole corpus):
+//!
+//! 1. **Append latency** — a single-threaded stream of durable
+//!    invalidations, each acknowledged only after its record is
+//!    fsynced; reports mean latency and log bytes per record.
+//! 2. **Group commit** — concurrent committers hammering the log;
+//!    reports acknowledged commits per fsync (the batching factor) and
+//!    end-to-end throughput.
+//! 3. **Recovery** — `RoxEngine::recover` with the full mutation tail
+//!    in the log vs after a checkpoint truncated it (snapshot-only),
+//!    with the recovered output asserted bit-identical to the writer's
+//!    before any timing is reported.
+
+use rox_core::{RoxEngine, RoxOptions};
+use rox_datagen::{generate_xmark, xmark_query, XmarkConfig};
+use rox_storage::SaveReport;
+use rox_xmldb::Catalog;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of the durability benchmarks.
+#[derive(Debug, Clone)]
+pub struct RecoveryBenchConfig {
+    /// XMark corpus shape (the snapshot's bulk).
+    pub xmark: XmarkConfig,
+    /// Small side documents the mutation stream targets.
+    pub mutable_docs: usize,
+    /// Single-threaded durable mutations in the append-latency phase.
+    pub mutations: usize,
+    /// Concurrent committers in the group-commit phase.
+    pub threads: usize,
+    /// Durable mutations per committer thread.
+    pub ops_per_thread: usize,
+    /// Timed repetitions per recovery measurement (minimum reported).
+    pub repeats: usize,
+}
+
+impl Default for RecoveryBenchConfig {
+    fn default() -> Self {
+        RecoveryBenchConfig {
+            xmark: XmarkConfig {
+                persons: 3000,
+                items: 2500,
+                auctions: 2500,
+                ..XmarkConfig::default()
+            },
+            mutable_docs: 16,
+            mutations: 2000,
+            threads: 8,
+            ops_per_thread: 64,
+            repeats: 3,
+        }
+    }
+}
+
+impl RecoveryBenchConfig {
+    /// A seconds-scale configuration for CI smoke runs.
+    pub fn smoke() -> Self {
+        RecoveryBenchConfig {
+            xmark: XmarkConfig {
+                persons: 300,
+                items: 250,
+                auctions: 250,
+                ..XmarkConfig::default()
+            },
+            mutable_docs: 8,
+            mutations: 200,
+            threads: 4,
+            ops_per_thread: 32,
+            repeats: 2,
+        }
+    }
+}
+
+/// Everything the `bench_recovery` binary reports.
+#[derive(Debug, Clone)]
+pub struct RecoveryBenchResult {
+    /// The initial checkpoint's snapshot shape.
+    pub report: SaveReport,
+    /// Mutation records appended in the single-threaded phase.
+    pub appends: u64,
+    /// Wall time of the single-threaded append phase.
+    pub append_total: Duration,
+    /// Mean acknowledged-append latency, microseconds.
+    pub append_mean_us: f64,
+    /// Log bytes per record in the append phase.
+    pub wal_bytes_per_record: f64,
+    /// Commits acknowledged in the group-commit phase.
+    pub group_commits: u64,
+    /// Fsyncs those commits rode on.
+    pub group_fsyncs: u64,
+    /// `group_commits / group_fsyncs` — the batching factor.
+    pub acks_per_fsync: f64,
+    /// Wall time of the group-commit phase.
+    pub group_total: Duration,
+    /// Acknowledged mutations per second across all committers.
+    pub group_ops_per_sec: f64,
+    /// Records the with-log recovery replayed over the snapshot.
+    pub replayed: u64,
+    /// `RoxEngine::recover` with the full mutation tail in the log.
+    pub recover_with_log: Duration,
+    /// The checkpoint that truncated the log (snapshot write + rotation).
+    pub checkpoint: Duration,
+    /// `RoxEngine::recover` after the checkpoint: snapshot only.
+    pub recover_snapshot_only: Duration,
+    /// `recover_with_log / recover_snapshot_only` — the replay overhead.
+    pub replay_overhead: f64,
+    /// Output rows of the anchor query (all recoveries bit-identical).
+    pub anchor_rows: usize,
+}
+
+fn best_of(repeats: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    (0..repeats.max(1))
+        .map(|_| f())
+        .min()
+        .expect("at least one repeat")
+}
+
+fn bench_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("rox-bench-recovery-{}", std::process::id()))
+}
+
+fn mutable_uri(i: usize) -> String {
+    format!("m{i}.xml")
+}
+
+/// Small deterministic content for mutable doc `i`, version `v`.
+fn mutable_xml(i: usize, v: usize) -> String {
+    format!(
+        "<site><open_auction><bidder><increase>{}</increase></bidder><current>{}</current></open_auction></site>",
+        (i * 31 + v) % 97,
+        (v * 7 + i) % 311
+    )
+}
+
+/// Run the durability benchmarks.
+pub fn run(cfg: &RecoveryBenchConfig) -> RecoveryBenchResult {
+    let graph = rox_joingraph::compile_query(&xmark_query("<", 145.0)).unwrap();
+    let options = RoxOptions::default();
+    let dir = bench_dir();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Seed corpus: the XMark document plus the mutable side pool.
+    let catalog = Arc::new(Catalog::new());
+    generate_xmark(&catalog, "xmark.xml", &cfg.xmark);
+    for i in 0..cfg.mutable_docs {
+        catalog
+            .load_str(&mutable_uri(i), &mutable_xml(i, 0))
+            .unwrap();
+    }
+    let engine = RoxEngine::new(catalog);
+    let reference = engine.run(&graph, options).unwrap().output;
+    let anchor_rows = reference.len();
+    let report = engine.make_durable(&dir).expect("make durable");
+
+    // ---- 1. Append latency: a single-threaded durable mutation stream,
+    // each op reloading one small doc and logging its image. ----
+    let before = engine.stats().wal;
+    let t = Instant::now();
+    for k in 0..cfg.mutations {
+        let i = k % cfg.mutable_docs;
+        engine
+            .catalog()
+            .load_str(&mutable_uri(i), &mutable_xml(i, k + 1))
+            .unwrap();
+        engine
+            .try_invalidate_document(&mutable_uri(i))
+            .expect("durable invalidate")
+            .expect("returns its LSN");
+    }
+    let append_total = t.elapsed();
+    let after = engine.stats().wal;
+    let appends = after.records - before.records;
+    let append_mean_us = append_total.as_secs_f64() * 1e6 / (appends as f64).max(1.0);
+    let wal_bytes_per_record = (after.bytes - before.bytes) as f64 / (appends as f64).max(1.0);
+
+    // ---- 2. Group commit: concurrent committers on distinct URIs
+    // (never-loaded documents log compact epoch-bump records, so the
+    // phase measures commit coordination, not serialization). ----
+    let engine = Arc::new(engine);
+    let before = engine.stats().wal;
+    let t = Instant::now();
+    let handles: Vec<_> = (0..cfg.threads)
+        .map(|thread| {
+            let engine = Arc::clone(&engine);
+            let ops = cfg.ops_per_thread;
+            std::thread::spawn(move || {
+                for k in 0..ops {
+                    engine
+                        .try_invalidate_document(&format!("g{thread}-{k}.xml"))
+                        .expect("durable invalidate")
+                        .expect("returns its LSN");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let group_total = t.elapsed();
+    let after = engine.stats().wal;
+    let group_commits = after.commits - before.commits;
+    let group_fsyncs = after.fsyncs - before.fsyncs;
+    let acks_per_fsync = group_commits as f64 / (group_fsyncs as f64).max(1.0);
+    let group_ops_per_sec = group_commits as f64 / group_total.as_secs_f64().max(f64::EPSILON);
+    drop(engine); // the writer is gone; the directory is the truth
+
+    // ---- 3. Recovery: replay the whole mutation tail, then truncate it
+    // with a checkpoint and measure the snapshot-only cold start. ----
+    let expect_replayed = cfg.mutations + cfg.threads * cfg.ops_per_thread;
+    let mut replayed = 0u64;
+    let recover_with_log = best_of(cfg.repeats, || {
+        let t = Instant::now();
+        let (engine, rec) = RoxEngine::recover(&dir, None).expect("recover");
+        let wall = t.elapsed();
+        assert_eq!(rec.replayed, expect_replayed, "replay lost records");
+        assert_eq!(rec.torn_tail_bytes, 0, "clean shutdown left a torn tail");
+        replayed = rec.replayed as u64;
+        drop(engine);
+        wall
+    });
+
+    // Bit-identity before any number is trusted: the recovered engine
+    // answers the anchor query exactly like the writer did.
+    let (recovered, _) = RoxEngine::recover(&dir, None).expect("recover");
+    let out = recovered.run(&graph, options).unwrap().output;
+    assert_eq!(out, reference, "recovered output diverged from the writer");
+    let t = Instant::now();
+    recovered.checkpoint().expect("checkpoint");
+    let checkpoint = t.elapsed();
+    drop(recovered);
+
+    let recover_snapshot_only = best_of(cfg.repeats, || {
+        let t = Instant::now();
+        let (engine, rec) = RoxEngine::recover(&dir, None).expect("recover");
+        let wall = t.elapsed();
+        assert_eq!(rec.replayed, 0, "the checkpoint did not truncate the log");
+        drop(engine);
+        wall
+    });
+    let replay_overhead =
+        recover_with_log.as_secs_f64() / recover_snapshot_only.as_secs_f64().max(f64::EPSILON);
+
+    std::fs::remove_dir_all(&dir).ok();
+    RecoveryBenchResult {
+        report,
+        appends,
+        append_total,
+        append_mean_us,
+        wal_bytes_per_record,
+        group_commits,
+        group_fsyncs,
+        acks_per_fsync,
+        group_total,
+        group_ops_per_sec,
+        replayed,
+        recover_with_log,
+        checkpoint,
+        recover_snapshot_only,
+        replay_overhead,
+        anchor_rows,
+    }
+}
+
+/// Render the result as the `BENCH_RECOVERY.json` document (hand-rolled
+/// — the workspace is dependency-free by policy).
+pub fn to_json(cfg: &RecoveryBenchConfig, r: &RecoveryBenchResult) -> String {
+    format!(
+        "{{\n  \"machine\": {},\n  \"config\": {{\"persons\": {}, \"items\": {}, \"auctions\": {}, \"mutable_docs\": {}, \"mutations\": {}, \"threads\": {}, \"ops_per_thread\": {}, \"repeats\": {}}},\n  \"snapshot\": {{\"docs\": {}, \"pages\": {}, \"file_bytes\": {}, \"fsyncs\": {}}},\n  \"wal_append\": {{\"records\": {}, \"total_ms\": {:.3}, \"mean_us\": {:.2}, \"bytes_per_record\": {:.1}}},\n  \"group_commit\": {{\"commits\": {}, \"fsyncs\": {}, \"acks_per_fsync\": {:.2}, \"total_ms\": {:.3}, \"ops_per_sec\": {:.0}}},\n  \"recovery\": {{\"replayed\": {}, \"with_log_ms\": {:.3}, \"checkpoint_ms\": {:.3}, \"snapshot_only_ms\": {:.3}, \"replay_overhead\": {:.2}}},\n  \"anchor_rows\": {}\n}}\n",
+        crate::machine_json(),
+        cfg.xmark.persons,
+        cfg.xmark.items,
+        cfg.xmark.auctions,
+        cfg.mutable_docs,
+        cfg.mutations,
+        cfg.threads,
+        cfg.ops_per_thread,
+        cfg.repeats,
+        r.report.docs,
+        r.report.pages,
+        r.report.file_bytes,
+        r.report.fsyncs,
+        r.appends,
+        r.append_total.as_secs_f64() * 1e3,
+        r.append_mean_us,
+        r.wal_bytes_per_record,
+        r.group_commits,
+        r.group_fsyncs,
+        r.acks_per_fsync,
+        r.group_total.as_secs_f64() * 1e3,
+        r.group_ops_per_sec,
+        r.replayed,
+        r.recover_with_log.as_secs_f64() * 1e3,
+        r.checkpoint.as_secs_f64() * 1e3,
+        r.recover_snapshot_only.as_secs_f64() * 1e3,
+        r.replay_overhead,
+        r.anchor_rows,
+    )
+}
+
+/// Render a human-readable summary table.
+pub fn render(r: &RecoveryBenchResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "snapshot   {} docs, {} pages, {} B ({} fsyncs to publish)",
+        r.report.docs, r.report.pages, r.report.file_bytes, r.report.fsyncs
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "append     {} records in {:?} ({:.1} µs/record, {:.0} B/record)",
+        r.appends, r.append_total, r.append_mean_us, r.wal_bytes_per_record
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "group      {} commits over {} fsyncs ({:.2} acks/fsync, {:.0} ops/s)",
+        r.group_commits, r.group_fsyncs, r.acks_per_fsync, r.group_ops_per_sec
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "recover    {} records replayed in {:?}; checkpoint {:?}; snapshot-only {:?} ({:.2}x overhead)",
+        r.replayed, r.recover_with_log, r.checkpoint, r.recover_snapshot_only, r.replay_overhead
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_consistent() {
+        let cfg = RecoveryBenchConfig {
+            xmark: XmarkConfig::tiny(),
+            mutable_docs: 4,
+            mutations: 24,
+            threads: 2,
+            ops_per_thread: 8,
+            repeats: 1,
+        };
+        let r = run(&cfg);
+        assert!(r.anchor_rows > 0, "anchor query returned nothing");
+        assert_eq!(r.appends, 24);
+        assert_eq!(r.group_commits, 16);
+        assert_eq!(r.replayed, 24 + 16);
+        assert!(r.group_fsyncs >= 1 && r.group_fsyncs <= r.group_commits);
+        assert!(r.wal_bytes_per_record > 0.0);
+        let json = to_json(&cfg, &r);
+        assert!(json.contains("\"wal_append\""));
+        assert!(json.contains("\"group_commit\""));
+        assert!(json.contains("\"recovery\""));
+        let table = render(&r);
+        assert!(table.contains("acks/fsync"));
+        assert!(table.contains("replayed"));
+    }
+}

@@ -63,10 +63,14 @@ use rox_index::IndexedStore;
 use rox_joingraph::{EdgeId, JoinGraph, VertexLabel};
 use rox_ops::{Cost, EdgeOpKind, PoolStats, Relation, ScratchPool};
 use rox_par::{Parallelism, WorkerPool};
-use rox_storage::{PoolStats as PagePoolStats, SaveReport, Snapshot, SnapshotSource, StorageError};
+use rox_storage::wal::{DocPut, Lsn, Wal, WalIo, WalRecord, WalStats};
+use rox_storage::{
+    recovery, PoolStats as PagePoolStats, RecoveryReport, SaveReport, Snapshot, SnapshotSource,
+    StdWalIo, StorageError, DEFAULT_PAGE_SIZE,
+};
 use rox_xmldb::{Catalog, DocId, Pre};
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -474,6 +478,13 @@ pub struct EngineStats {
     /// pool ([`RoxEngine::preload_snapshot`]); stays 0 on the lazy
     /// first-touch path.
     pub storage_par_decodes: u64,
+    /// Write-ahead-log counters (records, bytes, commits vs fsyncs,
+    /// LSN water marks). All zero for an engine without a durable
+    /// directory (see [`RoxEngine::make_durable`]).
+    pub wal: WalStats,
+    /// WAL records replayed when this engine was built by
+    /// [`RoxEngine::recover`]; 0 otherwise.
+    pub wal_replayed: u64,
 }
 
 impl EngineStats {
@@ -615,6 +626,34 @@ pub struct RoxEngine {
     snapshot: Option<Arc<SnapshotSource>>,
     /// Observers of invalidate/reindex events (see [`StorageEventSink`]).
     storage_sinks: RwLock<Vec<Arc<dyn StorageEventSink>>>,
+    /// The durable half, when [`RoxEngine::make_durable`] or
+    /// [`RoxEngine::recover`] attached one: mutations append to its WAL
+    /// and are acknowledged only after the group fsync.
+    durable: RwLock<Option<Arc<DurableState>>>,
+    /// Records [`RoxEngine::recover`] replayed to build this engine.
+    wal_replayed: AtomicU64,
+}
+
+/// The durable half of an engine: the directory, the I/O layer writes
+/// go through (real, or fault-injected in tests), the log itself, and
+/// the mutation-order lock.
+struct DurableState {
+    dir: PathBuf,
+    io: Arc<dyn WalIo>,
+    wal: Wal,
+    /// Serializes durable mutations against each other and against
+    /// checkpoints: the epoch bump, the interner-delta capture, and the
+    /// record append must form one atomic step so replay reconstructs
+    /// the exact original order (and the exact symbol-id assignment).
+    order: Mutex<DurableCursor>,
+}
+
+/// The per-directory high-water marks the order lock protects.
+struct DurableCursor {
+    /// Symbols already persisted (in the snapshot or an earlier
+    /// record); the next document record logs the interner delta from
+    /// here.
+    symbols_logged: usize,
 }
 
 /// The bounded plan store behind the engine's mutex: fingerprint → plan
@@ -747,6 +786,144 @@ impl RoxEngine {
         self.snapshot.as_ref()
     }
 
+    /// Attach a durable directory at `dir`: persist the current catalog
+    /// as `snapshot.rox`, start `wal.rox`, and from here on route every
+    /// [`RoxEngine::invalidate_document`] / [`RoxEngine::reindex_document`]
+    /// through the write-ahead log — each mutation is acknowledged only
+    /// after its record is fsynced, and [`RoxEngine::recover`] on the
+    /// directory rebuilds this engine's exact state after any crash.
+    pub fn make_durable(&self, dir: &Path) -> Result<SaveReport, StorageError> {
+        self.make_durable_with_io(dir, Arc::new(StdWalIo))
+    }
+
+    /// As [`RoxEngine::make_durable`] with an explicit I/O layer — the
+    /// seam the fault-injection torture suite interposes on (see
+    /// [`rox_storage::failpoint`]).
+    pub fn make_durable_with_io(
+        &self,
+        dir: &Path,
+        io: Arc<dyn WalIo>,
+    ) -> Result<SaveReport, StorageError> {
+        std::fs::create_dir_all(dir)?;
+        // Sample the symbol high-water mark *before* encoding: the
+        // snapshot then holds at least [0, symbols_logged), so a record
+        // logging the delta from here can never skip a symbol (it may
+        // duplicate one already in the snapshot, which replay dedups).
+        let symbols_logged = self.catalog().interner().len();
+        let epochs = self.epoch_table();
+        let out = recovery::write_checkpoint(dir, &self.store, epochs, 1, &*io, DEFAULT_PAGE_SIZE)?;
+        let state = DurableState {
+            dir: dir.to_path_buf(),
+            io,
+            wal: Wal::open(out.wal_file, 1, 1, out.wal_bytes),
+            order: Mutex::new(DurableCursor { symbols_logged }),
+        };
+        *self.durable.write().expect("durable state") = Some(Arc::new(state));
+        Ok(out.report)
+    }
+
+    /// Checkpoint the durable directory: persist a fresh snapshot of
+    /// the current catalog and rotate the log to a new generation whose
+    /// only record is the checkpoint (truncation — every record of the
+    /// old generation is baked into the new snapshot). Runs the
+    /// tmp-write → verify → rename → dir-fsync state machine of
+    /// [`rox_storage::recovery::write_checkpoint`]; a crash anywhere in
+    /// it recovers. Errors if the engine has no durable directory.
+    pub fn checkpoint(&self) -> Result<SaveReport, StorageError> {
+        let durable = self.durable.read().expect("durable state").clone();
+        let Some(d) = durable else {
+            return Err(StorageError::Format(
+                "checkpoint without a durable directory (call make_durable first)".to_string(),
+            ));
+        };
+        // The order lock stalls durable mutations for the duration: no
+        // record with an LSN above the checkpoint's can exist yet.
+        let mut cur = d.order.lock().expect("durable order");
+        cur.symbols_logged = self.catalog().interner().len();
+        let epochs = self.epoch_table();
+        let cp_lsn = d.wal.last_lsn() + 1;
+        let out = recovery::write_checkpoint(
+            &d.dir,
+            &self.store,
+            epochs,
+            cp_lsn,
+            &*d.io,
+            DEFAULT_PAGE_SIZE,
+        )?;
+        d.wal.install_rotated(out.wal_file, cp_lsn, out.wal_bytes);
+        Ok(out.report)
+    }
+
+    /// Recover the durable directory at `dir` into a serving engine:
+    /// open the newest valid snapshot, replay the WAL tail over it
+    /// (torn tail detected and truncated), and return the engine plus
+    /// what recovery found. The recovered engine is bit-identical — in
+    /// query output, document columns, and epoch table — to the engine
+    /// that wrote the directory, as of its last durable LSN, and it is
+    /// itself durable: mutations keep appending to the recovered log.
+    pub fn recover(
+        dir: &Path,
+        frames: Option<usize>,
+    ) -> Result<(Self, RecoveryReport), StorageError> {
+        Self::recover_with_io(dir, frames, Arc::new(StdWalIo))
+    }
+
+    /// As [`RoxEngine::recover`] with an explicit I/O layer for the
+    /// recovered engine's subsequent writes.
+    pub fn recover_with_io(
+        dir: &Path,
+        frames: Option<usize>,
+        io: Arc<dyn WalIo>,
+    ) -> Result<(Self, RecoveryReport), StorageError> {
+        let state = recovery::recover(dir, frames, &*io)?;
+        let store = Arc::new(IndexedStore::with_source(
+            state.catalog,
+            Arc::<SnapshotSource>::clone(&state.source),
+        ));
+        let engine = Self::from_store(
+            store,
+            Arc::new(WorkerPool::new(Parallelism::Auto.threads().max(2))),
+            Some(Arc::clone(&state.source)),
+        );
+        engine.register_storage_sink(Arc::new(SnapshotStalenessSink {
+            source: state.source,
+        }));
+        *engine.doc_epochs.write().expect("doc epochs") = state.epochs.into_iter().collect();
+        engine
+            .wal_replayed
+            .store(state.report.replayed as u64, Ordering::Relaxed);
+        let symbols_logged = engine.catalog().interner().len();
+        *engine.durable.write().expect("durable state") = Some(Arc::new(DurableState {
+            dir: dir.to_path_buf(),
+            io,
+            wal: state.wal,
+            order: Mutex::new(DurableCursor { symbols_logged }),
+        }));
+        Ok((engine, state.report))
+    }
+
+    /// The durable directory this engine writes to, if any.
+    pub fn durable_dir(&self) -> Option<PathBuf> {
+        self.durable
+            .read()
+            .expect("durable state")
+            .as_ref()
+            .map(|d| d.dir.clone())
+    }
+
+    /// The full `(uri, epoch)` table, sorted by URI.
+    fn epoch_table(&self) -> Vec<(String, u64)> {
+        let mut epochs: Vec<(String, u64)> = self
+            .doc_epochs
+            .read()
+            .expect("doc epochs")
+            .iter()
+            .map(|(uri, &e)| (uri.clone(), e))
+            .collect();
+        epochs.sort();
+        epochs
+    }
+
     fn from_store(
         store: Arc<IndexedStore>,
         workers: Arc<WorkerPool>,
@@ -769,6 +946,8 @@ impl RoxEngine {
             jobs_aborted: AtomicU64::new(0),
             snapshot,
             storage_sinks: RwLock::new(Vec::new()),
+            durable: RwLock::new(None),
+            wal_replayed: AtomicU64::new(0),
         }
     }
 
@@ -1066,6 +1245,14 @@ impl RoxEngine {
                 .unwrap_or(0),
             storage_loads: self.store.load_count(),
             storage_par_decodes: self.snapshot.as_ref().map(|s| s.par_decodes()).unwrap_or(0),
+            wal: self
+                .durable
+                .read()
+                .expect("durable state")
+                .as_ref()
+                .map(|d| d.wal.stats())
+                .unwrap_or_default(),
+            wal_replayed: self.wal_replayed.load(Ordering::Relaxed),
         }
     }
 
@@ -1115,13 +1302,70 @@ impl RoxEngine {
     /// mismatch and refuses — a replay racing this invalidation can never
     /// serve, nor re-insert, a plan versioned against the dropped
     /// statistics.
+    /// On a durable engine this is [`RoxEngine::try_invalidate_document`]
+    /// and panics on a storage failure (the log is poisoned and every
+    /// further durable mutation would error anyway); serving setups that
+    /// want the error use the `try_` form directly.
     pub fn invalidate_document(&self, uri: &str) {
-        let epoch = {
-            let mut epochs = self.doc_epochs.write().expect("doc epochs");
-            let e = epochs.entry(uri.to_string()).or_insert(0);
-            *e += 1;
-            *e
+        self.try_invalidate_document(uri)
+            .unwrap_or_else(|e| panic!("durable invalidate of {uri:?} failed: {e}"));
+    }
+
+    /// As [`RoxEngine::invalidate_document`], but on a durable engine
+    /// the mutation is written ahead: an `epoch-bump` or
+    /// `document-invalidate` record (the latter carrying the resident
+    /// content and the interner delta) is appended and group-fsynced
+    /// **before** any in-memory state changes beyond the epoch bump.
+    /// Returns the record's LSN (`None` without a durable directory) —
+    /// when this returns `Ok`, the mutation survives any crash.
+    pub fn try_invalidate_document(&self, uri: &str) -> Result<Option<Lsn>, StorageError> {
+        let durable = self.durable.read().expect("durable state").clone();
+        let Some(d) = durable else {
+            let epoch = self.bump_epoch(uri);
+            self.finish_invalidate(uri, epoch);
+            return Ok(None);
         };
+        let (lsn, epoch) = {
+            let mut cur = d.order.lock().expect("durable order");
+            let epoch = self.bump_epoch(uri);
+            let record = match self
+                .catalog()
+                .resolve(uri)
+                .and_then(|id| self.catalog().get(id))
+            {
+                Some(doc) => WalRecord::DocInvalidate {
+                    uri: uri.to_string(),
+                    epoch,
+                    put: self.capture_put(&doc, &mut cur),
+                },
+                // No resident content to log: only the epoch moves
+                // (stored segments become unservable via the sinks).
+                None => WalRecord::EpochBump {
+                    uri: uri.to_string(),
+                    epoch,
+                },
+            };
+            (d.wal.append(&record)?, epoch)
+        };
+        // The group fsync is the acknowledgement point: after this
+        // line the mutation is durable, whatever happens next.
+        d.wal.commit(lsn)?;
+        self.finish_invalidate(uri, epoch);
+        Ok(Some(lsn))
+    }
+
+    /// Bump `uri`'s statistics epoch (strictly before any derived data
+    /// is dropped — the versioning rule).
+    fn bump_epoch(&self, uri: &str) -> u64 {
+        let mut epochs = self.doc_epochs.write().expect("doc epochs");
+        let e = epochs.entry(uri.to_string()).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// The in-memory half of an invalidation: sinks, index and
+    /// base-list drops, plan sweep. The epoch was already bumped.
+    fn finish_invalidate(&self, uri: &str, epoch: u64) {
         let id = self.catalog().resolve(uri);
         // Storage sinks first: persistent state derived from the old
         // content (stored index segments) must be unservable before the
@@ -1140,13 +1384,60 @@ impl RoxEngine {
             .retain(|_, p| !p.doc_uris.iter().any(|u| u == uri));
     }
 
+    /// Capture `doc`'s content for the log along with the interner
+    /// delta since the last logged record (under the order lock, so the
+    /// delta ranges of successive records tile the symbol space).
+    fn capture_put(&self, doc: &Arc<rox_xmldb::Document>, cur: &mut DurableCursor) -> DocPut {
+        let interner = self.catalog().interner();
+        let base = cur.symbols_logged;
+        let new_symbols = interner.dump_from(base);
+        cur.symbols_logged = base + new_symbols.len();
+        DocPut::from_document(doc, base as u32, new_symbols)
+    }
+
     /// Refresh the derived data of `uri` (indexes, base lists) after an
     /// in-place content change **without** dropping its cached plans or
     /// bumping its statistics epoch — the incremental-update path the
     /// guarded replay defends: plans stay servable, and the next
     /// `ReuseValidated` replay revalidates them against the new data,
     /// demoting mid-query if the content drifted past the thresholds.
+    /// On a durable engine this is [`RoxEngine::try_reindex_document`]
+    /// and panics on a storage failure.
     pub fn reindex_document(&self, uri: &str) {
+        self.try_reindex_document(uri)
+            .unwrap_or_else(|e| panic!("durable reindex of {uri:?} failed: {e}"));
+    }
+
+    /// As [`RoxEngine::reindex_document`]; on a durable engine a
+    /// `document-reindex` record carrying the resident content is
+    /// appended and fsynced first (a reindex of a non-resident document
+    /// logs nothing — rebuilding indexes from unchanged stored content
+    /// is idempotent, so recovery loses nothing by not knowing).
+    pub fn try_reindex_document(&self, uri: &str) -> Result<Option<Lsn>, StorageError> {
+        let durable = self.durable.read().expect("durable state").clone();
+        let lsn = match &durable {
+            None => None,
+            Some(d) => {
+                let mut cur = d.order.lock().expect("durable order");
+                match self
+                    .catalog()
+                    .resolve(uri)
+                    .and_then(|id| self.catalog().get(id))
+                {
+                    Some(doc) => {
+                        let record = WalRecord::DocReindex {
+                            uri: uri.to_string(),
+                            put: self.capture_put(&doc, &mut cur),
+                        };
+                        Some(d.wal.append(&record)?)
+                    }
+                    None => None,
+                }
+            }
+        };
+        if let (Some(d), Some(lsn)) = (&durable, lsn) {
+            d.wal.commit(lsn)?;
+        }
         let id = self.catalog().resolve(uri);
         for sink in self.storage_sinks.read().expect("storage sinks").iter() {
             sink.document_reindexed(uri, id);
@@ -1155,6 +1446,7 @@ impl RoxEngine {
             self.store.invalidate(id);
             self.base_lists.invalidate_doc(id);
         }
+        Ok(lsn)
     }
 
     /// A cache entry usable for `graph`: fingerprint present, canonical

@@ -79,4 +79,5 @@ pub use plan::{
 };
 pub use rox_ops::EdgeOpKind;
 pub use rox_par::Parallelism;
+pub use rox_storage::{RecoveryReport, WalStats};
 pub use state::{EdgeExec, EvalState};

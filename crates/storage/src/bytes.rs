@@ -372,6 +372,13 @@ impl ByteWriter {
         self.buf.extend_from_slice(s.as_bytes());
     }
 
+    /// Append a length-prefixed raw byte blob (an embedded sub-stream —
+    /// the WAL frames whole document segments this way).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u32(u32::try_from(bytes.len()).expect("blob too long for stream"));
+        self.buf.extend_from_slice(bytes);
+    }
+
     /// Append a length-prefixed `u32` slice.
     pub fn put_u32_slice(&mut self, vs: &[u32]) {
         self.put_u32(u32::try_from(vs.len()).expect("slice too long for snapshot"));
@@ -463,6 +470,19 @@ pub trait ByteReader {
         self.read_exact(&mut bytes)?;
         String::from_utf8(bytes)
             .map_err(|e| StorageError::Format(format!("invalid UTF-8 in snapshot string: {e}")))
+    }
+
+    /// Read a length-prefixed raw byte blob (see [`ByteWriter::put_bytes`]).
+    fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.get_u32()? as u64;
+        if len > self.remaining() {
+            return Err(StorageError::Format(format!(
+                "blob of {len} bytes exceeds remaining segment"
+            )));
+        }
+        let mut bytes = vec![0u8; len as usize];
+        self.read_exact(&mut bytes)?;
+        Ok(bytes)
     }
 
     /// Decode the next `n` bytes through `f`, borrowing them in place

@@ -1,0 +1,430 @@
+//! Deterministic fault injection for the durability stack.
+//!
+//! The torture harness needs to crash the storage layer at *chosen*
+//! byte offsets, in ways real disks fail, and then prove recovery. This
+//! module interposes on the [`crate::wal::WalIo`] seam:
+//!
+//! * [`FaultPlan`] — one seeded fault: a byte budget (how many bytes
+//!   may be written before the fault fires) and a [`FaultMode`].
+//! * [`FailpointIo`] / [`FailpointFile`] — a [`WalIo`] that writes
+//!   through to real files until the armed plan's budget is crossed,
+//!   then fails the way the plan says. After the fault the state is
+//!   **dead**: every subsequent operation errors, modelling the process
+//!   being gone. What actually reached the real file *is* the simulated
+//!   post-crash disk image.
+//!
+//! The three modes map to the classic failure taxonomy:
+//!
+//! * [`FaultMode::ShortWrite`] — the crash lands mid-`write`: a prefix
+//!   of the frame reaches the disk, the rest never does.
+//! * [`FaultMode::TornWrite`] — the sector the write straddled is
+//!   garbage: a prefix plus corrupted bytes reach the disk.
+//! * [`FaultMode::SyncLie`] — the device acknowledges writes it never
+//!   persisted: the tail of the write is silently dropped, operations
+//!   keep "succeeding" for a few more ops, then the crash. From the lie
+//!   onward [`FailpointState::honest`] is false — acknowledgements made
+//!   in that window carry no durability promise, exactly like a disk
+//!   with a volatile cache and a lying flush.
+//!
+//! Everything is deterministic per seed, so a failing schedule replays
+//! exactly.
+
+use crate::wal::{WalFile, WalIo};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// How an armed fault fires once the byte budget is crossed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Write a prefix of the crossing write, then die with an error.
+    ShortWrite,
+    /// Write a prefix plus a run of corrupted bytes, then die.
+    TornWrite,
+    /// Silently drop the tail of the crossing write but report success,
+    /// keep lying for `lie_ops` more operations, then die.
+    SyncLie {
+        /// Operations that still "succeed" after the first lie.
+        lie_ops: u32,
+    },
+}
+
+/// One deterministic fault: fire `mode` once `budget` bytes have been
+/// written through the armed I/O layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Bytes that write through before the fault fires.
+    pub budget: u64,
+    /// How the fault fires.
+    pub mode: FaultMode,
+}
+
+impl FaultPlan {
+    /// Derive a plan from a seed: the budget lands uniformly in
+    /// `[0, window)` and the mode cycles through all three kinds, so a
+    /// contiguous seed range covers the whole taxonomy.
+    pub fn from_seed(seed: u64, window: u64) -> FaultPlan {
+        // SplitMix64: cheap, well-distributed, dependency-free.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let budget = z % window.max(1);
+        let mode = match seed % 3 {
+            0 => FaultMode::ShortWrite,
+            1 => FaultMode::TornWrite,
+            _ => FaultMode::SyncLie {
+                lie_ops: (z >> 33) as u32 % 4,
+            },
+        };
+        FaultPlan { budget, mode }
+    }
+}
+
+struct Inner {
+    plan: Option<FaultPlan>,
+    written: u64,
+    dead: bool,
+    honest: bool,
+    lie_ops_left: Option<u32>,
+}
+
+/// Shared fault state across every file the [`FailpointIo`] opens: the
+/// byte budget spans the whole workload, not one file, so the crash
+/// point can land in a WAL append, a snapshot image write, or a rename
+/// window alike.
+pub struct FailpointState {
+    inner: Mutex<Inner>,
+}
+
+impl FailpointState {
+    fn killed() -> std::io::Error {
+        std::io::Error::other("failpoint: process killed")
+    }
+
+    /// Arm `plan`; bytes written from now on count against its budget.
+    pub fn arm(&self, plan: FaultPlan) {
+        let mut st = self.inner.lock().expect("failpoint lock");
+        st.plan = Some(plan);
+        st.written = 0;
+    }
+
+    /// Bytes written through since the last [`FailpointState::arm`].
+    pub fn written(&self) -> u64 {
+        self.inner.lock().expect("failpoint lock").written
+    }
+
+    /// Has the fault fired yet?
+    pub fn dead(&self) -> bool {
+        self.inner.lock().expect("failpoint lock").dead
+    }
+
+    /// `true` while every acknowledged operation really reached the
+    /// file — from the first [`FaultMode::SyncLie`] lie onward this is
+    /// `false`, and acknowledgements carry no durability promise.
+    pub fn honest(&self) -> bool {
+        self.inner.lock().expect("failpoint lock").honest
+    }
+
+    /// Gate one non-write operation (sync, rename, dir sync): dead
+    /// state errors, an active lie "succeeds" and burns one lie op.
+    fn gate_op(&self) -> std::io::Result<bool> {
+        let mut st = self.inner.lock().expect("failpoint lock");
+        if st.dead {
+            return Err(Self::killed());
+        }
+        if let Some(left) = &mut st.lie_ops_left {
+            if *left == 0 {
+                st.dead = true;
+                return Err(Self::killed());
+            }
+            *left -= 1;
+            return Ok(false); // lying: report success, do nothing
+        }
+        Ok(true)
+    }
+
+    /// Gate one write of `bytes`: what really reaches the file and what
+    /// the caller is told.
+    fn gate_write(&self, bytes: &[u8]) -> WriteOutcome {
+        let mut st = self.inner.lock().expect("failpoint lock");
+        if st.dead {
+            return WriteOutcome::Dead;
+        }
+        if let Some(left) = &mut st.lie_ops_left {
+            if *left == 0 {
+                st.dead = true;
+                return WriteOutcome::Dead;
+            }
+            *left -= 1;
+            return WriteOutcome::Lie; // drop the write, report success
+        }
+        let Some(plan) = st.plan else {
+            st.written += bytes.len() as u64;
+            return WriteOutcome::Through(bytes.to_vec());
+        };
+        if st.written + bytes.len() as u64 <= plan.budget {
+            st.written += bytes.len() as u64;
+            return WriteOutcome::Through(bytes.to_vec());
+        }
+        // The budget is crossed inside this write: fire.
+        let keep = (plan.budget - st.written) as usize;
+        match plan.mode {
+            FaultMode::ShortWrite => {
+                st.dead = true;
+                WriteOutcome::Die(bytes[..keep].to_vec())
+            }
+            FaultMode::TornWrite => {
+                st.dead = true;
+                let torn_end = (keep + 32).min(bytes.len());
+                let mut torn = bytes[..torn_end].to_vec();
+                for b in &mut torn[keep..] {
+                    *b ^= 0xA5;
+                }
+                WriteOutcome::Die(torn)
+            }
+            FaultMode::SyncLie { lie_ops } => {
+                st.honest = false;
+                st.lie_ops_left = Some(lie_ops);
+                // The prefix reaches the disk; the tail is silently
+                // dropped and the write reports success.
+                WriteOutcome::Through(bytes[..keep].to_vec())
+            }
+        }
+    }
+}
+
+/// What one gated write does: the bytes that really land vs the result
+/// the caller sees.
+enum WriteOutcome {
+    /// Write these bytes, report success.
+    Through(Vec<u8>),
+    /// Write nothing, report success (the lie).
+    Lie,
+    /// Write these bytes (the dying prefix), then report the kill.
+    Die(Vec<u8>),
+    /// Already dead: write nothing, report the kill.
+    Dead,
+}
+
+/// A [`WalFile`] that routes every operation through the shared
+/// [`FailpointState`] before touching the real file.
+pub struct FailpointFile {
+    file: File,
+    state: Arc<FailpointState>,
+}
+
+impl WalFile for FailpointFile {
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        match self.state.gate_write(bytes) {
+            WriteOutcome::Through(real) => self.file.write_all(&real),
+            WriteOutcome::Lie => Ok(()),
+            WriteOutcome::Die(prefix) => {
+                // The dying write still lands its surviving prefix.
+                let _ = self.file.write_all(&prefix);
+                Err(FailpointState::killed())
+            }
+            WriteOutcome::Dead => Err(FailpointState::killed()),
+        }
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        // No real fsync: the simulated crash is in-process, so the OS
+        // buffer *is* the disk — skipping the hardware flush keeps
+        // hundreds of seeded schedules fast without weakening the model.
+        self.state.gate_op().map(|_| ())
+    }
+}
+
+/// A [`WalIo`] over real files with the shared failpoint interposed.
+pub struct FailpointIo {
+    state: Arc<FailpointState>,
+}
+
+impl FailpointIo {
+    /// A fresh, unarmed failpoint I/O layer: writes pass through (and
+    /// are counted) until [`FailpointState::arm`] is called.
+    pub fn new() -> FailpointIo {
+        FailpointIo {
+            state: Arc::new(FailpointState {
+                inner: Mutex::new(Inner {
+                    plan: None,
+                    written: 0,
+                    dead: false,
+                    honest: true,
+                    lie_ops_left: None,
+                }),
+            }),
+        }
+    }
+
+    /// The shared fault state, for arming and for durability queries.
+    pub fn state(&self) -> Arc<FailpointState> {
+        Arc::clone(&self.state)
+    }
+}
+
+impl Default for FailpointIo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WalIo for FailpointIo {
+    fn create(&self, path: &Path) -> std::io::Result<Box<dyn WalFile>> {
+        if self.state.inner.lock().expect("failpoint lock").dead {
+            return Err(FailpointState::killed());
+        }
+        Ok(Box::new(FailpointFile {
+            file: File::create(path)?,
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn open_append(&self, path: &Path, len: u64) -> std::io::Result<Box<dyn WalFile>> {
+        let lying = {
+            let st = self.state.inner.lock().expect("failpoint lock");
+            if st.dead {
+                return Err(FailpointState::killed());
+            }
+            st.lie_ops_left.is_some()
+        };
+        let mut file = OpenOptions::new().write(true).read(true).open(path)?;
+        // The truncation is a real on-disk effect, so during a lie it
+        // must not happen: a lying device that skipped a rename would
+        // otherwise let this chop the *old* generation — destroying
+        // honestly-acknowledged records, which no real crash can do (the
+        // process would be appending to the new inode; the old file on
+        // disk stays intact). A file opened mid-lie never writes real
+        // bytes anyway: every append is dropped or dead.
+        if !lying {
+            file.set_len(len)?;
+            use std::io::{Seek, SeekFrom};
+            file.seek(SeekFrom::Start(len))?;
+        }
+        Ok(Box::new(FailpointFile {
+            file,
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        if self.state.gate_op()? {
+            std::fs::rename(from, to)
+        } else {
+            Ok(()) // the lie: the rename never happens
+        }
+    }
+
+    fn sync_dir(&self, _dir: &Path) -> std::io::Result<()> {
+        self.state.gate_op().map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rox-failpoint-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_cover_all_modes() {
+        let a = FaultPlan::from_seed(17, 1000);
+        let b = FaultPlan::from_seed(17, 1000);
+        assert_eq!(a, b);
+        assert!(a.budget < 1000);
+        let modes: std::collections::HashSet<u8> = (0..30)
+            .map(|s| match FaultPlan::from_seed(s, 1000).mode {
+                FaultMode::ShortWrite => 0,
+                FaultMode::TornWrite => 1,
+                FaultMode::SyncLie { .. } => 2,
+            })
+            .collect();
+        assert_eq!(modes.len(), 3, "seed range must cover every mode");
+    }
+
+    #[test]
+    fn short_write_lands_the_prefix_then_dies() {
+        let path = temp("short");
+        let io = FailpointIo::new();
+        let state = io.state();
+        let mut f = io.create(&path).unwrap();
+        f.append(b"0123456789").unwrap();
+        state.arm(FaultPlan {
+            budget: 4,
+            mode: FaultMode::ShortWrite,
+        });
+        let err = f.append(b"abcdefgh").unwrap_err();
+        assert!(err.to_string().contains("killed"), "{err}");
+        assert!(state.dead());
+        assert!(state.honest(), "a loud crash is not a lie");
+        assert!(f.append(b"after death").is_err());
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123456789abcd");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_write_garbles_past_the_prefix() {
+        let path = temp("torn");
+        let io = FailpointIo::new();
+        let state = io.state();
+        let mut f = io.create(&path).unwrap();
+        state.arm(FaultPlan {
+            budget: 3,
+            mode: FaultMode::TornWrite,
+        });
+        assert!(f.append(b"abcdefgh").is_err());
+        drop(f);
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(&on_disk[..3], b"abc");
+        assert!(on_disk.len() > 3, "torn bytes must follow the prefix");
+        assert_ne!(&on_disk[3..], &b"defgh"[..on_disk.len() - 3]);
+        assert!(state.dead());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sync_lie_acks_dropped_bytes_then_dies() {
+        let path = temp("lie");
+        let io = FailpointIo::new();
+        let state = io.state();
+        let mut f = io.create(&path).unwrap();
+        state.arm(FaultPlan {
+            budget: 2,
+            mode: FaultMode::SyncLie { lie_ops: 2 },
+        });
+        // The crossing write "succeeds" but only the prefix lands.
+        f.append(b"abcdef").unwrap();
+        assert!(!state.honest(), "acks after the lie carry no promise");
+        // Two more ops keep lying, then the crash.
+        f.sync().unwrap();
+        f.append(b"ghost").unwrap();
+        assert!(f.sync().is_err());
+        assert!(state.dead());
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"ab");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unarmed_io_counts_bytes_and_passes_through() {
+        let path = temp("unarmed");
+        let io = FailpointIo::new();
+        let state = io.state();
+        let mut f = io.create(&path).unwrap();
+        f.append(b"hello").unwrap();
+        f.sync().unwrap();
+        assert_eq!(state.written(), 5);
+        assert!(state.honest());
+        assert!(!state.dead());
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -12,6 +12,48 @@ use std::fs::File;
 use std::io::Read;
 use std::path::Path;
 
+/// Retry `op` across transient I/O failures (`EINTR`, `EAGAIN`) with a
+/// bounded exponential backoff instead of bubbling a hard error: a signal
+/// landing mid-`pread` or a briefly saturated device should not poison a
+/// query or a WAL append. Any other error — and a transient one that
+/// persists past the retry budget — is returned to the caller.
+pub fn retry_transient<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    use std::io::ErrorKind;
+    const ATTEMPTS: u32 = 6;
+    let mut backoff = std::time::Duration::from_micros(50);
+    let mut last = None;
+    for attempt in 0..ATTEMPTS {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if matches!(e.kind(), ErrorKind::Interrupted | ErrorKind::WouldBlock) => {
+                last = Some(e);
+                if attempt + 1 < ATTEMPTS {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(std::time::Duration::from_millis(5));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("retry loop exits early without an error"))
+}
+
+/// Fsync the parent directory of `path`: a file's own fsync persists its
+/// data, but the *directory entry* naming it lives in the parent's data
+/// and can still be lost on power failure until the directory is synced.
+/// No-op on platforms where directories cannot be opened as files.
+pub fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            retry_transient(|| File::open(dir))?.sync_all()?;
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
+
 /// Read access to one snapshot page file.
 pub struct FileManager {
     file: Mutex<File>,
@@ -104,14 +146,16 @@ impl FileManager {
 #[cfg(unix)]
 fn read_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
     use std::os::unix::fs::FileExt;
-    file.read_exact_at(buf, offset)
+    retry_transient(|| file.read_exact_at(buf, offset))
 }
 
 #[cfg(not(unix))]
 fn read_at(mut file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
     use std::io::{Seek, SeekFrom};
-    file.seek(SeekFrom::Start(offset))?;
-    file.read_exact(buf)
+    retry_transient(|| {
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(buf)
+    })
 }
 
 /// A validated page: the raw on-disk bytes plus the payload length.
@@ -211,6 +255,40 @@ mod tests {
         let (_file, payload) = read_header_payload(&path).unwrap();
         assert_eq!(payload, b"header payload");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_errors_retry_and_hard_errors_bubble() {
+        use std::io::{Error, ErrorKind};
+        // EINTR twice, then success: retried to completion.
+        let mut left = 2;
+        let out = retry_transient(|| {
+            if left > 0 {
+                left -= 1;
+                Err(Error::from(ErrorKind::Interrupted))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+
+        // EAGAIN forever: bounded, the error eventually bubbles.
+        let mut calls = 0;
+        let out: std::io::Result<()> = retry_transient(|| {
+            calls += 1;
+            Err(Error::from(ErrorKind::WouldBlock))
+        });
+        assert_eq!(out.unwrap_err().kind(), ErrorKind::WouldBlock);
+        assert_eq!(calls, 6, "retry budget must be bounded");
+
+        // A hard error returns on the first attempt.
+        let mut calls = 0;
+        let out: std::io::Result<()> = retry_transient(|| {
+            calls += 1;
+            Err(Error::from(ErrorKind::NotFound))
+        });
+        assert_eq!(out.unwrap_err().kind(), ErrorKind::NotFound);
+        assert_eq!(calls, 1);
     }
 
     #[test]

@@ -23,6 +23,15 @@
 //! * [`snapshot`] — [`Snapshot::save`] / [`Snapshot::open`] plus
 //!   [`SnapshotSource`], the [`rox_index::DocSource`] implementation that
 //!   the engine's `IndexedStore` faults documents and indices through.
+//! * [`wal`] — the write-ahead log: checksummed, LSN-stamped mutation
+//!   records with group fsync and torn-tail detection, closing the
+//!   between-snapshots durability window.
+//! * [`recovery`] — durable directories: the checkpoint state machine
+//!   (tmp-write → verify → rename → dir-fsync) and [`recover`], which
+//!   replays the log tail over the newest valid snapshot.
+//! * [`failpoint`] — deterministic fault injection (short writes, torn
+//!   pages, lying syncs at seeded byte budgets) powering the recovery
+//!   torture suite.
 //!
 //! The encoder is deterministic (documents in id order, index groups
 //! sorted by symbol, `f64` as raw bits): saving the same catalog twice
@@ -31,13 +40,19 @@
 
 pub mod bytes;
 pub mod error;
+pub mod failpoint;
 pub mod file;
 pub mod page;
 pub mod pool;
+pub mod recovery;
 pub mod snapshot;
+pub mod wal;
 
 pub use bytes::RunCodec;
 pub use error::{Result, StorageError};
+pub use failpoint::{FailpointFile, FailpointIo, FailpointState, FaultMode, FaultPlan};
 pub use page::{crc32c, DEFAULT_PAGE_SIZE, PAGE_HEADER};
 pub use pool::{BufferPool, FetchHint, PoolStats};
+pub use recovery::{recover, write_checkpoint, RecoveredState, RecoveryReport};
 pub use snapshot::{SaveReport, Snapshot, SnapshotSource, SNAPSHOT_VERSION};
+pub use wal::{Lsn, StdWalIo, Wal, WalIo, WalRecord, WalStats};

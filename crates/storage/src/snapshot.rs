@@ -78,6 +78,10 @@ pub struct SaveReport {
     /// (the v1 format) — `payload_bytes / raw_payload_bytes` is the
     /// compression ratio before page framing.
     pub raw_payload_bytes: u64,
+    /// Fsyncs issued to make the save durable: the file itself plus its
+    /// parent directory (a file fsync alone does not persist the new
+    /// directory entry across power failure).
+    pub fsyncs: u32,
 }
 
 /// Location of one segment: first page and logical byte length.
@@ -95,6 +99,92 @@ struct DocEntry {
     doc_mask: u8,
     index_seg: SegmentLoc,
     index_mask: u8,
+}
+
+/// A fully encoded snapshot, not yet written anywhere: the header page
+/// payload, every segment tagged with its first page, and the report the
+/// writer will finish (its `fsyncs` field is the writer's to fill).
+struct EncodedSnapshot {
+    header: Vec<u8>,
+    segments: Vec<(u32, Vec<u8>)>,
+    report: SaveReport,
+}
+
+/// Encode every document of `store`'s catalog (plus indices) into page-
+/// aligned segments and the header payload, in deterministic id order.
+fn encode_snapshot(store: &IndexedStore, page_size: usize) -> EncodedSnapshot {
+    assert!(
+        page_size >= MIN_PAGE_SIZE,
+        "page size {page_size} below minimum {MIN_PAGE_SIZE}"
+    );
+    let catalog = store.catalog();
+    let payload_per_page = page_size - PAGE_HEADER;
+    let pages_of = |len: u64| -> u32 { (len.div_ceil(payload_per_page as u64)) as u32 };
+
+    let mut next_page = 1u32; // page 0 is the header
+    let mut entries = Vec::new();
+    let mut segments: Vec<(u32, Vec<u8>)> = Vec::new();
+    let mut payload_bytes = 0u64;
+    let mut raw_payload_bytes = 0u64;
+    let mut place = |w: ByteWriter, next_page: &mut u32| -> (SegmentLoc, u8) {
+        let mask = w.codec_mask();
+        payload_bytes += w.len() as u64;
+        raw_payload_bytes += w.raw_len();
+        let bytes = w.into_bytes();
+        let loc = SegmentLoc {
+            first_page: *next_page,
+            len: bytes.len() as u64,
+        };
+        *next_page += pages_of(bytes.len() as u64);
+        segments.push((loc.first_page, bytes));
+        (loc, mask)
+    };
+    for id in catalog.doc_ids() {
+        let doc = store.doc(id);
+        let indexes = store.indexes(id);
+        let (doc_seg, doc_mask) = place(encode_document(&doc), &mut next_page);
+        let (index_seg, index_mask) = place(encode_indexes(&indexes), &mut next_page);
+        entries.push(DocEntry {
+            uri: doc.uri().to_string(),
+            doc_seg,
+            doc_mask,
+            index_seg,
+            index_mask,
+        });
+    }
+
+    // Symbol heap after all documents/indices are encoded, so every
+    // symbol they reference is present.
+    let (symbols_seg, _) = place(encode_symbols(catalog.interner()), &mut next_page);
+    let (dir_seg, _) = place(encode_directory(&entries), &mut next_page);
+    let page_count = next_page;
+
+    let mut h = ByteWriter::new();
+    h.put_u8(SNAPSHOT_MAGIC[0]);
+    for &b in &SNAPSHOT_MAGIC[1..] {
+        h.put_u8(b);
+    }
+    h.put_u32(SNAPSHOT_VERSION);
+    h.put_u32(page_size as u32);
+    h.put_u32(page_count);
+    h.put_u32(symbols_seg.first_page);
+    h.put_u64(symbols_seg.len);
+    h.put_u32(dir_seg.first_page);
+    h.put_u64(dir_seg.len);
+
+    EncodedSnapshot {
+        header: h.into_bytes(),
+        segments,
+        report: SaveReport {
+            docs: entries.len(),
+            pages: page_count,
+            file_bytes: page_count as u64 * page_size as u64,
+            page_size,
+            payload_bytes,
+            raw_payload_bytes,
+            fsyncs: 0,
+        },
+    }
 }
 
 /// Namespace for snapshot save/open.
@@ -115,73 +205,14 @@ impl Snapshot {
         store: &IndexedStore,
         page_size: usize,
     ) -> Result<SaveReport> {
-        assert!(
-            page_size >= MIN_PAGE_SIZE,
-            "page size {page_size} below minimum {MIN_PAGE_SIZE}"
-        );
-        let catalog = store.catalog();
+        let enc = encode_snapshot(store, page_size);
         let payload_per_page = page_size - PAGE_HEADER;
-        let pages_of = |len: u64| -> u32 { (len.div_ceil(payload_per_page as u64)) as u32 };
-
-        // Encode per-document segments in id order (deterministic).
-        let mut next_page = 1u32; // page 0 is the header
-        let mut entries = Vec::new();
-        let mut segments: Vec<(u32, Vec<u8>)> = Vec::new();
-        let mut payload_bytes = 0u64;
-        let mut raw_payload_bytes = 0u64;
-        let mut place = |w: ByteWriter, next_page: &mut u32| -> (SegmentLoc, u8) {
-            let mask = w.codec_mask();
-            payload_bytes += w.len() as u64;
-            raw_payload_bytes += w.raw_len();
-            let bytes = w.into_bytes();
-            let loc = SegmentLoc {
-                first_page: *next_page,
-                len: bytes.len() as u64,
-            };
-            *next_page += pages_of(bytes.len() as u64);
-            segments.push((loc.first_page, bytes));
-            (loc, mask)
-        };
-        for id in catalog.doc_ids() {
-            let doc = store.doc(id);
-            let indexes = store.indexes(id);
-            let (doc_seg, doc_mask) = place(encode_document(&doc), &mut next_page);
-            let (index_seg, index_mask) = place(encode_indexes(&indexes), &mut next_page);
-            entries.push(DocEntry {
-                uri: doc.uri().to_string(),
-                doc_seg,
-                doc_mask,
-                index_seg,
-                index_mask,
-            });
-        }
-
-        // Symbol heap after all documents/indices are encoded, so every
-        // symbol they reference is present.
-        let (symbols_seg, _) = place(encode_symbols(catalog.interner()), &mut next_page);
-        let (dir_seg, _) = place(encode_directory(&entries), &mut next_page);
-        let page_count = next_page;
-
-        // Header payload.
-        let mut h = ByteWriter::new();
-        h.put_u8(SNAPSHOT_MAGIC[0]);
-        for &b in &SNAPSHOT_MAGIC[1..] {
-            h.put_u8(b);
-        }
-        h.put_u32(SNAPSHOT_VERSION);
-        h.put_u32(page_size as u32);
-        h.put_u32(page_count);
-        h.put_u32(symbols_seg.first_page);
-        h.put_u64(symbols_seg.len);
-        h.put_u32(dir_seg.first_page);
-        h.put_u64(dir_seg.len);
-        let header = h.into_bytes();
 
         // Write: zeroed header placeholder, then segment pages, then the
         // real header — a torn save never validates.
         let mut file = File::create(path)?;
         file.write_all(&vec![0u8; page_size])?;
-        for (first_page, bytes) in &segments {
+        for (first_page, bytes) in &enc.segments {
             if bytes.is_empty() {
                 continue;
             }
@@ -190,16 +221,36 @@ impl Snapshot {
             }
         }
         file.seek(SeekFrom::Start(0))?;
-        file.write_all(&encode_page(0, &header, page_size))?;
+        file.write_all(&encode_page(0, &enc.header, page_size))?;
         file.sync_all()?;
-        Ok(SaveReport {
-            docs: entries.len(),
-            pages: page_count,
-            file_bytes: page_count as u64 * page_size as u64,
-            page_size,
-            payload_bytes,
-            raw_payload_bytes,
-        })
+        // The file's durability is not the save's durability: its
+        // *directory entry* lives in the parent directory's data, which
+        // needs its own fsync to survive power failure.
+        crate::file::sync_parent_dir(path)?;
+        let mut report = enc.report;
+        report.fsyncs = 2;
+        Ok(report)
+    }
+
+    /// Encode the whole snapshot as one contiguous page-file image
+    /// (header page first). The checkpoint path writes this image to a
+    /// temporary file and renames it into place — atomicity comes from
+    /// the rename, not from header-last ordering, so the header can lead.
+    pub fn encode_image(store: &IndexedStore, page_size: usize) -> (Vec<u8>, SaveReport) {
+        let enc = encode_snapshot(store, page_size);
+        let payload_per_page = page_size - PAGE_HEADER;
+        let mut image = Vec::with_capacity(enc.report.file_bytes as usize);
+        image.extend_from_slice(&encode_page(0, &enc.header, page_size));
+        for (first_page, bytes) in &enc.segments {
+            if bytes.is_empty() {
+                continue;
+            }
+            for (i, chunk) in bytes.chunks(payload_per_page).enumerate() {
+                image.extend_from_slice(&encode_page(first_page + i as u32, chunk, page_size));
+            }
+        }
+        debug_assert_eq!(image.len() as u64, enc.report.file_bytes);
+        (image, enc.report)
     }
 
     /// Open the snapshot at `path`: validate the header, restore the
@@ -460,6 +511,12 @@ impl DocSource for SnapshotSource {
     }
 }
 
+/// Encode one document's columns as a standalone byte stream — the unit
+/// the WAL logs for a document-carrying record (see [`crate::wal`]).
+pub(crate) fn encode_document_bytes(doc: &Document) -> Vec<u8> {
+    encode_document(doc).into_bytes()
+}
+
 fn encode_document(doc: &Document) -> ByteWriter {
     let cols = doc.columns();
     let n = cols.size.len();
@@ -478,7 +535,7 @@ fn encode_document(doc: &Document) -> ByteWriter {
     w
 }
 
-fn decode_document<R: ByteReader>(
+pub(crate) fn decode_document<R: ByteReader>(
     r: &mut R,
     id: DocId,
     uri: &str,

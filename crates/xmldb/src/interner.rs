@@ -108,6 +108,21 @@ impl Interner {
             .collect()
     }
 
+    /// Dump the strings of symbols `start..len()` in symbol order — the
+    /// *delta* since a caller's last high-water mark. The write-ahead
+    /// log ships exactly this slice per record: replaying `dump_from`
+    /// slices in order re-interns every symbol at its original id.
+    pub fn dump_from(&self, start: usize) -> Vec<String> {
+        let inner = self.inner.read();
+        inner
+            .strings
+            .get(start..)
+            .unwrap_or(&[])
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
     /// Rebuild an interner from a symbol-ordered string dump (the inverse
     /// of [`Interner::dump`]): string `i` gets symbol `i`, so a document
     /// whose columns reference the dumped symbols resolves identically.
