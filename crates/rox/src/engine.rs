@@ -839,7 +839,11 @@ impl RoxEngine {
         // The order lock stalls durable mutations for the duration: no
         // record with an LSN above the checkpoint's can exist yet.
         let mut cur = d.order.lock().expect("durable order");
-        cur.symbols_logged = self.catalog().interner().len();
+        // The symbol high-water mark advances only once the checkpoint
+        // is durably on disk: advancing it first and then failing would
+        // leave symbols in [old mark, new mark) in neither the old
+        // snapshot nor any later record's delta.
+        let symbols_logged = self.catalog().interner().len();
         let epochs = self.epoch_table();
         let cp_lsn = d.wal.last_lsn() + 1;
         let out = recovery::write_checkpoint(
@@ -851,6 +855,7 @@ impl RoxEngine {
             DEFAULT_PAGE_SIZE,
         )?;
         d.wal.install_rotated(out.wal_file, cp_lsn, out.wal_bytes);
+        cur.symbols_logged = symbols_logged;
         Ok(out.report)
     }
 

@@ -65,9 +65,13 @@ fn tmp_of(path: &Path) -> PathBuf {
 }
 
 /// Write `bytes` to `path`'s tmp sibling, sync, read it back to verify
-/// every byte really landed (defeating lying syncs before the rename
+/// every byte was accepted (catching short or silently dropped writes,
+/// including the torture harness's simulated device, before the rename
 /// can make a hollow file current), then rename into place and fsync
-/// the directory.
+/// the directory. The read-back is served from the OS page cache, so
+/// it cannot prove the bytes reached stable media — power-failure
+/// durability rests on the sync + rename + dir-fsync ordering, not on
+/// this check.
 fn publish(dir: &Path, path: &Path, bytes: &[u8], io: &dyn WalIo) -> Result<()> {
     let tmp = tmp_of(path);
     {
@@ -78,7 +82,7 @@ fn publish(dir: &Path, path: &Path, bytes: &[u8], io: &dyn WalIo) -> Result<()> 
     let on_disk = retry_transient(|| std::fs::read(&tmp))?;
     if on_disk != bytes {
         return Err(StorageError::Format(format!(
-            "checkpoint verify failed: {} bytes on disk, {} written — the device lied about a sync",
+            "checkpoint verify failed: {} bytes read back, {} written — a write was dropped or truncated",
             on_disk.len(),
             bytes.len()
         )));

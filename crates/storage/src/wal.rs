@@ -359,7 +359,24 @@ struct StdWalFile(File);
 
 impl WalFile for StdWalFile {
     fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
-        retry_transient(|| self.0.write_all(bytes))
+        // Not `retry_transient(|| write_all(..))`: `write_all` can fail
+        // transiently after consuming a partial prefix, and re-running
+        // it would write that prefix twice, corrupting the log framing.
+        // Retry single `write` calls and resume from the partial offset.
+        let mut written = 0;
+        while written < bytes.len() {
+            match retry_transient(|| self.0.write(&bytes[written..])) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "wal append made no progress",
+                    ))
+                }
+                Ok(n) => written += n,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
     fn sync(&mut self) -> std::io::Result<()> {
@@ -484,8 +501,13 @@ impl Wal {
         slot.next_lsn += 1;
         slot.records += 1;
         slot.bytes += frame.len() as u64;
-        drop(slot);
+        // The book update must stay inside the slot critical section
+        // (slot → book is the lock order, see `fail_waiters`): done
+        // after the drop, two appends can publish out of order and
+        // regress `last_lsn`, leaving a committer waiting above the
+        // mark to re-elect itself leader forever.
         self.book.lock().expect("wal book lock").last_lsn = lsn;
+        drop(slot);
         Ok(lsn)
     }
 
